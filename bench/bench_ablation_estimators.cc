@@ -1,0 +1,86 @@
+// Ablation: flow-level vs packet-level estimation (Section 4).
+//
+// "The flow-level estimator ... is accurate for large transfers and much
+// faster than the packet level simulator, but doesn't work very well for
+// short flows." The packet-level simulator "is very accurate and captures
+// packet-level effects such as incast, but it is also quite slow."
+//
+// The bench treats the packet simulator as ground truth and sweeps the
+// per-flow size of a 32-wide scatter-gather: the flow-level estimate tracks
+// truth for elephants and diverges wildly once RTOs dominate (short flows),
+// while costing microseconds instead of milliseconds.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "src/core/directory.h"
+#include "src/core/estimator.h"
+#include "src/core/packet_estimator.h"
+#include "src/lang/analysis.h"
+#include "src/lang/parser.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+int main() {
+  SingleSwitchParams params;
+  params.num_hosts = 34;
+  params.link_delay = 50 * kMicrosecond;
+  const Topology topo = MakeSingleSwitch(params);
+  TopologyDirectory directory(&topo);
+  for (int i = 0; i < 34; ++i) {
+    directory.AddAlias("h" + std::to_string(i), topo.hosts()[i]);
+  }
+
+  // Status snapshot for the flow-level estimator: everything idle.
+  StatusByAddress status;
+  for (int i = 0; i < 34; ++i) {
+    status["h" + std::to_string(i)] = StatusReport::Idle(topo.hosts()[i], HostCaps{});
+  }
+
+  PrintHeader("Ablation: flow-level vs packet-level completion estimates");
+  std::printf("(32 senders -> 1 receiver, per-flow size swept; packet level = truth)\n\n");
+  std::printf("%12s %14s %14s %10s %14s\n", "flow size", "flow-level (s)", "packet (s)",
+              "error", "cost flow/pkt");
+
+  for (const Bytes size : std::vector<Bytes>{10 * kKB, 100 * kKB, 1 * kMB, 10 * kMB,
+                                             64 * kMB}) {
+    std::ostringstream text;
+    for (int i = 1; i <= 32; ++i) {
+      text << "f" << i << " h" << i << " -> h0 size "
+           << static_cast<long long>(size) << "\n";
+    }
+    auto query = lang::Parse(text.str());
+    auto compiled = lang::CompiledQuery::Compile(query.value());
+
+    FlowLevelEstimator flow_estimator;
+    const auto flow_begin = std::chrono::steady_clock::now();
+    auto flow_estimate = flow_estimator.EstimateQuery(compiled.value(), {}, status);
+    const double flow_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - flow_begin)
+                               .count();
+
+    PacketLevelEstimator packet_estimator(&topo, &directory);
+    const auto packet_begin = std::chrono::steady_clock::now();
+    auto packet_estimate = packet_estimator.EstimateQuery(compiled.value(), {}, status);
+    const double packet_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - packet_begin)
+                                 .count();
+
+    if (!flow_estimate.ok() || !packet_estimate.ok()) {
+      std::printf("%12.0f estimation failed\n", size);
+      continue;
+    }
+    const double f = flow_estimate.value().makespan;
+    const double p = packet_estimate.value().makespan;
+    std::printf("%9.0f KB %14.4f %14.4f %9.1f%% %7.0fus/%.0fms\n", size / 1024.0, f, p,
+                100.0 * std::abs(p - f) / p, flow_us, packet_us / 1000.0);
+  }
+  std::printf("\npaper shape: the flow-level estimate is accurate (and ~1000x cheaper) for\n"
+              "large transfers; for short incast-prone flows only the packet simulator\n"
+              "sees the RTO-dominated truth.\n");
+  return 0;
+}

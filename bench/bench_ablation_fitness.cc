@@ -1,0 +1,83 @@
+// Ablation: fitness model (DESIGN.md reproduction note).
+//
+// The paper's literal per-resource fitness, capacity - W*usage, misorders
+// saturated resources of different capacities: a saturated 3 Gbps SSD
+// scores -3e9 while a saturated 375 Mbps HDD scores -375e6, so the
+// heuristic prefers the slow disk exactly when everything is busy. The
+// repository default (kFairShare) predicts the share a new flow would get
+// instead.
+//
+// This bench reruns the Figure 9 slow-disk sort with both models: the
+// linear model sends reduces to the HDD nodes and loses to the baseline,
+// the fair-share model wins.
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "src/mapred/mini_mapreduce.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+namespace {
+
+struct SortResult {
+  double finish = 0;
+  double synced = 0;
+  bool ok = false;
+};
+
+SortResult RunSort(bool use_cloudtalk, FitnessModel model, uint64_t seed) {
+  Topology topo = LocalGigabitCluster(20);
+  DowngradeDisksToHdd(topo, 4, 8.0);
+  ClusterOptions options;
+  options.seed = seed;
+  options.server.heuristic.fitness = model;
+  Cluster cluster(std::move(topo), options);
+  cluster.StartStatusSweep();
+
+  HdfsOptions hdfs_options;
+  hdfs_options.block_size = 128 * kMB;
+  hdfs_options.cloudtalk_writes = use_cloudtalk;
+  MiniHdfs hdfs(&cluster, hdfs_options);
+  const int blocks = 80;
+  std::vector<std::vector<NodeId>> replicas(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    for (int r = 0; r < 3; ++r) {
+      replicas[b].push_back(cluster.host((b + r * 7) % 20));
+    }
+  }
+  hdfs.InstallFile("input", static_cast<Bytes>(blocks) * 128 * kMB, std::move(replicas));
+
+  MapRedOptions mr_options;
+  mr_options.cloudtalk_map = use_cloudtalk;
+  mr_options.cloudtalk_reduce = use_cloudtalk;
+  MiniMapReduce mr(&cluster, &hdfs, mr_options);
+  SortResult result;
+  mr.RunJob("input", 10, [&](const JobStats& stats) {
+    result.finish = stats.finished - stats.started;
+    result.synced = stats.synced - stats.started;
+    result.ok = true;
+  });
+  cluster.RunUntil(cluster.now() + 3600 * 2);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: heuristic fitness model on the Figure 9 slow-disk sort");
+  const SortResult baseline = RunSort(false, FitnessModel::kFairShare, 71);
+  const SortResult fair = RunSort(true, FitnessModel::kFairShare, 71);
+  const SortResult linear = RunSort(true, FitnessModel::kLinear, 71);
+  std::printf("%-34s %12s %12s\n", "configuration", "finish (s)", "sync (s)");
+  std::printf("%-34s %12.1f %12.1f\n", "baseline (no CloudTalk)", baseline.finish,
+              baseline.synced);
+  std::printf("%-34s %12.1f %12.1f\n", "CloudTalk, fair-share fitness", fair.finish,
+              fair.synced);
+  std::printf("%-34s %12.1f %12.1f\n", "CloudTalk, linear fitness (paper)", linear.finish,
+              linear.synced);
+  std::printf("\nExpected: fair-share < baseline <= linear — the saturation inversion of\n"
+              "the linear model routes work onto the slow disks under load.\n");
+  return 0;
+}

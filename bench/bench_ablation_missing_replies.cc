@@ -1,0 +1,53 @@
+// Ablation: how missing probe replies are interpreted (DESIGN.md #5).
+//
+// The paper's rule: "If nothing is received from a status server, we assume
+// that a particular address is under heavy I/O load." The alternative —
+// assuming silence means idle — recommends unknown servers precisely when
+// the network is too congested to answer, which is when they are most
+// likely busy.
+//
+// The bench runs the Figure 6(b) write workload at 50% active servers over
+// a lossy probe transport (half of all replies dropped) under both rules.
+//
+// Expected shape: assume-loaded degrades gracefully toward random placement
+// among the known-idle servers; assume-idle's tail latency blows up.
+#include <cstdio>
+
+#include "bench/experiments.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+int main() {
+  PrintHeader("Ablation: missing probe replies (50% reply loss), write workload");
+  std::printf("%-28s %12s %12s\n", "rule", "avg (s)", "p99 (s)");
+  for (const bool assume_loaded : {true, false}) {
+    HdfsLoadParams params;
+    params.mode = HdfsLoadParams::Mode::kWrite;
+    params.topology = [] { return LocalGigabitCluster(20); };
+    params.active_fraction = 0.5;
+    params.cloudtalk = true;
+    params.repetitions = QuickMode() ? 1 : 3;
+    params.seed = 909;
+    params.configure = [assume_loaded](ClusterOptions& options) {
+      options.transport.base_loss = 0.5;
+      options.server.assume_loaded_on_missing = assume_loaded;
+    };
+    const HdfsLoadResult result = RunHdfsLoad(params);
+    std::printf("%-28s %12.2f %12.2f\n",
+                assume_loaded ? "assume loaded (paper)" : "assume idle (ablation)",
+                Mean(result.durations), Percentile(result.durations, 99));
+  }
+  // Lossless reference.
+  HdfsLoadParams params;
+  params.mode = HdfsLoadParams::Mode::kWrite;
+  params.topology = [] { return LocalGigabitCluster(20); };
+  params.active_fraction = 0.5;
+  params.cloudtalk = true;
+  params.repetitions = QuickMode() ? 1 : 3;
+  params.seed = 909;
+  const HdfsLoadResult result = RunHdfsLoad(params);
+  std::printf("%-28s %12.2f %12.2f\n", "no loss (reference)", Mean(result.durations),
+              Percentile(result.durations, 99));
+  return 0;
+}

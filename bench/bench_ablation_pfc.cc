@@ -1,0 +1,83 @@
+// Ablation: enabling PFC selectively (Section 2, "Enabling network
+// features selectively").
+//
+// "The provider could enable PFC, a layer two mechanism that uses pause
+// messages to prevent loss and completely eliminate incast-related
+// problems. PFC cannot be enabled for all tenants, though, because it
+// reduces throughput for elephant flows." — this is exactly the kind of
+// per-tenant knob CloudTalk lets a provider turn, because the query tells
+// it whether the tenant's traffic is scatter-gather or elephants.
+//
+// Two workloads on the same oversubscribed fabric, with and without PFC:
+//   * scatter-gather: 64 x 10 KB responses into one aggregator;
+//   * elephant: a 40 MB bulk transfer sharing the fabric with that incast.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/experiments.h"
+#include "src/packetsim/network.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+namespace {
+
+struct Outcome {
+  Seconds scatter_gather = 0;  // Last leaf response delivered.
+  Seconds elephant = 0;        // Bulk transfer completion.
+  int64_t drops = 0;
+  int64_t timeouts = 0;
+  int64_t pauses = 0;
+};
+
+Outcome Run(bool pfc) {
+  Vl2Params params;
+  params.num_racks = 3;
+  params.hosts_per_rack = 40;
+  params.host_link = 1 * kGbps;
+  params.tor_uplink = 2 * kGbps;  // Oversubscribed rack uplinks.
+  const Topology topo = MakeVl2(params);
+  packetsim::NetworkParams net_params;
+  net_params.enable_pfc = pfc;
+  packetsim::PacketNetwork net(&topo, net_params);
+
+  Outcome outcome;
+  // Elephant: rack 1 -> rack 0.
+  net.StartTcpFlow(topo.hosts()[40], topo.hosts()[0], 40 * kMB, 0,
+                   [&](packetsim::FlowId, Seconds t) { outcome.elephant = t; });
+  // Scatter-gather: 64 leaves (racks 1 and 2) -> one aggregator in rack 0,
+  // repeated in rounds like a loaded search frontend.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      net.StartTcpFlow(topo.hosts()[41 + i], topo.hosts()[1], 10 * kKB, round * 0.05,
+                       [&](packetsim::FlowId, Seconds t) {
+                         outcome.scatter_gather = std::max(outcome.scatter_gather, t);
+                       });
+    }
+  }
+  net.RunUntilIdle(300);
+  outcome.drops = net.total_drops();
+  outcome.timeouts = net.total_timeouts();
+  outcome.pauses = net.total_pauses();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: PFC on/off for mixed incast + elephant traffic");
+  std::printf("%-10s %16s %14s %8s %9s %8s\n", "mode", "scatter-gather(s)", "elephant (s)",
+              "drops", "timeouts", "pauses");
+  const Outcome off = Run(false);
+  const Outcome on = Run(true);
+  std::printf("%-10s %16.3f %14.3f %8lld %9lld %8lld\n", "drop-tail", off.scatter_gather,
+              off.elephant, static_cast<long long>(off.drops),
+              static_cast<long long>(off.timeouts), static_cast<long long>(off.pauses));
+  std::printf("%-10s %16.3f %14.3f %8lld %9lld %8lld\n", "pfc", on.scatter_gather,
+              on.elephant, static_cast<long long>(on.drops),
+              static_cast<long long>(on.timeouts), static_cast<long long>(on.pauses));
+  std::printf("\nExpected: PFC makes the scatter-gather lossless and fast (no RTOs), while\n"
+              "the elephant finishes later than under drop-tail (head-of-line blocking) —\n"
+              "the Section 2 argument for enabling PFC per tenant, guided by CloudTalk.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the fitness weight W (DESIGN.md #1).
+//
+// W trades raw capacity against contention (paper: "the selectable weight W
+// (implicitly 2) ... can be used to change the relative importance of
+// maximum resource capacity versus contention"). The sweep runs the
+// Figure 6(b) write workload at 50% active servers for several W values.
+//
+// Expected shape: W = 0 ranks every candidate equally (degenerates toward
+// first-in-pool placement); moderate W values separate busy from idle
+// servers; very large W mostly matches W = 2 on a homogeneous cluster.
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiments.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+int main() {
+  PrintHeader("Ablation: fitness weight W, Figure 6(b) write workload, 50% active");
+  std::printf("%8s %12s %12s\n", "W", "avg (s)", "p99 (s)");
+  for (double weight : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    HdfsLoadParams params;
+    params.mode = HdfsLoadParams::Mode::kWrite;
+    params.topology = [] { return LocalGigabitCluster(20); };
+    params.active_fraction = 0.5;
+    params.cloudtalk = true;
+    params.repetitions = QuickMode() ? 1 : 3;
+    params.seed = 4242;
+    params.configure = [weight](ClusterOptions& options) {
+      options.server.heuristic.weight = weight;
+    };
+    const HdfsLoadResult result = RunHdfsLoad(params);
+    std::printf("%8.1f %12.2f %12.2f\n", weight, Mean(result.durations),
+                Percentile(result.durations, 99));
+  }
+
+  // Baseline reference.
+  HdfsLoadParams params;
+  params.mode = HdfsLoadParams::Mode::kWrite;
+  params.topology = [] { return LocalGigabitCluster(20); };
+  params.active_fraction = 0.5;
+  params.cloudtalk = false;
+  params.repetitions = QuickMode() ? 1 : 3;
+  params.seed = 4242;
+  const HdfsLoadResult result = RunHdfsLoad(params);
+  std::printf("%8s %12.2f %12.2f   (random placement reference)\n", "-",
+              Mean(result.durations), Percentile(result.durations, 99));
+  return 0;
+}

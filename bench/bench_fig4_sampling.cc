@@ -1,0 +1,83 @@
+// Figure 4: evaluating the accuracy of distributed sampling.
+//
+// Paper setup (Section 5.2): N = 100,000 servers, each idle with
+// probability 30% (load 0%) or busy (load 100%) with probability 70%. For a
+// query needing d idle servers, how many random probes n are required so
+// that at least d of the probed servers are idle with confidence 90% / 99%
+// / 99.9%? Both the analytic answer (binomial tail) and a Monte Carlo
+// validation over the finite population are printed.
+//
+// Expected shape: n grows sub-linearly in d (~4 probes per needed server at
+// 30% idle / 99%), and does not depend on N.
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "src/common/rng.h"
+#include "src/status/sampling.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+// Monte Carlo: empirical probability that a random n-sample of the finite
+// population contains >= d idle servers.
+double EmpiricalSuccess(int population, double idle_fraction, int n, int d, int trials,
+                        Rng& rng) {
+  // The population is i.i.d., so sampling without replacement from a fresh
+  // random population equals drawing hypergeometric with random K; for
+  // N >> n this matches the binomial model the analysis uses.
+  int successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    int idle = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(idle_fraction)) {
+        ++idle;
+      }
+    }
+    (void)population;
+    if (idle >= d) {
+      ++successes;
+    }
+  }
+  return static_cast<double>(successes) / trials;
+}
+
+}  // namespace
+
+int main() {
+  const double kIdle = 0.3;  // 70% of servers busy.
+  const std::vector<double> confidences = {0.90, 0.99, 0.999};
+  const std::vector<int> needed = {1, 2, 3, 5, 10, 15, 20, 25};
+  const int trials = bench::QuickMode() ? 2000 : 50000;
+
+  bench::PrintHeader("Figure 4: probes needed (n) vs servers required (d)");
+  std::printf("(30%% of servers idle; N = 100,000; paper: d<=5 needs 10-25 probes at 99%%)\n\n");
+  std::printf("%6s", "d");
+  for (double c : confidences) {
+    std::printf("   n@%4.1f%% (mc)", c * 100);
+  }
+  std::printf("\n");
+
+  Rng rng(7);
+  for (int d : needed) {
+    std::printf("%6d", d);
+    for (double confidence : confidences) {
+      const int n = RequiredSamples(d, kIdle, confidence);
+      const double empirical = EmpiricalSuccess(100000, kIdle, n, d, trials, rng);
+      std::printf("   %5d (%4.1f%%)", n, empirical * 100);
+    }
+    std::printf("\n");
+  }
+
+  // The per-needed-server ratio for different idle fractions (Section 4.3:
+  // "if 70% of servers are idle, we only need to ask 1.6 servers for each
+  // server we use; if only 10% are idle, we need as many as 20").
+  std::printf("\nprobes per needed server (d = 5, 99%% confidence):\n");
+  for (double idle : {0.7, 0.5, 0.3, 0.1}) {
+    const int n = RequiredSamples(5, idle, 0.99);
+    std::printf("  idle fraction %3.0f%%: n = %4d  (%.1f probes per server)\n", idle * 100, n,
+                n / 5.0);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Section 2: provider-side optimisations unlocked by CloudTalk.
+//
+// "Providers have few options to optimise their infrastructure without
+// tenant support." The two examples the paper gives:
+//   * spreading elephant connections over multiple paths (MPTCP-style) —
+//     single-path ECMP "can lead to wasting 60% of capacity because of
+//     collisions";
+//   * enabling PFC selectively for incast-prone scatter-gather traffic.
+//
+// Both need to know the tenant's traffic type — which is exactly what a
+// CloudTalk query reveals. This bench classifies the two canonical queries
+// with the provider policy module, then measures each workload under every
+// transport configuration to show the classified choice is the right one.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "src/core/policy.h"
+#include "src/lang/analysis.h"
+#include "src/lang/parser.h"
+#include "src/packetsim/network.h"
+
+using namespace cloudtalk;
+using namespace cloudtalk::bench;
+
+namespace {
+
+Topology OversubscribedFabric() {
+  Vl2Params params;
+  params.num_racks = 2;
+  params.hosts_per_rack = 8;
+  params.num_aggs = 4;
+  params.host_link = 1 * kGbps;
+  params.tor_uplink = 2 * kGbps;
+  return MakeVl2(params);
+}
+
+// Eight synchronized 100 MB elephants rack 0 -> rack 1.
+Seconds RunElephants(bool pfc, int subflows, uint64_t seed) {
+  const Topology topo = OversubscribedFabric();
+  packetsim::NetworkParams params;
+  params.enable_pfc = pfc;
+  params.seed = seed;
+  packetsim::PacketNetwork net(&topo, params);
+  Seconds last = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto cb = [&last](packetsim::FlowId, Seconds t) { last = std::max(last, t); };
+    if (subflows > 1) {
+      net.StartMultipathFlow(topo.hosts()[i], topo.hosts()[8 + i], 100 * kMB, subflows, 0, cb);
+    } else {
+      net.StartTcpFlow(topo.hosts()[i], topo.hosts()[8 + i], 100 * kMB, 0, cb);
+    }
+  }
+  net.RunUntilIdle(300);
+  return last;
+}
+
+// 48 leaves answer one aggregator with 10 KB each, in rounds.
+Seconds RunScatterGather(bool pfc, uint64_t seed) {
+  const Topology topo = OversubscribedFabric();
+  packetsim::NetworkParams params;
+  params.enable_pfc = pfc;
+  params.seed = seed;
+  packetsim::PacketNetwork net(&topo, params);
+  Seconds last = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 1; i < 13; ++i) {
+      for (int rack = 0; rack < 2; ++rack) {
+        // Not enough hosts for 48 distinct leaves: reuse hosts as repeated
+        // responders (same incast at the aggregator port).
+        const NodeId leaf = topo.hosts()[(rack * 8 + i % 8)];
+        if (leaf == topo.hosts()[15]) {
+          continue;
+        }
+        net.StartTcpFlow(leaf, topo.hosts()[15], 10 * kKB, round * 0.05,
+                         [&last](packetsim::FlowId, Seconds t) { last = std::max(last, t); });
+      }
+    }
+  }
+  net.RunUntilIdle(300);
+  return last;
+}
+
+double AverageOverSeeds(const std::function<Seconds(uint64_t)>& run, int seeds) {
+  double total = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    total += run(static_cast<uint64_t>(s));
+  }
+  return total / seeds;
+}
+
+}  // namespace
+
+int main() {
+  const int seeds = QuickMode() ? 2 : 5;
+
+  // ---- Classification ----
+  PrintHeader("Section 2: classifying tenant queries");
+  std::string elephant_text = "f1 a -> b size 100M\nf2 c -> d size 100M\n";
+  std::string scatter_text = "AGG = (x)\n";
+  for (int i = 0; i < 12; ++i) {
+    scatter_text += "f" + std::to_string(i) + " leaf" + std::to_string(i) +
+                    " -> AGG size 10KB\n";
+  }
+  for (const auto& [label, text] :
+       {std::pair{"bulk replication", elephant_text}, std::pair{"web search", scatter_text}}) {
+    auto query = lang::Parse(text);
+    auto compiled = lang::CompiledQuery::Compile(query.value());
+    const TransportPolicy policy = ClassifyQuery(compiled.value());
+    std::printf("  %-18s -> %-15s (pfc=%s, subflows=%d)\n", label,
+                TrafficClassName(policy.traffic_class), policy.enable_pfc ? "on" : "off",
+                policy.multipath_subflows);
+  }
+
+  // ---- Elephants under each transport config ----
+  PrintHeader("Elephants (8 x 100 MB cross-rack, 4 ECMP paths, oversubscribed)");
+  std::printf("%-28s %14s\n", "transport", "completion (s)");
+  const double ideal = 100 * kMB * 8 / 1e9;
+  std::printf("%-28s %14.2f\n", "(per-host ideal)", ideal);
+  std::printf("%-28s %14.2f\n", "single path (ECMP hash)",
+              AverageOverSeeds([](uint64_t s) { return RunElephants(false, 1, s); }, seeds));
+  std::printf("%-28s %14.2f\n", "multipath x4 (classified)",
+              AverageOverSeeds([](uint64_t s) { return RunElephants(false, 4, s); }, seeds));
+  std::printf("%-28s %14.2f\n", "single path + PFC",
+              AverageOverSeeds([](uint64_t s) { return RunElephants(true, 1, s); }, seeds));
+  std::printf("  (PFC's elephant penalty appears under mixed traffic — head-of-line\n"
+              "   blocking from someone else's incast; see bench_ablation_pfc)\n");
+
+  // ---- Scatter-gather under each transport config ----
+  PrintHeader("Scatter-gather (repeated 24-wide 10 KB incast rounds)");
+  std::printf("%-28s %14s\n", "transport", "completion (s)");
+  std::printf("%-28s %14.2f\n", "drop-tail (default)",
+              AverageOverSeeds([](uint64_t s) { return RunScatterGather(false, s); }, seeds));
+  std::printf("%-28s %14.2f\n", "PFC (classified)",
+              AverageOverSeeds([](uint64_t s) { return RunScatterGather(true, s); }, seeds));
+
+  std::printf("\npaper shape: each feature helps exactly the traffic class CloudTalk\n"
+              "identifies and is neutral-to-harmful elsewhere — the provider needs the\n"
+              "query to know which knob to turn.\n");
+  return 0;
+}

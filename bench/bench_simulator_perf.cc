@@ -1,0 +1,94 @@
+// Simulator micro-performance (google-benchmark).
+//
+// Not a paper figure — operational numbers for users of the library: how
+// fast the fluid engine recomputes allocations, how many packet events the
+// packet simulator processes per second, and end-to-end HDFS simulation
+// throughput. These bound the experiment scales the repo can handle.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/fluidsim/fluid_simulation.h"
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/packetsim/network.h"
+#include "src/topology/topology.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+void BM_FluidMaxMinRecompute(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const Topology topo = Ec2Cluster(100);
+  FluidSimulation sim(&topo);
+  Rng rng(1);
+  for (int i = 0; i < flows; ++i) {
+    const NodeId src = topo.hosts()[rng.UniformInt(0, 99)];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts()[rng.UniformInt(0, 99)];
+    }
+    GroupSpec spec;
+    FluidFlow flow;
+    flow.resources = sim.resources().NetworkPath(topo, src, dst);
+    flow.size = 1e15;
+    spec.flows.push_back(std::move(flow));
+    sim.AddGroup(std::move(spec));
+  }
+  sim.RunUntil(1e-6);
+  for (auto _ : state) {
+    // Force a fresh allocation by perturbing background load.
+    sim.AddBackground(sim.resources().NicUp(topo.hosts()[0]), 1.0);
+    benchmark::DoNotOptimize(sim.Usage(sim.resources().NicUp(topo.hosts()[0])));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidMaxMinRecompute)->Arg(50)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);
+
+void BM_PacketSimEventsPerSecond(benchmark::State& state) {
+  SingleSwitchParams params;
+  params.num_hosts = 32;
+  const Topology topo = MakeSingleSwitch(params);
+  for (auto _ : state) {
+    packetsim::PacketNetwork net(&topo, packetsim::NetworkParams{});
+    for (int i = 1; i < 32; ++i) {
+      net.StartTcpFlow(topo.hosts()[i], topo.hosts()[0], 256 * kKB, 0);
+    }
+    net.RunUntilIdle(60);
+    state.SetIterationTime(0);  // Use wall time; report events/s below.
+    benchmark::DoNotOptimize(net.events().processed());
+    state.counters["events"] = static_cast<double>(net.events().processed());
+  }
+}
+BENCHMARK(BM_PacketSimEventsPerSecond)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_HdfsWriteSimulated(benchmark::State& state) {
+  // End-to-end cost of simulating one 3-replica 256 MB pipelined write.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(LocalGigabitCluster(20));
+    state.ResumeTiming();
+    GroupSpec spec;
+    FluidSimulation& sim = cluster.sim();
+    NodeId prev = cluster.host(0);
+    for (int r = 1; r <= 3; ++r) {
+      FluidFlow net;
+      net.resources = sim.resources().NetworkPath(cluster.topology(), prev, cluster.host(r));
+      net.size = 256 * kMB;
+      spec.flows.push_back(std::move(net));
+      FluidFlow disk;
+      disk.resources = {sim.resources().DiskWrite(cluster.host(r))};
+      disk.size = 256 * kMB;
+      spec.flows.push_back(std::move(disk));
+      prev = cluster.host(r);
+    }
+    sim.AddGroup(std::move(spec));
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_HdfsWriteSimulated)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

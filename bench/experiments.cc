@@ -1,0 +1,76 @@
+#include "bench/experiments.h"
+
+#include "src/mapred/mini_mapreduce.h"
+
+namespace cloudtalk {
+namespace bench {
+
+ReduceExperimentResult RunReduceExperiment(const ReduceExperimentParams& params) {
+  ReduceExperimentResult result;
+  const int total_hosts = params.cluster_size + params.sender_count;
+  ClusterOptions options;
+  options.seed = params.seed;
+  Topology topo =
+      params.ec2 ? Ec2Cluster(total_hosts) : LocalGigabitCluster(total_hosts);
+  Cluster cluster(std::move(topo), options);
+  cluster.StartStatusSweep();
+
+  // Hadoop runs on the first cluster_size hosts; the rest blast UDP at a
+  // random subset of the cluster nodes.
+  std::vector<NodeId> hadoop_nodes;
+  for (int i = 0; i < params.cluster_size; ++i) {
+    hadoop_nodes.push_back(cluster.host(i));
+  }
+  Rng rng(params.seed * 101 + 9);
+  const int targets =
+      std::max(1, static_cast<int>(params.udp_target_fraction * params.cluster_size + 0.5));
+  const std::vector<int> victims =
+      rng.SampleWithoutReplacement(params.cluster_size, targets);
+  const Bps line_rate = cluster.topology().host_caps(cluster.host(0)).nic_down;
+  for (size_t i = 0; i < victims.size(); ++i) {
+    const NodeId sender = cluster.host(params.cluster_size + (static_cast<int>(i) %
+                                                              params.sender_count));
+    cluster.AddBackgroundPair(sender, cluster.host(victims[i]), line_rate * 0.95);
+  }
+  cluster.RunUntil(0.5);
+
+  // Input: randomwriter output, replicas inside the Hadoop cluster.
+  HdfsOptions hdfs_options;
+  hdfs_options.block_size = params.split_size;
+  hdfs_options.datanodes = hadoop_nodes;
+  MiniHdfs hdfs(&cluster, hdfs_options);
+  const int blocks = static_cast<int>(params.input_per_node * params.cluster_size /
+                                      params.split_size);
+  std::vector<std::vector<NodeId>> replicas(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    for (int r = 0; r < 3; ++r) {
+      replicas[b].push_back(hadoop_nodes[(b + r * 3) % params.cluster_size]);
+    }
+  }
+  hdfs.InstallFile("input", static_cast<Bytes>(blocks) * params.split_size,
+                   std::move(replicas));
+
+  MapRedOptions mr_options;
+  mr_options.cloudtalk_reduce = params.cloudtalk;
+  mr_options.nodes = hadoop_nodes;
+  // Output writes are "not optimised during these experiments" (Section
+  // 5.3), so the MiniHdfs policy stays baseline.
+  MiniMapReduce mr(&cluster, &hdfs, mr_options);
+  JobStats stats;
+  bool done = false;
+  mr.RunJob("input", params.cluster_size / 2, [&](const JobStats& s) {
+    stats = s;
+    done = true;
+  });
+  cluster.RunUntil(cluster.now() + 3600 * 2);
+  result.finished = done;
+  if (done) {
+    result.job_time = stats.finished - stats.started;
+    result.avg_shuffle = Mean(stats.shuffle_durations);
+    result.p99_shuffle = Percentile(stats.shuffle_durations, 99);
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace cloudtalk

@@ -1,0 +1,165 @@
+// Interactive CloudTalk console.
+//
+// Builds a simulated cluster and answers CloudTalk queries typed on stdin.
+// Enter a query (multiple lines) and finish it with an empty line. Dot
+// commands manage the cluster:
+//
+//   .hosts                  list hosts, addresses, and live I/O status
+//   .load <i> <j> <mbps>    add iperf-style traffic host i -> host j
+//   .cpu <i> <cores>        set host i's CPU usage (Section 7 scalars)
+//   .quote                  toggle quote mode (price instead of bind)
+//   .help                   this text
+//   .quit
+//
+// Example session:
+//   .load 1 2 900
+//   A = (10.0.0.2 10.0.0.4)
+//   f1 A -> 10.0.0.5 size 256M
+//   <empty line>
+//   => A -> 10.0.0.4
+//
+//   $ ./cloudtalk_repl [num_hosts]
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+void PrintHosts(Cluster& cluster) {
+  cluster.MeasureNow();
+  auto outcome = cluster.transport().Probe(cluster.topology().hosts(), 0.1);
+  std::printf("%4s %-14s %10s %10s %10s %10s\n", "#", "address", "tx Mbps", "rx Mbps",
+              "diskR", "diskW");
+  for (int i = 0; i < cluster.num_hosts(); ++i) {
+    const NodeId h = cluster.host(i);
+    const auto it = outcome.reports.find(h);
+    if (it == outcome.reports.end()) {
+      continue;
+    }
+    std::printf("%4d %-14s %10.0f %10.0f %10.0f %10.0f\n", i, cluster.ip(i).c_str(),
+                it->second.nic_tx_use / 1e6, it->second.nic_rx_use / 1e6,
+                it->second.disk_read_use / 1e6, it->second.disk_write_use / 1e6);
+  }
+}
+
+void Help() {
+  std::printf(
+      "Type a CloudTalk query over one or more lines; submit with an empty line.\n"
+      "Commands: .hosts | .load <i> <j> <mbps> | .cpu <i> <cores> | .quote | .help | .quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int hosts = argc > 1 ? std::atoi(argv[1]) : 20;
+  Cluster cluster(LocalGigabitCluster(hosts));
+  cluster.StartStatusSweep();
+  std::printf("CloudTalk console: %d-host simulated gigabit cluster (addresses 10.0.0.x)\n",
+              hosts);
+  Help();
+
+  bool quote_mode = false;
+  std::string buffer;
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '.') {
+      std::istringstream cmd(line);
+      std::string word;
+      cmd >> word;
+      if (word == ".quit" || word == ".exit") {
+        break;
+      } else if (word == ".help") {
+        Help();
+      } else if (word == ".hosts") {
+        PrintHosts(cluster);
+      } else if (word == ".quote") {
+        quote_mode = !quote_mode;
+        std::printf("quote mode %s\n", quote_mode ? "on" : "off");
+      } else if (word == ".load") {
+        int i = -1;
+        int j = -1;
+        double mbps = 0;
+        cmd >> i >> j >> mbps;
+        if (i >= 0 && i < hosts && j >= 0 && j < hosts && i != j && mbps > 0) {
+          cluster.AddBackgroundPair(cluster.host(i), cluster.host(j), mbps * kMbps);
+          cluster.MeasureNow();
+          std::printf("added %0.f Mbps %s -> %s\n", mbps, cluster.ip(i).c_str(),
+                      cluster.ip(j).c_str());
+        } else {
+          std::printf("usage: .load <i> <j> <mbps>\n");
+        }
+      } else if (word == ".cpu") {
+        int i = -1;
+        double cores = 0;
+        cmd >> i >> cores;
+        if (i >= 0 && i < hosts) {
+          cluster.SetScalarUse(cluster.host(i), cores, 0);
+          cluster.MeasureNow();
+          std::printf("host %d now uses %.1f cores\n", i, cores);
+        } else {
+          std::printf("usage: .cpu <i> <cores>\n");
+        }
+      } else {
+        std::printf("unknown command; .help for help\n");
+      }
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (!line.empty()) {
+      buffer += line;
+      buffer += '\n';
+      std::printf("| ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty()) {
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    // Submit the buffered query. Let a little simulated time pass first so
+    // reservation holds from earlier queries expire the way they would
+    // between real requests.
+    cluster.RunUntil(cluster.now() + 1.0);
+    if (quote_mode) {
+      auto quote = cluster.cloudtalk().Quote(buffer);
+      if (!quote.ok()) {
+        std::printf("error: %s\n", quote.error().ToString().c_str());
+      } else {
+        for (const auto& [var, endpoint] : quote.value().binding) {
+          std::printf("  %s -> %s\n", var.c_str(), endpoint.name.c_str());
+        }
+        std::printf("  est. completion %.2f s, %.2f GiB moved, %d endpoints, price %.6f\n",
+                    quote.value().estimate.makespan,
+                    quote.value().bytes_moved / (1024.0 * 1024 * 1024),
+                    quote.value().endpoints, quote.value().price);
+      }
+    } else {
+      auto reply = cluster.cloudtalk().Answer(buffer);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.error().ToString().c_str());
+      } else {
+        for (const auto& [var, endpoint] : reply.value().binding) {
+          std::printf("  %s -> %s\n", var.c_str(), endpoint.name.c_str());
+        }
+        std::printf("  (%d probes, %lld B)\n", reply.value().probe_stats.requests_sent,
+                    static_cast<long long>(reply.value().probe_stats.bytes_sent +
+                                           reply.value().probe_stats.bytes_received));
+      }
+    }
+    buffer.clear();
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("bye\n");
+  return 0;
+}

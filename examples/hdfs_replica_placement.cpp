@@ -1,0 +1,69 @@
+// HDFS replica placement with and without CloudTalk (Section 5.3 scenario).
+//
+// Half the cluster is busy moving data. Each idle machine writes a 768 MB
+// file (3 x 256 MB blocks, 3-way replicated). Baseline HDFS picks remote
+// replicas at random and keeps landing on busy nodes; CloudTalk-enabled
+// HDFS asks before placing.
+//
+//   $ ./hdfs_replica_placement
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/hdfs/mini_hdfs.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+std::vector<double> RunWrites(bool use_cloudtalk, uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  Cluster cluster(LocalGigabitCluster(20), options);
+  cluster.StartStatusSweep();
+
+  // Hosts 10..19 are busy blasting each other at ~line rate.
+  for (int i = 10; i < 20; i += 2) {
+    cluster.AddBackgroundPair(cluster.host(i), cluster.host(i + 1), 900 * kMbps);
+    cluster.AddBackgroundPair(cluster.host(i + 1), cluster.host(i), 900 * kMbps);
+  }
+  cluster.RunUntil(0.5);
+
+  HdfsOptions hdfs_options;
+  hdfs_options.cloudtalk_writes = use_cloudtalk;
+  MiniHdfs hdfs(&cluster, hdfs_options);
+
+  std::vector<double> durations;
+  int outstanding = 0;
+  for (int client = 0; client < 10; ++client) {
+    ++outstanding;
+    hdfs.WriteFile(cluster.host(client), "file" + std::to_string(client), 768 * kMB,
+                   [&durations, &outstanding](Seconds start, Seconds end) {
+                     durations.push_back(end - start);
+                     --outstanding;
+                   });
+  }
+  cluster.RunUntil(cluster.now() + 600);
+  if (outstanding > 0) {
+    std::fprintf(stderr, "warning: %d writes unfinished\n", outstanding);
+  }
+  return durations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Writing 768MB x 10 clients on a 20-node cluster, 10 busy nodes\n\n");
+  std::printf("%-22s %10s %10s %10s\n", "policy", "avg (s)", "p99 (s)", "max (s)");
+  for (const bool use_cloudtalk : {false, true}) {
+    const std::vector<double> durations = RunWrites(use_cloudtalk, 42);
+    std::printf("%-22s %10.2f %10.2f %10.2f\n",
+                use_cloudtalk ? "cloudtalk placement" : "random placement",
+                Mean(durations), Percentile(durations, 99), Max(durations));
+  }
+  std::printf("\nCloudTalk avoids pipelines through the busy half of the cluster.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "src/alto/alto.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cloudtalk {
+namespace alto {
+
+AltoServer::AltoServer(const Topology* topo) : topo_(topo) {
+  // Network map: one PID per rack (hosts without rack info share PID 0).
+  pid_of_.assign(topo->num_nodes(), 0);
+  std::map<int, int> rack_to_pid;
+  for (NodeId host : topo->hosts()) {
+    const int rack = std::max(0, topo->node(host).rack);
+    auto [it, inserted] = rack_to_pid.try_emplace(rack, num_pids_);
+    if (inserted) {
+      ++num_pids_;
+    }
+    pid_of_[host] = it->second;
+  }
+  // Cost map: hop count between one representative host per PID.
+  std::vector<NodeId> representative(num_pids_, kInvalidNode);
+  for (NodeId host : topo->hosts()) {
+    if (representative[pid_of_[host]] == kInvalidNode) {
+      representative[pid_of_[host]] = host;
+    }
+  }
+  pid_cost_.assign(num_pids_, std::vector<double>(num_pids_, 0));
+  for (int a = 0; a < num_pids_; ++a) {
+    for (int b = 0; b < num_pids_; ++b) {
+      if (a != b) {
+        pid_cost_[a][b] = static_cast<double>(
+            topo->PathBetween(representative[a], representative[b]).size());
+      }
+    }
+  }
+}
+
+int AltoServer::PidOf(NodeId host) const { return pid_of_[host]; }
+
+double AltoServer::Cost(NodeId a, NodeId b) const {
+  return pid_cost_[pid_of_[a]][pid_of_[b]];
+}
+
+NodeId AltoServer::SelectEndpoint(NodeId client, const std::vector<NodeId>& candidates,
+                                  Rng& rng) const {
+  std::vector<NodeId> best;
+  double best_cost = 0;
+  for (NodeId candidate : candidates) {
+    const double cost = Cost(client, candidate);
+    if (best.empty() || cost < best_cost) {
+      best.assign(1, candidate);
+      best_cost = cost;
+    } else if (cost == best_cost) {
+      best.push_back(candidate);
+    }
+  }
+  if (best.empty()) {
+    return kInvalidNode;
+  }
+  return best[rng.UniformInt(0, static_cast<int64_t>(best.size()) - 1)];
+}
+
+std::vector<NodeId> AltoServer::SelectEndpoints(NodeId client,
+                                                const std::vector<NodeId>& candidates,
+                                                int count, Rng& rng) const {
+  // Sort candidates into cost tiers, shuffle within each tier.
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(candidates.size());
+  for (NodeId candidate : candidates) {
+    ranked.emplace_back(Cost(client, candidate), candidate);
+  }
+  // Random tiebreak: shuffle first, then stable-sort by cost.
+  std::vector<NodeId> order(candidates.begin(), candidates.end());
+  rng.Shuffle(order);
+  std::vector<std::pair<double, NodeId>> tiered;
+  tiered.reserve(order.size());
+  for (NodeId candidate : order) {
+    tiered.emplace_back(Cost(client, candidate), candidate);
+  }
+  std::stable_sort(tiered.begin(), tiered.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<NodeId> chosen;
+  for (const auto& [cost, candidate] : tiered) {
+    (void)cost;
+    if (static_cast<int>(chosen.size()) >= count) {
+      break;
+    }
+    chosen.push_back(candidate);
+  }
+  return chosen;
+}
+
+}  // namespace alto
+}  // namespace cloudtalk

@@ -1,0 +1,60 @@
+// ALTO baseline (paper Section 3.2).
+//
+// "We could adopt ideas from IETF ALTO (application-layer traffic
+// optimisation) ... ALTO servers run by the operator provide requesting
+// applications with a network map and a cost map. The network map is a
+// clustering of IP addresses performed by the operator according to its own
+// routing policy, and the cost map provides routing costs between clusters.
+// ... it fails to capture many-to-one or many-to-many traffic patterns, and
+// does not include dynamic load information."
+//
+// This module implements that strawman faithfully so the evaluation can
+// compare it against CloudTalk: the operator clusters hosts by rack (PIDs),
+// publishes hop costs between PIDs, and applications pick the lowest-cost
+// candidate. No load information, by design.
+#ifndef CLOUDTALK_SRC_ALTO_ALTO_H_
+#define CLOUDTALK_SRC_ALTO_ALTO_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace alto {
+
+class AltoServer {
+ public:
+  // Builds the network map (rack PIDs) and cost map (path hop counts
+  // between PID representatives) from the provider's topology.
+  explicit AltoServer(const Topology* topo);
+
+  // The PID (cluster id) the operator assigned to `host`.
+  int PidOf(NodeId host) const;
+
+  // Routing cost between two hosts' PIDs (hops; 0 inside one PID).
+  double Cost(NodeId a, NodeId b) const;
+
+  // Endpoint selection as an ALTO client does it: the candidate with the
+  // lowest cost to `client`; ties broken uniformly at random (that is all
+  // the information the protocol provides).
+  NodeId SelectEndpoint(NodeId client, const std::vector<NodeId>& candidates, Rng& rng) const;
+
+  // Selects `count` distinct endpoints by increasing cost (random within a
+  // cost tier) — the multi-replica variant.
+  std::vector<NodeId> SelectEndpoints(NodeId client, const std::vector<NodeId>& candidates,
+                                      int count, Rng& rng) const;
+
+  int num_pids() const { return num_pids_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<int> pid_of_;          // Indexed by NodeId.
+  std::vector<std::vector<double>> pid_cost_;
+  int num_pids_ = 0;
+};
+
+}  // namespace alto
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_ALTO_ALTO_H_

@@ -1,0 +1,46 @@
+// Tiny leveled logger. Disabled (kWarning) by default so that simulations
+// stay quiet; benchmarks and examples may raise the level for narration.
+#ifndef CLOUDTALK_SRC_COMMON_LOGGING_H_
+#define CLOUDTALK_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cloudtalk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits `message` to stderr if `level` is at or above the configured level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { LogMessage(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace cloudtalk
+
+#define CLOUDTALK_LOG(level) ::cloudtalk::log_internal::LineLogger(::cloudtalk::LogLevel::level)
+
+#endif  // CLOUDTALK_SRC_COMMON_LOGGING_H_

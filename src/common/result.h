@@ -1,0 +1,62 @@
+// Minimal Result<T> type used for fallible operations (primarily parsing).
+//
+// The repository avoids exceptions on hot paths; errors carry a
+// human-readable message and, when they originate in the parser, a position.
+#ifndef CLOUDTALK_SRC_COMMON_RESULT_H_
+#define CLOUDTALK_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cloudtalk {
+
+struct Error {
+  std::string message;
+  int line = 0;    // 1-based; 0 when not applicable.
+  int column = 0;  // 1-based; 0 when not applicable.
+
+  std::string ToString() const {
+    if (line > 0) {
+      return message + " at line " + std::to_string(line) + ", column " + std::to_string(column);
+    }
+    return message;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design.
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design.
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_COMMON_RESULT_H_

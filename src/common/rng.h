@@ -1,0 +1,66 @@
+// Deterministic random number generation helpers.
+//
+// Every stochastic component in the repository takes an explicit Rng (or a
+// seed) so that experiments are reproducible run-to-run.
+#ifndef CLOUDTALK_SRC_COMMON_RNG_H_
+#define CLOUDTALK_SRC_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cloudtalk {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Selects k distinct indices out of [0, n) uniformly at random.
+  std::vector<int> SampleWithoutReplacement(int n, int k) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) {
+      all[i] = i;
+    }
+    if (k >= n) {
+      return all;
+    }
+    // Partial Fisher-Yates: only the first k positions need shuffling.
+    for (int i = 0; i < k; ++i) {
+      std::swap(all[i], all[UniformInt(i, n - 1)]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_COMMON_RNG_H_

@@ -1,0 +1,54 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cloudtalk {
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(samples.begin(), samples.end(), 0.0) / static_cast<double>(samples.size());
+}
+
+double StdDev(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(samples);
+  double sum_sq = 0.0;
+  for (double s : samples) {
+    sum_sq += (s - mean) * (s - mean);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(samples.size() - 1));
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) {
+    return samples.front();
+  }
+  if (p >= 100.0) {
+    return samples.back();
+  }
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double Min(const std::vector<double>& samples) {
+  return samples.empty() ? 0.0 : *std::min_element(samples.begin(), samples.end());
+}
+
+double Max(const std::vector<double>& samples) {
+  return samples.empty() ? 0.0 : *std::max_element(samples.begin(), samples.end());
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,29 @@
+// Small descriptive-statistics helpers used by the experiment harness and
+// the benchmark binaries (averages and tail percentiles of completion times).
+#ifndef CLOUDTALK_SRC_COMMON_STATS_H_
+#define CLOUDTALK_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudtalk {
+
+// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& samples);
+
+// Sample standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& samples);
+
+// The p-th percentile (p in [0, 100]) using linear interpolation between
+// order statistics. Returns 0 for an empty sample. Does not modify `samples`.
+double Percentile(std::vector<double> samples, double p);
+
+// Median shorthand.
+inline double Median(std::vector<double> samples) { return Percentile(std::move(samples), 50.0); }
+
+double Min(const std::vector<double>& samples);
+double Max(const std::vector<double>& samples);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_COMMON_STATS_H_

@@ -1,0 +1,40 @@
+// Units used throughout CloudTalk.
+//
+// All rates are bits-per-second stored as double (the fluid model needs
+// fractional rates), sizes are bytes stored as double (queries allow
+// arithmetic on sizes), and simulated time is seconds stored as double.
+#ifndef CLOUDTALK_SRC_COMMON_UNITS_H_
+#define CLOUDTALK_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace cloudtalk {
+
+using Bps = double;      // Bits per second.
+using Bytes = double;    // Bytes.
+using Seconds = double;  // Simulated seconds.
+
+constexpr Bps kKbps = 1e3;
+constexpr Bps kMbps = 1e6;
+constexpr Bps kGbps = 1e9;
+
+constexpr Bytes kKB = 1024.0;
+constexpr Bytes kMB = 1024.0 * 1024.0;
+constexpr Bytes kGB = 1024.0 * 1024.0 * 1024.0;
+
+constexpr Seconds kMillisecond = 1e-3;
+constexpr Seconds kMicrosecond = 1e-6;
+
+// Time taken to push `size` bytes through a `rate` bps resource.
+constexpr Seconds TransferTime(Bytes size, Bps rate) {
+  return rate > 0 ? (size * 8.0) / rate : 1e18;
+}
+
+// Rate needed to push `size` bytes in `duration` seconds.
+constexpr Bps RateFor(Bytes size, Seconds duration) {
+  return duration > 0 ? (size * 8.0) / duration : 0;
+}
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_COMMON_UNITS_H_

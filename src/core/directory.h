@@ -1,0 +1,48 @@
+// Address directory: how the CloudTalk server maps the address strings that
+// appear in queries ("10.0.3.7", "dataNode5") onto cluster hosts and their
+// capacities. The harness implements this on top of a Topology plus a
+// symbolic alias table; tests can use small fakes.
+#ifndef CLOUDTALK_SRC_CORE_DIRECTORY_H_
+#define CLOUDTALK_SRC_CORE_DIRECTORY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+class Directory {
+ public:
+  virtual ~Directory() = default;
+  // kInvalidNode when the address is unknown.
+  virtual NodeId Resolve(const std::string& address) const = 0;
+  virtual const HostCaps& CapsOf(NodeId host) const = 0;
+  virtual std::string AddressOf(NodeId host) const = 0;
+};
+
+// Directory over a Topology's synthetic IPs plus optional aliases.
+class TopologyDirectory : public Directory {
+ public:
+  explicit TopologyDirectory(const Topology* topo) : topo_(topo) {}
+
+  void AddAlias(std::string alias, NodeId host) { aliases_[std::move(alias)] = host; }
+
+  NodeId Resolve(const std::string& address) const override {
+    const auto it = aliases_.find(address);
+    if (it != aliases_.end()) {
+      return it->second;
+    }
+    return topo_->HostByIp(address);
+  }
+  const HostCaps& CapsOf(NodeId host) const override { return topo_->host_caps(host); }
+  std::string AddressOf(NodeId host) const override { return topo_->IpOf(host); }
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<std::string, NodeId> aliases_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_CORE_DIRECTORY_H_

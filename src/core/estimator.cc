@@ -1,0 +1,158 @@
+#include "src/core/estimator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/fluidsim/fluid_simulation.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+std::optional<lang::Endpoint> ResolveEndpoint(const lang::Endpoint& endpoint,
+                                              const Binding& binding) {
+  if (endpoint.kind != lang::Endpoint::Kind::kVariable) {
+    return endpoint;
+  }
+  const auto it = binding.find(endpoint.name);
+  if (it == binding.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& query,
+                                              const Binding& binding,
+                                              const StatusByAddress& status) {
+  // Build a throwaway star topology: one abstract host per distinct address
+  // in the bound query, all hanging off an uncontended switch. Endpoint
+  // capacities and background load come from the status snapshot; unknown
+  // addresses (no report) are modelled as idle with very large capacity so
+  // they never dominate the estimate (0.0.0.0 sources fall in this bucket).
+  struct AbstractHost {
+    std::string address;
+    StatusReport report;
+    NodeId node = kInvalidNode;
+  };
+  std::vector<AbstractHost> hosts;
+  std::unordered_map<std::string, int> host_index;
+  auto intern = [&](const std::string& address) -> Result<int> {
+    const auto it = host_index.find(address);
+    if (it != host_index.end()) {
+      return it->second;
+    }
+    AbstractHost host;
+    host.address = address;
+    const auto status_it = status.find(address);
+    if (status_it != status.end()) {
+      host.report = status_it->second;
+    } else {
+      HostCaps big;
+      big.nic_up = big.nic_down = big.disk_read = big.disk_write = 1e15;
+      host.report = StatusReport::Idle(kInvalidNode, big);
+    }
+    const int index = static_cast<int>(hosts.size());
+    hosts.push_back(std::move(host));
+    host_index.emplace(address, index);
+    return index;
+  };
+
+  // Resolve every flow's endpoints first so the host set is complete.
+  struct ResolvedFlow {
+    lang::Endpoint src;
+    lang::Endpoint dst;
+    Bytes size = 0;
+    int group = 0;
+  };
+  std::vector<ResolvedFlow> resolved;
+  resolved.reserve(query.flows().size());
+  int unknown_counter = 0;
+  for (const lang::CompiledFlow& flow : query.flows()) {
+    ResolvedFlow rf;
+    auto src = ResolveEndpoint(flow.src, binding);
+    auto dst = ResolveEndpoint(flow.dst, binding);
+    if (!src.has_value() || !dst.has_value()) {
+      return Error{"flow '" + flow.name + "' has an unbound variable endpoint"};
+    }
+    rf.src = *src;
+    rf.dst = *dst;
+    rf.size = flow.size;
+    rf.group = flow.group;
+    // Each 0.0.0.0 is a distinct infinitely-provisioned external sender.
+    if (rf.src.kind == lang::Endpoint::Kind::kUnknown) {
+      rf.src = lang::Endpoint::Address("_unknown" + std::to_string(unknown_counter++));
+    }
+    if (rf.dst.kind == lang::Endpoint::Kind::kUnknown) {
+      rf.dst = lang::Endpoint::Address("_unknown" + std::to_string(unknown_counter++));
+    }
+    for (const lang::Endpoint* e : {&rf.src, &rf.dst}) {
+      if (e->kind == lang::Endpoint::Kind::kAddress) {
+        Result<int> idx = intern(e->name);
+        if (!idx.ok()) {
+          return idx.error();
+        }
+      }
+    }
+    resolved.push_back(std::move(rf));
+  }
+
+  // Star topology with an uncontended hub.
+  Topology star;
+  const NodeId hub = star.AddNode(NodeKind::kTor, "hub");
+  for (AbstractHost& host : hosts) {
+    HostCaps caps;
+    caps.nic_up = host.report.nic_tx_cap;
+    caps.nic_down = host.report.nic_rx_cap;
+    caps.disk_read = host.report.disk_read_cap;
+    caps.disk_write = host.report.disk_write_cap;
+    host.node = star.AddHost(host.address, caps, 0);
+    star.AddDuplexLink(host.node, hub, 1e15);
+  }
+  FluidSimulation sim(&star, min_available_fraction_);
+  for (const AbstractHost& host : hosts) {
+    sim.SetBackground(sim.resources().NicUp(host.node), host.report.nic_tx_use);
+    sim.SetBackground(sim.resources().NicDown(host.node), host.report.nic_rx_use);
+    sim.SetBackground(sim.resources().DiskRead(host.node), host.report.disk_read_use);
+    sim.SetBackground(sim.resources().DiskWrite(host.node), host.report.disk_write_use);
+  }
+
+  // One fluid group per chain group.
+  Bytes total_bytes = 0;
+  std::vector<GroupSpec> specs(query.groups().size());
+  for (size_t g = 0; g < query.groups().size(); ++g) {
+    specs[g].rate_limit = query.groups()[g].rate_limit;
+    specs[g].start_time = std::max<Seconds>(0, query.groups()[g].start);
+  }
+  auto node_of = [&](const lang::Endpoint& e) { return hosts[host_index.at(e.name)].node; };
+  for (const ResolvedFlow& rf : resolved) {
+    FluidFlow flow;
+    flow.size = rf.size;
+    total_bytes += rf.size;
+    if (rf.src.kind == lang::Endpoint::Kind::kDisk) {
+      flow.resources = {sim.resources().DiskRead(node_of(rf.dst))};
+    } else if (rf.dst.kind == lang::Endpoint::Kind::kDisk) {
+      flow.resources = {sim.resources().DiskWrite(node_of(rf.src))};
+    } else {
+      flow.resources = sim.resources().NetworkPath(star, node_of(rf.src), node_of(rf.dst));
+    }
+    specs[rf.group].flows.push_back(std::move(flow));
+  }
+
+  Seconds makespan = 0;
+  for (GroupSpec& spec : specs) {
+    if (spec.flows.empty()) {
+      continue;
+    }
+    sim.AddGroup(std::move(spec), [&makespan](GroupId, Seconds t) {
+      makespan = std::max(makespan, t);
+    });
+  }
+  if (!sim.RunUntilIdle(/*hard_deadline=*/1e9)) {
+    return Error{"flow-level estimate did not converge (zero-rate flows)"};
+  }
+  cloudtalk::Estimate estimate;
+  estimate.makespan = makespan;
+  estimate.aggregate_throughput = makespan > 0 ? total_bytes * 8.0 / makespan : 0;
+  return estimate;
+}
+
+}  // namespace cloudtalk

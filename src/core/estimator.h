@@ -1,0 +1,65 @@
+// Completion-time estimators (paper Section 4): given a fully bound query
+// and a status snapshot, predict how long the described task takes.
+//
+//  * FlowLevelEstimator "arithmetically allocates a rate to each flow using
+//    the assumption that bottleneck links are shared equally" — implemented
+//    by running the query's chain groups through a small FluidSimulation
+//    whose only contended resources are the endpoints' NICs and disks (the
+//    paper's full-bisection assumption: the core never bottlenecks).
+//  * A packet-level estimator (PacketLevelEstimator, src/core/
+//    packet_estimator.h) plugs in behind the same interface for
+//    incast-sensitive queries such as web search.
+#ifndef CLOUDTALK_SRC_CORE_ESTIMATOR_H_
+#define CLOUDTALK_SRC_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/lang/analysis.h"
+#include "src/status/status.h"
+
+namespace cloudtalk {
+
+// var name -> concrete endpoint (address or disk).
+using Binding = std::unordered_map<std::string, lang::Endpoint>;
+
+// Status snapshot keyed by address string (as written in the query).
+using StatusByAddress = std::unordered_map<std::string, StatusReport>;
+
+struct Estimate {
+  Seconds makespan = 0;           // When the last flow finishes.
+  Bps aggregate_throughput = 0;   // Total bytes * 8 / makespan.
+};
+
+class CompletionEstimator {
+ public:
+  virtual ~CompletionEstimator() = default;
+  virtual Result<Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
+                                    const StatusByAddress& status) = 0;
+};
+
+class FlowLevelEstimator : public CompletionEstimator {
+ public:
+  // `min_available_fraction` as in FluidSimulation: elastic flows always get
+  // at least this fraction of a busy resource.
+  explicit FlowLevelEstimator(double min_available_fraction = 0.1)
+      : min_available_fraction_(min_available_fraction) {}
+
+  Result<cloudtalk::Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
+                                       const StatusByAddress& status) override;
+
+ private:
+  double min_available_fraction_;
+};
+
+// Substitutes variables in `endpoint` according to `binding`. Returns the
+// endpoint unchanged for addresses/disk/unknown; fails (returns nullopt) for
+// an unbound variable.
+std::optional<lang::Endpoint> ResolveEndpoint(const lang::Endpoint& endpoint,
+                                              const Binding& binding);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_CORE_ESTIMATOR_H_

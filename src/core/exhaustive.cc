@@ -1,0 +1,110 @@
+#include "src/core/exhaustive.h"
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace cloudtalk {
+
+Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
+                                            const StatusByAddress& status,
+                                            CompletionEstimator& estimator,
+                                            const ExhaustiveParams& params) {
+  const auto& variables = query.variables();
+  const bool distinct =
+      params.distinct_bindings && !query.query().options.allow_same_binding;
+
+  // Candidate lists (addresses only).
+  std::vector<std::vector<std::string>> pools(variables.size());
+  for (size_t i = 0; i < variables.size(); ++i) {
+    for (const lang::Endpoint& value : variables[i].pool) {
+      if (value.kind == lang::Endpoint::Kind::kAddress) {
+        pools[i].push_back(value.name);
+      }
+    }
+    if (pools[i].empty()) {
+      return Error{"variable '" + variables[i].name + "' has no address candidates"};
+    }
+  }
+
+  // Size guard.
+  double space = 1;
+  for (const auto& pool : pools) {
+    space *= static_cast<double>(pool.size());
+    if (space > static_cast<double>(params.max_bindings)) {
+      return Error{"binding space exceeds max_bindings"};
+    }
+  }
+
+  ExhaustiveResult best;
+  bool have_best = false;
+  std::optional<Error> last_error;
+
+  std::vector<size_t> choice(variables.size(), 0);
+  Binding binding;
+  std::unordered_set<std::string> used;
+
+  // Iterative odometer over the cartesian product.
+  int64_t tried = 0;
+  const size_t n = variables.size();
+  if (n == 0) {
+    Result<Estimate> estimate = estimator.EstimateQuery(query, binding, status);
+    if (!estimate.ok()) {
+      return estimate.error();
+    }
+    best.estimate = estimate.value();
+    best.bindings_tried = 1;
+    return best;
+  }
+  std::vector<size_t> depth_reset(n, 0);
+  size_t depth = 0;
+  while (true) {
+    if (depth == n) {
+      ++tried;
+      Result<Estimate> estimate = estimator.EstimateQuery(query, binding, status);
+      if (estimate.ok()) {
+        if (!have_best || estimate.value().makespan < best.estimate.makespan) {
+          best.binding = binding;
+          best.estimate = estimate.value();
+          have_best = true;
+        }
+      } else {
+        last_error = estimate.error();
+      }
+      // Backtrack.
+      --depth;
+      used.erase(binding[variables[depth].name].name);
+      ++choice[depth];
+      continue;
+    }
+    if (choice[depth] >= pools[depth].size()) {
+      if (depth == 0) {
+        break;
+      }
+      choice[depth] = 0;
+      --depth;
+      used.erase(binding[variables[depth].name].name);
+      ++choice[depth];
+      continue;
+    }
+    const std::string& candidate = pools[depth][choice[depth]];
+    if (distinct && used.count(candidate) > 0) {
+      ++choice[depth];
+      continue;
+    }
+    binding[variables[depth].name] = lang::Endpoint::Address(candidate);
+    used.insert(candidate);
+    ++depth;
+  }
+
+  if (!have_best) {
+    if (last_error.has_value()) {
+      return *last_error;
+    }
+    return Error{"no legal binding exists (distinctness unsatisfiable?)"};
+  }
+  best.bindings_tried = tried;
+  return best;
+}
+
+}  // namespace cloudtalk

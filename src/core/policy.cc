@@ -1,0 +1,65 @@
+#include "src/core/policy.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudtalk {
+
+TransportPolicy ClassifyQuery(const lang::CompiledQuery& query,
+                              const PolicyThresholds& thresholds) {
+  TransportPolicy policy;
+
+  // Collect the network flows (disk hops are irrelevant to the fabric).
+  std::vector<Bytes> sizes;
+  std::map<std::string, int> fan_in;  // Receiver endpoint -> converging flows.
+  for (const lang::CompiledFlow& flow : query.flows()) {
+    const bool src_net = flow.src.kind != lang::Endpoint::Kind::kDisk;
+    const bool dst_net = flow.dst.kind != lang::Endpoint::Kind::kDisk;
+    if (!src_net || !dst_net) {
+      continue;
+    }
+    sizes.push_back(flow.size);
+    fan_in[flow.dst.ToString()] += 1;
+  }
+  if (sizes.empty()) {
+    return policy;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const Bytes median = sizes[sizes.size() / 2];
+  const Bytes smallest = sizes.front();
+  int max_fan_in = 0;
+  for (const auto& [receiver, count] : fan_in) {
+    (void)receiver;
+    max_fan_in = std::max(max_fan_in, count);
+  }
+
+  if (max_fan_in >= thresholds.scatter_gather_min_fan_in &&
+      median <= thresholds.scatter_gather_max_flow) {
+    policy.traffic_class = TrafficClass::kScatterGather;
+    policy.enable_pfc = true;
+    return policy;
+  }
+  if (static_cast<int>(sizes.size()) <= thresholds.elephant_max_flows &&
+      smallest >= thresholds.elephant_min_flow) {
+    policy.traffic_class = TrafficClass::kElephant;
+    policy.multipath_subflows = thresholds.multipath_subflows;
+    return policy;
+  }
+  return policy;
+}
+
+const char* TrafficClassName(TrafficClass traffic_class) {
+  switch (traffic_class) {
+    case TrafficClass::kScatterGather:
+      return "scatter-gather";
+    case TrafficClass::kElephant:
+      return "elephant";
+    case TrafficClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,51 @@
+// Provider-side traffic policy (paper Section 2, "at the other end of the
+// cloud API").
+//
+// "Providers have few options to optimise their infrastructure without
+// tenant support ... If cloud providers knew which flows are elephants and
+// would benefit from redirection, they could deploy optimised stacks in the
+// hypervisor and proxy the traffic" and "the provider could enable PFC ...
+// [which] cannot be enabled for all tenants, though, because it reduces
+// throughput for elephant flows."
+//
+// CloudTalk queries describe the tenant's traffic, so the provider can
+// classify it and turn the right knobs per tenant: PFC for incast-prone
+// scatter-gather, multipath striping for elephants, nothing for mixed
+// traffic.
+#ifndef CLOUDTALK_SRC_CORE_POLICY_H_
+#define CLOUDTALK_SRC_CORE_POLICY_H_
+
+#include "src/lang/analysis.h"
+
+namespace cloudtalk {
+
+enum class TrafficClass {
+  kScatterGather,  // Many small flows converging on few receivers.
+  kElephant,       // Few large flows.
+  kMixed,          // Anything else: leave the defaults alone.
+};
+
+struct TransportPolicy {
+  TrafficClass traffic_class = TrafficClass::kMixed;
+  bool enable_pfc = false;
+  int multipath_subflows = 1;
+};
+
+struct PolicyThresholds {
+  int scatter_gather_min_fan_in = 8;          // Flows converging on one receiver.
+  Bytes scatter_gather_max_flow = 256 * kKB;  // "Short" flow bound.
+  Bytes elephant_min_flow = 10 * kMB;         // "Long" flow bound.
+  int elephant_max_flows = 8;
+  int multipath_subflows = 4;
+};
+
+// Classifies the network flows of a compiled query and picks the transport
+// features the provider should enable for this tenant's traffic.
+TransportPolicy ClassifyQuery(const lang::CompiledQuery& query,
+                              const PolicyThresholds& thresholds = {});
+
+const char* TrafficClassName(TrafficClass traffic_class);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_CORE_POLICY_H_

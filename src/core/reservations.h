@@ -1,0 +1,72 @@
+// Pseudo-reservations (paper Section 5.5, "Preventing oscillatory
+// behaviour"): after recommending an endpoint, the CloudTalk server treats
+// it as in-use for a hold time t (300 ms in the Hadoop experiments) so that
+// bursts of near-simultaneous queries do not all pile onto the same
+// apparently-idle server before status feedback catches up.
+//
+// These are best-effort, not real reservations: if applications ignore the
+// recommendation, behaviour degrades to random placement, exactly as the
+// paper notes.
+#ifndef CLOUDTALK_SRC_CORE_RESERVATIONS_H_
+#define CLOUDTALK_SRC_CORE_RESERVATIONS_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/units.h"
+
+namespace cloudtalk {
+
+class ReservationTable {
+ public:
+  explicit ReservationTable(Seconds hold_time) : hold_time_(hold_time) {}
+
+  Seconds hold_time() const { return hold_time_; }
+
+  // True if `address` was recommended less than hold_time ago.
+  bool IsReserved(const std::string& address, Seconds now) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = expiry_.find(address);
+    return it != expiry_.end() && it->second > now;
+  }
+
+  void Reserve(const std::string& address, Seconds now) {
+    if (hold_time_ <= 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    expiry_[address] = now + hold_time_;
+    MaybePruneLocked(now);
+  }
+
+  int ActiveCount(Seconds now) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int count = 0;
+    for (const auto& [address, expiry] : expiry_) {
+      (void)address;
+      if (expiry > now) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+ private:
+  void MaybePruneLocked(Seconds now) {
+    if (expiry_.size() < 1024) {
+      return;
+    }
+    for (auto it = expiry_.begin(); it != expiry_.end();) {
+      it = it->second <= now ? expiry_.erase(it) : std::next(it);
+    }
+  }
+
+  Seconds hold_time_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Seconds> expiry_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_CORE_RESERVATIONS_H_

@@ -1,0 +1,256 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/lang/parser.h"
+
+namespace cloudtalk {
+
+CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory,
+                                 ProbeTransport* transport, std::function<Seconds()> clock,
+                                 CompletionEstimator* packet_estimator)
+    : config_(config),
+      directory_(directory),
+      transport_(transport),
+      clock_(std::move(clock)),
+      packet_estimator_(packet_estimator),
+      reservations_(config.reservation_hold),
+      rng_(config.seed) {}
+
+Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
+  Result<lang::Query> query = lang::Parse(query_text);
+  if (!query.ok()) {
+    return query.error();
+  }
+  return AnswerParsed(query.value());
+}
+
+StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compiled,
+                                              std::vector<lang::VarComm>* sampled_vars,
+                                              ProbeStats* stats) {
+  *sampled_vars = compiled.variables();
+
+  // Sampling (Section 4.3): shrink any pool larger than the threshold.
+  // Variables sharing one declaration share one pool; the sample must cover
+  // the d variables drawing from it, so size it with d = sharer count.
+  std::unordered_map<std::string, std::vector<int>> pool_groups;
+  for (size_t i = 0; i < sampled_vars->size(); ++i) {
+    std::string key;
+    for (const lang::Endpoint& e : (*sampled_vars)[i].pool) {
+      key += e.ToString();
+      key.push_back('|');
+    }
+    pool_groups[key].push_back(static_cast<int>(i));
+  }
+  std::lock_guard<std::mutex> rng_lock(rng_mutex_);
+  for (auto& [key, members] : pool_groups) {
+    (void)key;
+    const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
+    const int pool_size = static_cast<int>(pool.size());
+    if (pool_size <= config_.sample_threshold) {
+      continue;
+    }
+    const int d = static_cast<int>(members.size());
+    int n = config_.sample_override > 0
+                ? config_.sample_override
+                : RequiredSamples(d, config_.idle_fraction_hint, config_.sample_confidence);
+    n = std::min(n, pool_size);
+    const std::vector<int> picks = rng_.SampleWithoutReplacement(pool_size, n);
+    std::vector<lang::Endpoint> sampled;
+    sampled.reserve(picks.size());
+    for (int p : picks) {
+      sampled.push_back(pool[p]);
+    }
+    for (int member : members) {
+      (*sampled_vars)[member].pool = sampled;
+    }
+  }
+
+  // Address set to probe: sampled pools plus literal flow endpoints.
+  std::vector<std::string> addresses;
+  std::unordered_set<std::string> seen;
+  auto add = [&](const lang::Endpoint& e) {
+    if (e.kind == lang::Endpoint::Kind::kAddress && seen.insert(e.name).second) {
+      addresses.push_back(e.name);
+    }
+  };
+  for (const lang::VarComm& var : *sampled_vars) {
+    for (const lang::Endpoint& e : var.pool) {
+      add(e);
+    }
+  }
+  for (const lang::CompiledFlow& flow : compiled.flows()) {
+    add(flow.src);
+    add(flow.dst);
+  }
+
+  // Resolve to hosts and probe.
+  std::vector<NodeId> targets;
+  std::unordered_map<NodeId, std::string> node_to_address;
+  for (const std::string& address : addresses) {
+    const NodeId node = directory_->Resolve(address);
+    if (node != kInvalidNode) {
+      targets.push_back(node);
+      node_to_address[node] = address;
+    }
+  }
+  ProbeOutcome outcome = transport_->Probe(targets, config_.probe_timeout);
+  stats->Accumulate(outcome.stats);
+
+  StatusByAddress status;
+  for (const NodeId node : targets) {
+    const std::string& address = node_to_address[node];
+    const auto it = outcome.reports.find(node);
+    if (it != outcome.reports.end()) {
+      status[address] = it->second;
+    } else if (config_.assume_loaded_on_missing) {
+      // "If nothing is received from a status server, we assume that a
+      // particular address is under heavy I/O load" (Section 4).
+      status[address] = StatusReport::AssumeLoaded(node, directory_->CapsOf(node));
+    } else {
+      status[address] = StatusReport::Idle(node, directory_->CapsOf(node));
+    }
+  }
+  return status;
+}
+
+Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return compiled.error();
+  }
+
+  QueryReply reply;
+  StatusByAddress status;
+  std::vector<lang::VarComm> variables = compiled.value().variables();
+  if (query.options.use_dynamic_load) {
+    status = GatherStatus(compiled.value(), &variables, &reply.probe_stats);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    total_stats_.Accumulate(reply.probe_stats);
+  } else {
+    // Static evaluation: endpoints idle at their nominal capacities.
+    for (const lang::VarComm& var : variables) {
+      for (const lang::Endpoint& e : var.pool) {
+        if (e.kind != lang::Endpoint::Kind::kAddress) {
+          continue;
+        }
+        const NodeId node = directory_->Resolve(e.name);
+        if (node != kInvalidNode) {
+          status[e.name] = StatusReport::Idle(node, directory_->CapsOf(node));
+        }
+      }
+    }
+  }
+
+  if (query.options.use_packet_simulator) {
+    if (packet_estimator_ == nullptr) {
+      return Error{"query requests packet-level evaluation, but no packet estimator is wired"};
+    }
+    ExhaustiveParams params;
+    params.distinct_bindings = config_.heuristic.distinct_bindings;
+    Result<ExhaustiveResult> best =
+        EvaluateExhaustive(compiled.value(), status, *packet_estimator_, params);
+    if (!best.ok()) {
+      return best.error();
+    }
+    reply.binding = best.value().binding;
+    reply.estimate = best.value().estimate;
+    reply.used_exhaustive = true;
+    return reply;
+  }
+
+  const Seconds now = clock_();
+  ReservationFilter filter = nullptr;
+  if (config_.reservation_hold > 0) {
+    filter = [this, now](const std::string& address) {
+      return reservations_.IsReserved(address, now);
+    };
+  }
+  Result<HeuristicResult> heuristic = EvaluateHeuristic(
+      variables, query.options.allow_same_binding, status, config_.heuristic, filter);
+  if (!heuristic.ok()) {
+    return heuristic.error();
+  }
+  reply.binding = std::move(heuristic.value().binding);
+  reply.scores = std::move(heuristic.value().scores);
+  if (query.options.reserve) {
+    for (const auto& [var, endpoint] : reply.binding) {
+      (void)var;
+      reservations_.Reserve(endpoint.name, now);
+    }
+  }
+  return reply;
+}
+
+Result<QuoteReply> CloudTalkServer::Quote(const std::string& query_text) {
+  Result<lang::Query> query = lang::Parse(query_text);
+  if (!query.ok()) {
+    return query.error();
+  }
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query.value());
+  if (!compiled.ok()) {
+    return compiled.error();
+  }
+  ProbeStats stats;
+  std::vector<lang::VarComm> variables = compiled.value().variables();
+  StatusByAddress status = GatherStatus(compiled.value(), &variables, &stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    total_stats_.Accumulate(stats);
+  }
+  // Quoting never reserves: the client is asking about a workload it may
+  // not run. Existing reservations are still avoided.
+  const Seconds now = clock_();
+  ReservationFilter filter = [this, now](const std::string& address) {
+    return reservations_.IsReserved(address, now);
+  };
+  Result<HeuristicResult> heuristic =
+      EvaluateHeuristic(variables, query.value().options.allow_same_binding, status,
+                        config_.heuristic, filter);
+  if (!heuristic.ok()) {
+    return heuristic.error();
+  }
+  Result<Estimate> estimate =
+      flow_estimator_.EstimateQuery(compiled.value(), heuristic.value().binding, status);
+  if (!estimate.ok()) {
+    return estimate.error();
+  }
+  QuoteReply quote;
+  quote.binding = std::move(heuristic.value().binding);
+  quote.estimate = estimate.value();
+  std::unordered_set<std::string> endpoints;
+  for (const lang::CompiledFlow& flow : compiled.value().flows()) {
+    quote.bytes_moved += flow.size;
+    for (const lang::Endpoint* e : {&flow.src, &flow.dst}) {
+      auto resolved = ResolveEndpoint(*e, quote.binding);
+      if (resolved.has_value() && resolved->kind == lang::Endpoint::Kind::kAddress) {
+        endpoints.insert(resolved->name);
+      }
+    }
+  }
+  quote.endpoints = static_cast<int>(endpoints.size());
+  for (const lang::CompiledGroup& group : compiled.value().groups()) {
+    if (std::isfinite(group.deadline)) {
+      quote.has_deadline = true;
+      quote.deadline = quote.has_deadline && quote.deadline > 0
+                           ? std::min(quote.deadline, group.deadline)
+                           : group.deadline;
+    }
+  }
+  if (quote.has_deadline) {
+    quote.deadline_met = quote.estimate.makespan <= quote.deadline;
+  }
+  quote.price = pricing_.per_gb_moved * (quote.bytes_moved / (1024.0 * 1024.0 * 1024.0)) +
+                pricing_.per_server_second * quote.endpoints * quote.estimate.makespan;
+  return quote;
+}
+
+ProbeStats CloudTalkServer::total_probe_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return total_stats_;
+}
+
+}  // namespace cloudtalk

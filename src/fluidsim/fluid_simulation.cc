@@ -1,0 +1,413 @@
+#include "src/fluidsim/fluid_simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cloudtalk {
+
+namespace {
+// Transfers below this many bytes count as complete (guards float drift).
+constexpr Bytes kByteEpsilon = 1e-6;
+constexpr Seconds kTimeEpsilon = 1e-12;
+}  // namespace
+
+FluidSimulation::FluidSimulation(const Topology* topo, double min_available_fraction)
+    : topo_(topo), registry_(*topo), min_available_fraction_(min_available_fraction) {
+  background_.assign(registry_.num_resources(), 0.0);
+}
+
+void FluidSimulation::SetBackground(ResourceId r, Bps usage) {
+  background_[r] = std::max(0.0, usage);
+  rates_dirty_ = true;
+}
+
+void FluidSimulation::AddBackground(ResourceId r, Bps delta) {
+  SetBackground(r, background_[r] + delta);
+}
+
+std::vector<ResourceId> FluidSimulation::AddBackgroundPath(NodeId src, NodeId dst, Bps rate,
+                                                           uint64_t ecmp_salt) {
+  std::vector<ResourceId> touched = registry_.NetworkPath(*topo_, src, dst, ecmp_salt);
+  for (ResourceId r : touched) {
+    AddBackground(r, rate);
+  }
+  return touched;
+}
+
+GroupId FluidSimulation::AddGroup(GroupSpec spec, CompletionCallback on_complete) {
+  const GroupId id = static_cast<GroupId>(groups_.size());
+  Group group;
+  group.id = id;
+  group.rate_limit = spec.rate_limit;
+  group.start_time = std::max(spec.start_time, now_);
+  group.on_complete = std::move(on_complete);
+  group.members.reserve(spec.flows.size());
+  for (FluidFlow& flow : spec.flows) {
+    Member member;
+    member.resources = std::move(flow.resources);
+    member.remaining = flow.size;
+    member.done = flow.size <= kByteEpsilon;
+    group.members.push_back(std::move(member));
+  }
+  groups_.push_back(std::move(group));
+
+  Group& stored = groups_.back();
+  const bool empty_group =
+      std::all_of(stored.members.begin(), stored.members.end(),
+                  [](const Member& m) { return m.done; });
+  auto start_group = [this, id] {
+    Group& g = groups_[id];
+    if (g.cancelled || g.started) {
+      return;
+    }
+    g.started = true;
+    active_groups_.push_back(id);
+    rates_dirty_ = true;
+    FinishGroupIfDone(g);
+  };
+  if (empty_group) {
+    // Zero-size groups complete instantly at their start time.
+    Schedule(stored.start_time, start_group);
+  } else if (stored.start_time <= now_ + kTimeEpsilon) {
+    start_group();
+  } else {
+    Schedule(stored.start_time, start_group);
+  }
+  return id;
+}
+
+void FluidSimulation::CancelGroup(GroupId id) {
+  Group& group = groups_[id];
+  if (group.finished || group.cancelled) {
+    return;
+  }
+  group.cancelled = true;
+  rates_dirty_ = true;
+}
+
+bool FluidSimulation::GroupActive(GroupId id) const {
+  const Group& group = groups_[id];
+  return group.started && !group.finished && !group.cancelled;
+}
+
+Bps FluidSimulation::GroupRate(GroupId id) const {
+  return GroupActive(id) ? groups_[id].rate : 0.0;
+}
+
+Bytes FluidSimulation::GroupTransferred(GroupId id, int flow_index) const {
+  const Group& group = groups_[id];
+  assert(flow_index >= 0 && flow_index < static_cast<int>(group.members.size()));
+  return group.members[flow_index].transferred;
+}
+
+Bps FluidSimulation::Usage(ResourceId r) const {
+  // Elastic consumption must reflect *current* rates.
+  const_cast<FluidSimulation*>(this)->RecomputeRates();
+  Bps usage = background_[r];
+  for (GroupId id : active_groups_) {
+    const Group& group = groups_[id];
+    if (!GroupActive(id)) {
+      continue;
+    }
+    for (const Member& member : group.members) {
+      if (member.done) {
+        continue;
+      }
+      for (ResourceId res : member.resources) {
+        if (res == r) {
+          usage += group.rate;
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+std::vector<Bps> FluidSimulation::UsageSnapshot() const {
+  const_cast<FluidSimulation*>(this)->RecomputeRates();
+  std::vector<Bps> usage = background_;
+  for (GroupId id : active_groups_) {
+    const Group& group = groups_[id];
+    if (!GroupActive(id)) {
+      continue;
+    }
+    for (const Member& member : group.members) {
+      if (member.done) {
+        continue;
+      }
+      for (ResourceId r : member.resources) {
+        usage[r] += group.rate;
+      }
+    }
+  }
+  return usage;
+}
+
+void FluidSimulation::Schedule(Seconds time, std::function<void()> fn) {
+  assert(time >= now_ - kTimeEpsilon);
+  events_.push(TimedEvent{std::max(time, now_), next_seq_++, std::move(fn)});
+}
+
+void FluidSimulation::RecomputeRates() {
+  if (!rates_dirty_) {
+    return;
+  }
+  rates_dirty_ = false;
+  ++recompute_count_;
+
+  // Compact the active list (groups may have finished or been cancelled).
+  active_groups_.erase(std::remove_if(active_groups_.begin(), active_groups_.end(),
+                                      [this](GroupId id) { return !GroupActive(id); }),
+                       active_groups_.end());
+
+  const int n = static_cast<int>(active_groups_.size());
+  if (n == 0) {
+    return;
+  }
+
+  // Per-resource available capacity for elastic traffic. The floor models a
+  // transport that still progresses against inelastic line-rate blasts.
+  struct ResourceState {
+    double avail = 0;
+    double weight_unfrozen = 0;
+  };
+  // Sparse: touch only resources some active member uses.
+  std::vector<ResourceId> used_resources;
+  std::vector<int> resource_slot(registry_.num_resources(), -1);
+  std::vector<ResourceState> state;
+
+  // weights[i][slot] -> count of traversals of that resource by group i.
+  std::vector<std::vector<std::pair<int, double>>> weights(n);
+  for (int i = 0; i < n; ++i) {
+    const Group& group = groups_[active_groups_[i]];
+    for (const Member& member : group.members) {
+      if (member.done) {
+        continue;
+      }
+      for (ResourceId r : member.resources) {
+        int slot = resource_slot[r];
+        if (slot < 0) {
+          slot = static_cast<int>(used_resources.size());
+          resource_slot[r] = slot;
+          used_resources.push_back(r);
+          ResourceState rs;
+          const Bps cap = registry_.capacity(r);
+          rs.avail = std::max(cap * min_available_fraction_, cap - background_[r]);
+          state.push_back(rs);
+        }
+        bool merged = false;
+        for (auto& [s, w] : weights[i]) {
+          if (s == slot) {
+            w += 1.0;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) {
+          weights[i].emplace_back(slot, 1.0);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [slot, w] : weights[i]) {
+      state[slot].weight_unfrozen += w;
+    }
+  }
+
+  // Progressive filling with weighted consumption and per-group rate caps.
+  std::vector<bool> frozen(n, false);
+  std::vector<Bps> rate(n, 0.0);
+  int remaining = n;
+  while (remaining > 0) {
+    // The next constraint is either a bottleneck resource's fair share or a
+    // group's explicit rate limit, whichever is smaller.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int slot = 0; slot < static_cast<int>(state.size()); ++slot) {
+      if (state[slot].weight_unfrozen > 0) {
+        bottleneck = std::min(bottleneck, state[slot].avail / state[slot].weight_unfrozen);
+      }
+    }
+    double min_limit = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (!frozen[i]) {
+        min_limit = std::min(min_limit, groups_[active_groups_[i]].rate_limit);
+      }
+    }
+    // A group with no constrained resources and no rate cap (e.g. a pure
+    // loopback transfer) is effectively instantaneous: pin it at a huge
+    // finite rate instead of infinity.
+    const double level =
+        std::isfinite(std::min(bottleneck, min_limit)) ? std::min(bottleneck, min_limit) : 1e15;
+
+    // Freeze every group pinned at this level: either its limit equals the
+    // level, or it traverses a resource whose fair share equals the level.
+    bool froze_any = false;
+    for (int i = 0; i < n; ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      bool pin = groups_[active_groups_[i]].rate_limit <= level + 1e-9;
+      if (!pin) {
+        for (const auto& [slot, w] : weights[i]) {
+          (void)w;
+          if (state[slot].weight_unfrozen > 0 &&
+              state[slot].avail / state[slot].weight_unfrozen <= level + 1e-9) {
+            pin = true;
+            break;
+          }
+        }
+      }
+      if (pin) {
+        frozen[i] = true;
+        rate[i] = std::max(0.0, level);
+        --remaining;
+        froze_any = true;
+        for (const auto& [slot, w] : weights[i]) {
+          state[slot].avail -= rate[i] * w;
+          state[slot].weight_unfrozen -= w;
+        }
+      }
+    }
+    if (!froze_any) {
+      // Numerical corner: freeze everything at the level to guarantee
+      // termination.
+      for (int i = 0; i < n; ++i) {
+        if (!frozen[i]) {
+          frozen[i] = true;
+          rate[i] = std::max(0.0, level);
+          --remaining;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    groups_[active_groups_[i]].rate = rate[i];
+  }
+  // Reset slots for next call (resource_slot is function-local, nothing to do).
+}
+
+Seconds FluidSimulation::NextCompletionTime() const {
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  for (GroupId id : active_groups_) {
+    const Group& group = groups_[id];
+    if (!GroupActive(id) || group.rate <= 0) {
+      continue;
+    }
+    for (const Member& member : group.members) {
+      if (member.done) {
+        continue;
+      }
+      best = std::min(best, now_ + TransferTime(member.remaining, group.rate));
+    }
+  }
+  return best;
+}
+
+void FluidSimulation::FinishGroupIfDone(Group& group) {
+  if (group.finished || group.cancelled || !group.started) {
+    return;
+  }
+  for (const Member& member : group.members) {
+    if (!member.done) {
+      return;
+    }
+  }
+  group.finished = true;
+  group.rate = 0;
+  rates_dirty_ = true;
+  if (group.on_complete) {
+    // Defer the callback through the event queue so user code never runs in
+    // the middle of Settle()'s bookkeeping.
+    auto cb = group.on_complete;
+    const GroupId id = group.id;
+    Schedule(now_, [cb, id, this] { cb(id, now_); });
+  }
+}
+
+void FluidSimulation::Settle(Seconds dt) {
+  if (dt < 0) {
+    return;
+  }
+  for (GroupId id : active_groups_) {
+    Group& group = groups_[id];
+    if (!GroupActive(id) || group.rate <= 0) {
+      continue;
+    }
+    const Bytes moved = group.rate * dt / 8.0;
+    for (Member& member : group.members) {
+      if (member.done) {
+        continue;
+      }
+      const Bytes step = std::min(moved, member.remaining);
+      member.remaining -= step;
+      member.transferred += step;
+      // A member is done when its bytes ran out, or when float drift left a
+      // residue that would complete in (far) under a picosecond anyway.
+      if (member.remaining <= kByteEpsilon ||
+          TransferTime(member.remaining, group.rate) <= kTimeEpsilon) {
+        member.transferred += member.remaining;
+        member.remaining = 0;
+        member.done = true;
+        rates_dirty_ = true;
+      }
+    }
+    FinishGroupIfDone(group);
+  }
+}
+
+void FluidSimulation::RunUntil(Seconds t) {
+  while (now_ < t - kTimeEpsilon) {
+    RecomputeRates();
+    const Seconds completion = NextCompletionTime();
+    const Seconds next_event =
+        events_.empty() ? std::numeric_limits<Seconds>::infinity() : events_.top().time;
+    const Seconds target = std::min({t, completion, next_event});
+    if (!std::isfinite(target)) {
+      now_ = t;
+      return;
+    }
+    Settle(target - now_);
+    now_ = std::max(now_, target);
+    // Fire every event scheduled at (or before) the new time.
+    while (!events_.empty() && events_.top().time <= now_ + kTimeEpsilon) {
+      auto fn = events_.top().fn;
+      events_.pop();
+      fn();
+    }
+  }
+}
+
+bool FluidSimulation::RunUntilIdle(Seconds hard_deadline) {
+  while (now_ < hard_deadline) {
+    RecomputeRates();
+    const bool has_active =
+        std::any_of(active_groups_.begin(), active_groups_.end(),
+                    [this](GroupId id) { return GroupActive(id); });
+    if (!has_active && events_.empty()) {
+      return true;
+    }
+    const Seconds completion = NextCompletionTime();
+    const Seconds next_event =
+        events_.empty() ? std::numeric_limits<Seconds>::infinity() : events_.top().time;
+    const Seconds target = std::min(completion, next_event);
+    if (!std::isfinite(target)) {
+      CLOUDTALK_LOG(kWarning) << "fluid simulation stalled at t=" << now_
+                              << " with zero-rate active groups";
+      return false;
+    }
+    Settle(target - now_);
+    now_ = std::max(now_, target);
+    while (!events_.empty() && events_.top().time <= now_ + kTimeEpsilon) {
+      auto fn = events_.top().fn;
+      events_.pop();
+      fn();
+    }
+  }
+  return false;
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,163 @@
+// Fluid (flow-level) network/disk simulation.
+//
+// This engine plays two roles in the reproduction:
+//
+//  1. It is the *cluster substrate*: the mini-HDFS, mini-MapReduce and
+//     harness experiments execute their transfers here, with completion
+//     times emerging from max-min fair sharing of NIC, fabric-link and disk
+//     bandwidth (the paper measured real clusters; per its own Section 3
+//     argument, contention in full-bisection fabrics forms exactly at these
+//     resources).
+//
+//  2. It implements CloudTalk's *flow-level estimator* (Section 4): "the
+//     flow-level estimator arithmetically allocates a rate to each flow
+//     using the assumption that bottleneck links are shared equally ... the
+//     algorithm iteratively computes flow rates until they stabilize."
+//
+// Flows are grouped: all member flows of a FlowGroup share one rate. This is
+// exactly the coupling the CloudTalk language expresses with mutual
+// rate/transfer references (e.g. the HDFS write daisy chain, where the
+// client->r1 network flow and the r1->disk write proceed in lockstep).
+//
+// Background (inelastic) traffic can be registered per resource; elastic
+// flows only get the remaining capacity, floored at a configurable fraction
+// of the resource (a TCP flow competing with line-rate UDP still makes some
+// progress).
+#ifndef CLOUDTALK_SRC_FLUIDSIM_FLUID_SIMULATION_H_
+#define CLOUDTALK_SRC_FLUIDSIM_FLUID_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/fluidsim/resources.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+using GroupId = int64_t;
+inline constexpr GroupId kInvalidGroup = -1;
+inline constexpr Bps kUnlimitedRate = std::numeric_limits<Bps>::infinity();
+
+// One data transfer inside a group: it consumes every resource in
+// `resources` at the group's common rate until `size` bytes have moved.
+struct FluidFlow {
+  std::vector<ResourceId> resources;
+  Bytes size = 0;
+};
+
+struct GroupSpec {
+  std::vector<FluidFlow> flows;
+  Bps rate_limit = kUnlimitedRate;  // Explicit `rate` restriction, if any.
+  Seconds start_time = 0;           // Absolute sim time; clamped to now().
+};
+
+class FluidSimulation {
+ public:
+  using CompletionCallback = std::function<void(GroupId, Seconds)>;
+
+  FluidSimulation(const Topology* topo, double min_available_fraction = 0.1);
+
+  const Topology& topology() const { return *topo_; }
+  const ResourceRegistry& resources() const { return registry_; }
+  ResourceRegistry& mutable_resources() { return registry_; }
+
+  Seconds now() const { return now_; }
+
+  // ---- Background (inelastic) load ----
+  void SetBackground(ResourceId r, Bps usage);
+  void AddBackground(ResourceId r, Bps delta);
+  Bps background(ResourceId r) const { return background_[r]; }
+  // Adds `rate` of inelastic traffic along src's uplink path to dst
+  // (NIC up, fabric links, NIC down). Returns the resources touched so the
+  // caller can undo with AddBackground(r, -rate).
+  std::vector<ResourceId> AddBackgroundPath(NodeId src, NodeId dst, Bps rate,
+                                            uint64_t ecmp_salt = 0);
+
+  // ---- Elastic flow groups ----
+  GroupId AddGroup(GroupSpec spec, CompletionCallback on_complete = nullptr);
+  void CancelGroup(GroupId id);
+  bool GroupActive(GroupId id) const;
+  // Current allocated rate; 0 if not started/finished.
+  Bps GroupRate(GroupId id) const;
+  // Bytes already moved by member `flow_index` of the group.
+  Bytes GroupTransferred(GroupId id, int flow_index = 0) const;
+
+  // ---- Observation ----
+  // Instantaneous usage: background plus elastic consumption. This is what
+  // status servers report (subject to their own sampling delay).
+  Bps Usage(ResourceId r) const;
+  // Usage of every resource in one pass (one rate recomputation + one sweep
+  // over active flows) — used by the harness to refresh all status servers
+  // at each measurement tick without quadratic cost.
+  std::vector<Bps> UsageSnapshot() const;
+  Bps Capacity(ResourceId r) const { return registry_.capacity(r); }
+
+  // ---- Event loop ----
+  void Schedule(Seconds time, std::function<void()> fn);
+  // Advances simulated time, settling transfers and firing callbacks, until
+  // `t`. Safe to call repeatedly.
+  void RunUntil(Seconds t);
+  // Runs until no active group and no pending event remain (or progress
+  // stalls because every remaining group has zero rate and no event is
+  // pending; returns false in that case).
+  bool RunUntilIdle(Seconds hard_deadline = 1e12);
+
+  // Number of max-min recomputations performed (for perf tests).
+  int64_t recompute_count() const { return recompute_count_; }
+
+ private:
+  struct Member {
+    std::vector<ResourceId> resources;
+    Bytes remaining = 0;
+    Bytes transferred = 0;
+    bool done = false;
+  };
+  struct Group {
+    GroupId id = kInvalidGroup;
+    std::vector<Member> members;
+    Bps rate_limit = kUnlimitedRate;
+    Seconds start_time = 0;
+    bool started = false;
+    bool finished = false;
+    bool cancelled = false;
+    Bps rate = 0;
+    CompletionCallback on_complete;
+  };
+  struct TimedEvent {
+    Seconds time;
+    int64_t seq;
+    std::function<void()> fn;
+    bool operator>(const TimedEvent& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  // Recomputes the max-min allocation over all started, unfinished groups.
+  void RecomputeRates();
+  // Moves bytes for `dt` seconds at current rates; fires completions.
+  void Settle(Seconds dt);
+  // Earliest member completion time across active groups (inf if none).
+  Seconds NextCompletionTime() const;
+  void FinishGroupIfDone(Group& group);
+
+  const Topology* topo_;
+  ResourceRegistry registry_;
+  double min_available_fraction_;
+  std::vector<Bps> background_;
+
+  std::vector<Group> groups_;
+  std::vector<GroupId> active_groups_;  // started && !finished && !cancelled
+  bool rates_dirty_ = true;
+  Seconds now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t recompute_count_ = 0;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<TimedEvent>> events_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_FLUIDSIM_FLUID_SIMULATION_H_

@@ -1,0 +1,43 @@
+#include "src/fluidsim/resources.h"
+
+namespace cloudtalk {
+
+ResourceRegistry::ResourceRegistry(const Topology& topo) {
+  link_base_ = 0;
+  for (int l = 0; l < topo.num_links(); ++l) {
+    capacity_.push_back(topo.link(l).capacity);
+    kind_.push_back(ResourceKind::kLink);
+    host_of_.push_back(kInvalidNode);
+  }
+  host_base_.assign(topo.num_nodes(), kInvalidResource);
+  for (NodeId host : topo.hosts()) {
+    const HostCaps& caps = topo.host_caps(host);
+    host_base_[host] = static_cast<ResourceId>(capacity_.size());
+    const Bps host_caps[4] = {caps.nic_up, caps.nic_down, caps.disk_read, caps.disk_write};
+    const ResourceKind kinds[4] = {ResourceKind::kNicUp, ResourceKind::kNicDown,
+                                   ResourceKind::kDiskRead, ResourceKind::kDiskWrite};
+    for (int i = 0; i < 4; ++i) {
+      capacity_.push_back(host_caps[i]);
+      kind_.push_back(kinds[i]);
+      host_of_.push_back(host);
+    }
+  }
+}
+
+std::vector<ResourceId> ResourceRegistry::NetworkPath(const Topology& topo, NodeId src,
+                                                      NodeId dst, uint64_t ecmp_salt) const {
+  std::vector<ResourceId> resources;
+  if (src == dst) {
+    // Loopback transfer: consumes no network resources (the paper's example
+    // where binding Z <- a makes f2 "run locally").
+    return resources;
+  }
+  resources.push_back(NicUp(src));
+  for (LinkId link : topo.PathBetween(src, dst, ecmp_salt)) {
+    resources.push_back(LinkResource(link));
+  }
+  resources.push_back(NicDown(dst));
+  return resources;
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,62 @@
+// Resource registry for the fluid simulation.
+//
+// A "resource" is anything with a bit-rate capacity that flows contend for:
+// every directed fabric link, plus four per-host endpoint resources (NIC up,
+// NIC down, disk read bandwidth, disk write bandwidth). NIC resources are
+// separate from the host access link so that per-VM rate caps (EC2 style)
+// can be lower than the physical link.
+#ifndef CLOUDTALK_SRC_FLUIDSIM_RESOURCES_H_
+#define CLOUDTALK_SRC_FLUIDSIM_RESOURCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+using ResourceId = int32_t;
+inline constexpr ResourceId kInvalidResource = -1;
+
+enum class ResourceKind { kLink, kNicUp, kNicDown, kDiskRead, kDiskWrite };
+
+// Maps topology elements to dense resource ids and records capacities.
+class ResourceRegistry {
+ public:
+  explicit ResourceRegistry(const Topology& topo);
+
+  ResourceId LinkResource(LinkId link) const { return link_base_ + link; }
+  ResourceId NicUp(NodeId host) const { return HostResource(host, 0); }
+  ResourceId NicDown(NodeId host) const { return HostResource(host, 1); }
+  ResourceId DiskRead(NodeId host) const { return HostResource(host, 2); }
+  ResourceId DiskWrite(NodeId host) const { return HostResource(host, 3); }
+
+  int num_resources() const { return static_cast<int>(capacity_.size()); }
+  Bps capacity(ResourceId r) const { return capacity_[r]; }
+  void set_capacity(ResourceId r, Bps capacity) { capacity_[r] = capacity; }
+
+  ResourceKind kind(ResourceId r) const { return kind_[r]; }
+  // The host a NIC/disk resource belongs to; kInvalidNode for links.
+  NodeId host_of(ResourceId r) const { return host_of_[r]; }
+
+  // All resources a src->dst network transfer consumes at its flow rate:
+  // src NIC up, every directed link on the path, dst NIC down.
+  std::vector<ResourceId> NetworkPath(const Topology& topo, NodeId src, NodeId dst,
+                                      uint64_t ecmp_salt = 0) const;
+
+ private:
+  ResourceId HostResource(NodeId host, int which) const {
+    return host_base_[host] + which;
+  }
+
+  ResourceId link_base_ = 0;
+  std::vector<ResourceId> host_base_;  // Indexed by NodeId; -1 for switches.
+  std::vector<Bps> capacity_;
+  std::vector<ResourceKind> kind_;
+  std::vector<NodeId> host_of_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_FLUIDSIM_RESOURCES_H_

@@ -1,0 +1,58 @@
+// Cluster profiles matching the paper's testbeds (Section 5):
+//  * LocalGigabitCluster  - 20 machines, 1 Gbps into one switch, fast SSDs.
+//  * LocalTenGigCluster   - same machines on the 10 Gbps interconnect, where
+//                           "the 10Gbps interconnect can be used to
+//                           overwhelm any of our disks".
+//  * Ec2Cluster           - c3.large-style instances: ~500 Mbps per VM,
+//                           storage considerably faster than the network.
+#ifndef CLOUDTALK_SRC_HARNESS_PROFILES_H_
+#define CLOUDTALK_SRC_HARNESS_PROFILES_H_
+
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+inline Topology LocalGigabitCluster(int hosts = 20) {
+  SingleSwitchParams params;
+  params.num_hosts = hosts;
+  params.link_capacity = 1 * kGbps;
+  params.host_caps.nic_up = 1 * kGbps;
+  params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = 4 * kGbps;   // SSD ~500 MB/s.
+  params.host_caps.disk_write = 3 * kGbps;  // SSD writes a bit slower.
+  return MakeSingleSwitch(params);
+}
+
+inline Topology LocalTenGigCluster(int hosts = 20) {
+  SingleSwitchParams params;
+  params.num_hosts = hosts;
+  params.link_capacity = 10 * kGbps;
+  params.host_caps.nic_up = 10 * kGbps;
+  params.host_caps.nic_down = 10 * kGbps;
+  params.host_caps.disk_read = 4 * kGbps;
+  params.host_caps.disk_write = 3 * kGbps;
+  return MakeSingleSwitch(params);
+}
+
+inline Topology Ec2Cluster(int instances = 100) {
+  Ec2Params params;
+  params.num_instances = instances;
+  params.instance_rate = 500 * kMbps;
+  params.disk_read = 8 * kGbps;
+  params.disk_write = 6 * kGbps;
+  return MakeEc2(params);
+}
+
+// Swaps `count` hosts' SSDs for HDDs "5 to 10 times slower" (Section 5.3
+// map/reduce experiment: four of twenty servers).
+inline void DowngradeDisksToHdd(Topology& topo, int count, double slowdown = 7.0) {
+  for (int i = 0; i < count && i < static_cast<int>(topo.hosts().size()); ++i) {
+    HostCaps& caps = topo.mutable_host_caps(topo.hosts()[i]);
+    caps.disk_read /= slowdown;
+    caps.disk_write /= slowdown;
+  }
+}
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_HARNESS_PROFILES_H_

@@ -1,0 +1,278 @@
+#include "src/hdfs/mini_hdfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace cloudtalk {
+
+namespace {
+
+// Renders a byte count as CloudTalk literal text (exact when possible).
+std::string SizeLiteral(Bytes size) {
+  std::ostringstream os;
+  os << static_cast<long long>(std::llround(size));
+  return os.str();
+}
+
+}  // namespace
+
+MiniHdfs::MiniHdfs(Cluster* cluster, HdfsOptions options)
+    : cluster_(cluster), options_(options) {}
+
+void MiniHdfs::InstallFile(const std::string& name, Bytes size,
+                           std::vector<std::vector<NodeId>> block_replicas) {
+  FileInfo info;
+  info.size = size;
+  // The installed layout defines the block size: `size` spread evenly over
+  // the given blocks.
+  info.block_size = block_replicas.empty()
+                        ? options_.block_size
+                        : size / static_cast<double>(block_replicas.size());
+  info.block_replicas = std::move(block_replicas);
+  files_[name] = std::move(info);
+}
+
+const MiniHdfs::FileInfo* MiniHdfs::GetFile(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> MiniHdfs::PlacePipeline(NodeId client) {
+  const Topology& topo = cluster_->topology();
+  std::vector<NodeId> datanodes = options_.datanodes;
+  if (datanodes.empty()) {
+    for (int i = 0; i < cluster_->num_hosts(); ++i) {
+      datanodes.push_back(cluster_->host(i));
+    }
+  }
+  const int n = static_cast<int>(datanodes.size());
+  std::vector<NodeId> pipeline;
+
+  if (options_.cloudtalk_writes) {
+    // The NameNode asks its local CloudTalk server. With the first replica
+    // pinned on the writer, the query binds the remaining replicas; flows
+    // follow the Section 5.3 pipeline listing.
+    const int remote = options_.replication - (options_.pin_first_replica_local ? 1 : 0);
+    std::ostringstream query;
+    std::vector<std::string> vars;
+    for (int i = 0; i < remote; ++i) {
+      vars.push_back("r" + std::to_string(i + 1));
+      query << vars.back() << " = ";
+    }
+    query << "(";
+    for (NodeId datanode : datanodes) {
+      if (datanode == client) {
+        continue;
+      }
+      query << cluster_->topology().IpOf(datanode) << " ";
+    }
+    query << ")\n";
+    const std::string block = SizeLiteral(options_.block_size);
+    std::string upstream = cluster_->topology().IpOf(client);
+    std::string prev_disk_flow;
+    int flow_index = 1;
+    for (int i = 0; i < remote; ++i) {
+      const std::string net_flow = "f" + std::to_string(flow_index);
+      const std::string disk_flow = "f" + std::to_string(flow_index + 1);
+      query << net_flow << " " << upstream << " -> " << vars[i] << " size " << block
+            << " rate r(" << disk_flow << ")";
+      if (!prev_disk_flow.empty()) {
+        // Store-and-forward: each hop forwards what the previous replica
+        // has stored (Section 5.3 write listing).
+        query << " transfer t(" << prev_disk_flow << ")";
+      }
+      query << "\n";
+      query << disk_flow << " " << vars[i] << " -> disk size " << block << " rate r("
+            << net_flow << ")\n";
+      upstream = vars[i];
+      prev_disk_flow = disk_flow;
+      flow_index += 2;
+    }
+    auto reply = cluster_->cloudtalk().Answer(query.str());
+    if (reply.ok()) {
+      if (options_.pin_first_replica_local) {
+        pipeline.push_back(client);
+      }
+      for (const std::string& var : vars) {
+        const NodeId host = cluster_->directory().Resolve(reply.value().binding.at(var).name);
+        pipeline.push_back(host);
+      }
+      return pipeline;
+    }
+    CLOUDTALK_LOG(kWarning) << "CloudTalk write query failed (" << reply.error().ToString()
+                            << "); falling back to random placement";
+  }
+
+  if (options_.alto != nullptr && !options_.cloudtalk_writes) {
+    // ALTO baseline: nearest remote replicas by static cost.
+    if (options_.pin_first_replica_local) {
+      pipeline.push_back(client);
+    }
+    std::vector<NodeId> remote_candidates;
+    for (NodeId datanode : datanodes) {
+      if (datanode != client) {
+        remote_candidates.push_back(datanode);
+      }
+    }
+    const std::vector<NodeId> chosen = options_.alto->SelectEndpoints(
+        client, remote_candidates, options_.replication - static_cast<int>(pipeline.size()),
+        cluster_->rng());
+    pipeline.insert(pipeline.end(), chosen.begin(), chosen.end());
+    if (static_cast<int>(pipeline.size()) == options_.replication) {
+      return pipeline;
+    }
+    pipeline.clear();  // Not enough candidates; fall through to random.
+  }
+
+  // Basic HDFS: local first replica, random distinct remote replicas.
+  if (options_.pin_first_replica_local) {
+    pipeline.push_back(client);
+  }
+  while (static_cast<int>(pipeline.size()) < options_.replication) {
+    const NodeId candidate =
+        datanodes[static_cast<size_t>(cluster_->rng().UniformInt(0, n - 1))];
+    if (std::find(pipeline.begin(), pipeline.end(), candidate) == pipeline.end() &&
+        (candidate != client || !options_.pin_first_replica_local)) {
+      pipeline.push_back(candidate);
+    }
+  }
+  (void)topo;
+  return pipeline;
+}
+
+NodeId MiniHdfs::PickReadSource(NodeId client, const std::vector<NodeId>& replicas,
+                                Bytes block_bytes) {
+  if (options_.cloudtalk_reads) {
+    // Section 5.3 read query, issued against the client's local CloudTalk
+    // server (reads are handled in a distributed manner).
+    std::ostringstream query;
+    query << "src = (";
+    for (NodeId r : replicas) {
+      query << cluster_->topology().IpOf(r) << " ";
+    }
+    query << ")\n";
+    const std::string block = SizeLiteral(block_bytes);
+    query << "f1 disk -> src size " << block << " rate r(f2)\n";
+    query << "f2 src -> " << cluster_->topology().IpOf(client) << " size " << block
+          << " rate r(f1)\n";
+    auto reply = cluster_->cloudtalk_at(client).Answer(query.str());
+    if (reply.ok()) {
+      return cluster_->directory().Resolve(reply.value().binding.at("src").name);
+    }
+    CLOUDTALK_LOG(kWarning) << "CloudTalk read query failed (" << reply.error().ToString()
+                            << "); falling back to random replica";
+  }
+  if (options_.alto != nullptr) {
+    return options_.alto->SelectEndpoint(client, replicas, cluster_->rng());
+  }
+  return replicas[cluster_->rng().UniformInt(0, static_cast<int64_t>(replicas.size()) - 1)];
+}
+
+bool MiniHdfs::WriteFile(NodeId client, const std::string& name, Bytes size, DoneCb done) {
+  if (files_.count(name) > 0 || size <= 0) {
+    return false;
+  }
+  FileInfo info;
+  info.size = size;
+  info.block_size = options_.block_size;
+  const int blocks = static_cast<int>(std::ceil(size / options_.block_size));
+  info.block_replicas.resize(blocks);
+  files_[name] = std::move(info);
+  WriteBlock(client, name, 0, cluster_->now(), std::move(done));
+  return true;
+}
+
+void MiniHdfs::WriteBlock(NodeId client, const std::string& name, int block_index,
+                          Seconds started, DoneCb done) {
+  FileInfo& info = files_[name];
+  const int blocks = static_cast<int>(info.block_replicas.size());
+  if (block_index >= blocks) {
+    if (done) {
+      done(started, cluster_->now());
+    }
+    return;
+  }
+  const Bytes bytes =
+      std::min(info.block_size, info.size - block_index * info.block_size);
+  const std::vector<NodeId> pipeline = PlacePipeline(client);
+  info.block_replicas[block_index] = pipeline;
+  ++blocks_written_;
+
+  // One chained group: the client's stream, every store-and-forward hop and
+  // every replica's disk write advance at a common rate (Section 4.1).
+  FluidSimulation& sim = cluster_->sim();
+  GroupSpec spec;
+  NodeId upstream = client;
+  for (NodeId replica : pipeline) {
+    if (replica != upstream) {
+      FluidFlow net;
+      net.resources = sim.resources().NetworkPath(cluster_->topology(), upstream, replica);
+      net.size = bytes;
+      spec.flows.push_back(std::move(net));
+    }
+    FluidFlow disk;
+    disk.resources = {sim.resources().DiskWrite(replica)};
+    disk.size = bytes;
+    spec.flows.push_back(std::move(disk));
+    upstream = replica;
+  }
+  sim.AddGroup(std::move(spec),
+               [this, client, name, block_index, started, done](GroupId, Seconds) {
+                 WriteBlock(client, name, block_index + 1, started, done);
+               });
+}
+
+bool MiniHdfs::ReadFile(NodeId client, const std::string& name, DoneCb done) {
+  if (files_.count(name) == 0) {
+    return false;
+  }
+  ReadBlock(client, name, 0, cluster_->now(), std::move(done));
+  return true;
+}
+
+void MiniHdfs::ReadBlock(NodeId client, const std::string& name, int block_index,
+                         Seconds started, DoneCb done) {
+  FileInfo& info = files_[name];
+  const int blocks = static_cast<int>(info.block_replicas.size());
+  if (block_index >= blocks) {
+    if (done) {
+      done(started, cluster_->now());
+    }
+    return;
+  }
+  const Bytes bytes =
+      std::min(info.block_size, info.size - block_index * info.block_size);
+  const NodeId source = PickReadSource(client, info.block_replicas[block_index], bytes);
+  ++blocks_read_;
+
+  FluidSimulation& sim = cluster_->sim();
+  GroupSpec spec;
+  if (options_.read_rate_cap > 0) {
+    spec.rate_limit = options_.read_rate_cap;
+  }
+  FluidFlow disk_read;
+  disk_read.resources = {sim.resources().DiskRead(source)};
+  disk_read.size = bytes;
+  spec.flows.push_back(std::move(disk_read));
+  if (source != client) {
+    FluidFlow net;
+    net.resources = sim.resources().NetworkPath(cluster_->topology(), source, client);
+    net.size = bytes;
+    spec.flows.push_back(std::move(net));
+  }
+  if (options_.read_writes_local_disk) {
+    FluidFlow local;
+    local.resources = {sim.resources().DiskWrite(client)};
+    local.size = bytes;
+    spec.flows.push_back(std::move(local));
+  }
+  sim.AddGroup(std::move(spec),
+               [this, client, name, block_index, started, done](GroupId, Seconds) {
+                 ReadBlock(client, name, block_index + 1, started, done);
+               });
+}
+
+}  // namespace cloudtalk

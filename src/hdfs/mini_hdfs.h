@@ -1,0 +1,104 @@
+// Mini-HDFS: the distributed-filesystem substrate of the evaluation.
+//
+// Reproduces the HDFS behaviours CloudTalk interacts with (Section 5.3):
+//  * Files are split into fixed-size blocks, each replicated (default 3x).
+//  * Writes daisy-chain through the replica pipeline: the client streams to
+//    replica 1, which stores locally while forwarding to replica 2, and so
+//    on. A slow transfer anywhere in the chain slows the whole write.
+//  * Reads pick one replica per block and stream it to the client.
+//
+// Placement policies:
+//  * Baseline ("basic HDFS"): first replica on the writer, remaining
+//    replicas / the read source picked uniformly at random.
+//  * CloudTalk: the NameNode (writes) or the client (reads) issues the
+//    paper's queries — generated as actual CloudTalk language text and fed
+//    through the full parse -> probe -> heuristic pipeline.
+//
+// All transfers execute on the cluster's fluid simulation; operations are
+// asynchronous and complete via callbacks at simulated times.
+#ifndef CLOUDTALK_SRC_HDFS_MINI_HDFS_H_
+#define CLOUDTALK_SRC_HDFS_MINI_HDFS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alto/alto.h"
+#include "src/harness/cluster.h"
+
+namespace cloudtalk {
+
+struct HdfsOptions {
+  Bytes block_size = 256 * kMB;
+  int replication = 3;
+  bool cloudtalk_writes = false;
+  bool cloudtalk_reads = false;
+  // HDFS places the first replica on the writer when it is a datanode.
+  bool pin_first_replica_local = true;
+  // Include the local disk write when executing reads ("copy from HDFS to
+  // local storage"). The paper's read clients were CPU-bound before being
+  // disk-bound, so this defaults off.
+  bool read_writes_local_disk = false;
+  // Per-read rate cap modelling a CPU-bound client ("our single client was
+  // not able to fully utilise a disk in read scenarios, because it became
+  // CPU bound first", Section 5.3). 0 = uncapped.
+  Bps read_rate_cap = 0;
+  // The datanode set. Empty = every cluster host. Lets the filesystem span
+  // a subset of the simulated machines (Figures 7/8 keep iperf senders
+  // outside the Hadoop cluster).
+  std::vector<NodeId> datanodes;
+  // ALTO baseline (Section 3.2): when set and the CloudTalk flags are off,
+  // reads pick the lowest-cost replica and writes the lowest-cost remote
+  // replicas — static proximity, no load information.
+  const alto::AltoServer* alto = nullptr;
+};
+
+class MiniHdfs {
+ public:
+  // `done(start_time, end_time)` fires when the operation's last byte lands.
+  using DoneCb = std::function<void(Seconds, Seconds)>;
+
+  MiniHdfs(Cluster* cluster, HdfsOptions options);
+
+  // Writes `size` bytes as a new file, block by block (each block gets its
+  // own pipeline). Fails (returns false) if the file exists.
+  bool WriteFile(NodeId client, const std::string& name, Bytes size, DoneCb done);
+
+  // Reads the whole file back to `client`, choosing a replica per block.
+  bool ReadFile(NodeId client, const std::string& name, DoneCb done);
+
+  // Installs a file's metadata without moving data (pre-existing inputs).
+  void InstallFile(const std::string& name, Bytes size,
+                   std::vector<std::vector<NodeId>> block_replicas);
+
+  struct FileInfo {
+    Bytes size = 0;
+    Bytes block_size = 0;
+    std::vector<std::vector<NodeId>> block_replicas;
+  };
+  const FileInfo* GetFile(const std::string& name) const;
+
+  int64_t blocks_written() const { return blocks_written_; }
+  int64_t blocks_read() const { return blocks_read_; }
+
+ private:
+  // Chooses the write pipeline for one block.
+  std::vector<NodeId> PlacePipeline(NodeId client);
+  // Chooses the replica a read streams from.
+  NodeId PickReadSource(NodeId client, const std::vector<NodeId>& replicas, Bytes block_bytes);
+  void WriteBlock(NodeId client, const std::string& name, int block_index, Seconds started,
+                  DoneCb done);
+  void ReadBlock(NodeId client, const std::string& name, int block_index, Seconds started,
+                 DoneCb done);
+
+  Cluster* cluster_;
+  HdfsOptions options_;
+  std::unordered_map<std::string, FileInfo> files_;
+  int64_t blocks_written_ = 0;
+  int64_t blocks_read_ = 0;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_HDFS_MINI_HDFS_H_

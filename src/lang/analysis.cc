@@ -1,0 +1,346 @@
+#include "src/lang/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/fluidsim/fluid_simulation.h"
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+// Union-find for chain grouping.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Collects the flows referenced anywhere inside an expression.
+void CollectRefs(const Expr& expr, std::vector<std::pair<Attr, std::string>>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kRef:
+      out->emplace_back(expr.ref_attr, expr.ref_flow);
+      return;
+    case Expr::Kind::kBinary:
+      CollectRefs(*expr.lhs, out);
+      CollectRefs(*expr.rhs, out);
+      return;
+  }
+}
+
+bool IsPureLiteral(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return true;
+    case Expr::Kind::kRef:
+      return false;
+    case Expr::Kind::kBinary:
+      return IsPureLiteral(*expr.lhs) && IsPureLiteral(*expr.rhs);
+  }
+  return false;
+}
+
+double EvalLiteral(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kRef:
+      return 0;  // Caller guarantees IsPureLiteral.
+    case Expr::Kind::kBinary: {
+      const double l = EvalLiteral(*expr.lhs);
+      const double r = EvalLiteral(*expr.rhs);
+      switch (expr.op) {
+        case '+':
+          return l + r;
+        case '-':
+          return l - r;
+        case '*':
+          return l * r;
+        case '/':
+          return r != 0 ? l / r : 0;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+// Resolves a flow's size, following sz() references (cycle => error) and
+// falling back to the transfer-referenced flow's size for chained flows.
+class SizeResolver {
+ public:
+  SizeResolver(const Query& query, std::unordered_map<std::string, int> name_to_index)
+      : query_(query), name_to_index_(std::move(name_to_index)) {
+    states_.assign(query.flows.size(), State::kUnresolved);
+    sizes_.assign(query.flows.size(), 0);
+  }
+
+  Result<Bytes> Resolve(int flow_index) {
+    if (states_[flow_index] == State::kDone) {
+      return sizes_[flow_index];
+    }
+    if (states_[flow_index] == State::kInProgress) {
+      return Error{"cyclic size reference involving flow '" +
+                   query_.flows[flow_index].name + "'"};
+    }
+    states_[flow_index] = State::kInProgress;
+    const FlowDef& flow = query_.flows[flow_index];
+    const Expr* size_expr = flow.FindAttr(Attr::kSize);
+    Result<Bytes> result = [&]() -> Result<Bytes> {
+      if (size_expr != nullptr) {
+        return Eval(*size_expr, flow);
+      }
+      // No size: a chained flow inherits the size of the flow its transfer
+      // attribute references (web-search query, Section 5.4).
+      const Expr* transfer = flow.FindAttr(Attr::kTransfer);
+      if (transfer != nullptr) {
+        std::vector<std::pair<Attr, std::string>> refs;
+        CollectRefs(*transfer, &refs);
+        if (!refs.empty()) {
+          const auto it = name_to_index_.find(refs.front().second);
+          if (it != name_to_index_.end()) {
+            return Resolve(it->second);
+          }
+        }
+      }
+      return Error{"flow '" + flow.name + "' has no resolvable size"};
+    }();
+    if (!result.ok()) {
+      return result;
+    }
+    states_[flow_index] = State::kDone;
+    sizes_[flow_index] = result.value();
+    return result;
+  }
+
+ private:
+  Result<Bytes> Eval(const Expr& expr, const FlowDef& owner) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        return Bytes{expr.literal};
+      case Expr::Kind::kRef: {
+        if (expr.ref_attr != Attr::kSize && expr.ref_attr != Attr::kTransfer) {
+          return Error{"flow '" + owner.name +
+                       "': only sz()/t() references are usable inside size expressions"};
+        }
+        const auto it = name_to_index_.find(expr.ref_flow);
+        if (it == name_to_index_.end()) {
+          return Error{"undefined flow '" + expr.ref_flow + "'"};
+        }
+        return Resolve(it->second);
+      }
+      case Expr::Kind::kBinary: {
+        Result<Bytes> l = Eval(*expr.lhs, owner);
+        if (!l.ok()) {
+          return l;
+        }
+        Result<Bytes> r = Eval(*expr.rhs, owner);
+        if (!r.ok()) {
+          return r;
+        }
+        switch (expr.op) {
+          case '+':
+            return l.value() + r.value();
+          case '-':
+            return l.value() - r.value();
+          case '*':
+            return l.value() * r.value();
+          case '/':
+            return r.value() != 0 ? l.value() / r.value() : 0;
+        }
+        return Error{"unknown operator"};
+      }
+    }
+    return Error{"bad expression"};
+  }
+
+  enum class State { kUnresolved, kInProgress, kDone };
+  const Query& query_;
+  std::unordered_map<std::string, int> name_to_index_;
+  std::vector<State> states_;
+  std::vector<Bytes> sizes_;
+};
+
+void AddUnique(std::vector<Endpoint>* endpoints, const Endpoint& e) {
+  if (std::find(endpoints->begin(), endpoints->end(), e) == endpoints->end()) {
+    endpoints->push_back(e);
+  }
+}
+
+}  // namespace
+
+Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
+  CompiledQuery compiled;
+  compiled.query_ = &query;
+
+  const int num_flows = static_cast<int>(query.flows.size());
+  std::unordered_map<std::string, int> name_to_index;
+  for (int i = 0; i < num_flows; ++i) {
+    name_to_index[query.flows[i].name] = i;
+  }
+
+  // ---- Variables and their communication sets ----
+  for (const VarDecl& decl : query.variables) {
+    for (const std::string& name : decl.names) {
+      VarComm comm;
+      comm.name = name;
+      comm.pool = decl.values;
+      compiled.variables_.push_back(std::move(comm));
+    }
+  }
+  for (const Requirement& req : query.requirements) {
+    const int index = compiled.VariableIndex(req.var);
+    if (index < 0) {
+      return Error{"requirement references undeclared variable '" + req.var + "'"};
+    }
+    compiled.variables_[index].cpu_required = req.cpu_cores;
+    compiled.variables_[index].mem_required = req.memory;
+  }
+  auto var_index = [&compiled](const Endpoint& e) -> int {
+    if (e.kind != Endpoint::Kind::kVariable) {
+      return -1;
+    }
+    return compiled.VariableIndex(e.name);
+  };
+  for (const FlowDef& flow : query.flows) {
+    const int src_var = var_index(flow.src);
+    const int dst_var = var_index(flow.dst);
+    if (flow.src.kind == Endpoint::Kind::kDisk && dst_var >= 0) {
+      compiled.variables_[dst_var].reads_disk = true;
+    } else if (flow.dst.kind == Endpoint::Kind::kDisk && src_var >= 0) {
+      compiled.variables_[src_var].writes_disk = true;
+    } else if (flow.src.kind != Endpoint::Kind::kDisk &&
+               flow.dst.kind != Endpoint::Kind::kDisk) {
+      if (src_var >= 0) {
+        AddUnique(&compiled.variables_[src_var].tx_to, flow.dst);
+      }
+      if (dst_var >= 0) {
+        AddUnique(&compiled.variables_[dst_var].rx_from, flow.src);
+      }
+    }
+  }
+
+  // ---- Sizes ----
+  SizeResolver resolver(query, name_to_index);
+  compiled.flows_.reserve(num_flows);
+  for (int i = 0; i < num_flows; ++i) {
+    const FlowDef& def = query.flows[i];
+    CompiledFlow flow;
+    flow.index = i;
+    flow.name = def.name;
+    flow.src = def.src;
+    flow.dst = def.dst;
+    Result<Bytes> size = resolver.Resolve(i);
+    if (!size.ok()) {
+      return size.error();
+    }
+    flow.size = size.value();
+    const Expr* start = def.FindAttr(Attr::kStart);
+    if (start != nullptr && IsPureLiteral(*start)) {
+      flow.start = EvalLiteral(*start);
+    }
+    const Expr* transfer = def.FindAttr(Attr::kTransfer);
+    if (transfer != nullptr) {
+      std::vector<std::pair<Attr, std::string>> refs;
+      CollectRefs(*transfer, &refs);
+      for (const auto& [attr, flow_name] : refs) {
+        (void)attr;
+        const auto it = name_to_index.find(flow_name);
+        if (it != name_to_index.end() && it->second != i) {
+          flow.transfer_parents.push_back(it->second);
+        }
+      }
+    }
+    compiled.flows_.push_back(std::move(flow));
+  }
+
+  // ---- Chain groups: union flows joined by rate/transfer references ----
+  DisjointSets sets(num_flows);
+  for (int i = 0; i < num_flows; ++i) {
+    for (const AttrValue& av : query.flows[i].attrs) {
+      if (av.attr != Attr::kRate && av.attr != Attr::kTransfer) {
+        continue;
+      }
+      std::vector<std::pair<Attr, std::string>> refs;
+      CollectRefs(*av.value, &refs);
+      for (const auto& [attr, flow_name] : refs) {
+        (void)attr;
+        const auto it = name_to_index.find(flow_name);
+        if (it != name_to_index.end()) {
+          sets.Union(i, it->second);
+        }
+      }
+    }
+  }
+  std::unordered_map<int, int> root_to_group;
+  for (int i = 0; i < num_flows; ++i) {
+    const int root = sets.Find(i);
+    auto [it, inserted] = root_to_group.try_emplace(
+        root, static_cast<int>(compiled.groups_.size()));
+    if (inserted) {
+      CompiledGroup group;
+      group.rate_limit = kUnlimitedRate;
+      group.start = std::numeric_limits<Seconds>::infinity();
+      group.deadline = std::numeric_limits<Seconds>::infinity();
+      compiled.groups_.push_back(group);
+    }
+    const int g = it->second;
+    compiled.flows_[i].group = g;
+    CompiledGroup& group = compiled.groups_[g];
+    group.flow_indices.push_back(i);
+    group.start = std::min(group.start, compiled.flows_[i].start);
+    const Expr* end = query.flows[i].FindAttr(Attr::kEnd);
+    if (end != nullptr && IsPureLiteral(*end)) {
+      const Seconds deadline = EvalLiteral(*end);
+      if (deadline > 0) {
+        group.deadline = std::min(group.deadline, deadline);
+      }
+    }
+    const Expr* rate = query.flows[i].FindAttr(Attr::kRate);
+    if (rate != nullptr && IsPureLiteral(*rate)) {
+      // Literal rates are bytes/second in the language (Table 1); the
+      // engine wants bits/second.
+      const double limit_bps = EvalLiteral(*rate) * 8.0;
+      if (limit_bps > 0) {
+        group.rate_limit = std::min(group.rate_limit, limit_bps);
+      }
+    }
+  }
+  for (CompiledGroup& group : compiled.groups_) {
+    if (!std::isfinite(group.start)) {
+      group.start = 0;
+    }
+  }
+  return compiled;
+}
+
+int CompiledQuery::VariableIndex(const std::string& name) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

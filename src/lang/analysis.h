@@ -1,0 +1,87 @@
+// Semantic analysis: turns a parsed Query into the structures the CloudTalk
+// server evaluates.
+//
+//  * Flow sizes are resolved to concrete byte counts (following sz()
+//    references; a flow with only a transfer-reference inherits the
+//    referenced flow's size — the daisy-chain idiom).
+//  * Flows joined by rate/transfer references are merged into *chain groups*
+//    that share a single rate ("our two restrictions mandate that the rates
+//    of the two flows will be the same", Section 4.1). A group's rate limit
+//    is the tightest literal `rate` attribute of its members.
+//  * For every variable, the analysis computes the communication sets the
+//    heuristic needs (Listing 1): which endpoints send to it / receive from
+//    it over the network, and whether it reads or writes its local disk.
+#ifndef CLOUDTALK_SRC_LANG_ANALYSIS_H_
+#define CLOUDTALK_SRC_LANG_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/lang/ast.h"
+
+namespace cloudtalk {
+namespace lang {
+
+// Per-variable communication summary (the to/from and tx/rx sets of
+// Listing 1).
+struct VarComm {
+  std::string name;
+  std::vector<Endpoint> pool;     // Possible values (addresses).
+  std::vector<Endpoint> rx_from;  // Network endpoints that send to it.
+  std::vector<Endpoint> tx_to;    // Network endpoints it sends to.
+  bool reads_disk = false;        // Some flow disk -> var.
+  bool writes_disk = false;       // Some flow var -> disk.
+  double cpu_required = 0;        // Section 7 scalar requirements;
+  Bytes mem_required = 0;         // 0 = unconstrained.
+};
+
+struct CompiledFlow {
+  int index = 0;            // Position in Query::flows.
+  std::string name;
+  Endpoint src;
+  Endpoint dst;
+  Bytes size = 0;           // Resolved.
+  Seconds start = 0;        // Literal `start`, relative seconds (default 0).
+  int group = 0;            // Chain-group index.
+  // Flows whose transferred data this flow forwards (t() references inside
+  // the transfer attribute). The fluid model folds these into the shared
+  // group rate; the packet-level estimator instead starts this flow when its
+  // parents complete (store-and-forward approximation).
+  std::vector<int> transfer_parents;
+};
+
+struct CompiledGroup {
+  std::vector<int> flow_indices;      // Members (indices into flows()).
+  Bps rate_limit;                     // Tightest literal rate; inf if none.
+  Seconds start = 0;                  // Earliest member start.
+  // Tightest literal `end` attribute among members (seconds relative to
+  // now); infinity when none. Used as a completion deadline by Quote().
+  Seconds deadline = 0;
+};
+
+class CompiledQuery {
+ public:
+  // Compiles `query`; the Query must outlive the CompiledQuery.
+  static Result<CompiledQuery> Compile(const Query& query);
+
+  const Query& query() const { return *query_; }
+  const std::vector<CompiledFlow>& flows() const { return flows_; }
+  const std::vector<CompiledGroup>& groups() const { return groups_; }
+  const std::vector<VarComm>& variables() const { return variables_; }
+
+  // Index into variables() or -1.
+  int VariableIndex(const std::string& name) const;
+
+ private:
+  const Query* query_ = nullptr;
+  std::vector<CompiledFlow> flows_;
+  std::vector<CompiledGroup> groups_;
+  std::vector<VarComm> variables_;
+};
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_ANALYSIS_H_

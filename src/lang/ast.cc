@@ -1,0 +1,178 @@
+#include "src/lang/ast.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace cloudtalk {
+namespace lang {
+
+std::string Endpoint::ToString() const {
+  switch (kind) {
+    case Kind::kAddress:
+    case Kind::kVariable:
+      return name;
+    case Kind::kDisk:
+      return "disk";
+    case Kind::kUnknown:
+      return "0.0.0.0";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(double value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = value;
+  return e;
+}
+
+ExprPtr Expr::Ref(Attr attr, std::string flow) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kRef;
+  e->ref_attr = attr;
+  e->ref_flow = std::move(flow);
+  return e;
+}
+
+ExprPtr Expr::Binary(char op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return Literal(literal);
+    case Kind::kRef: {
+      return Ref(ref_attr, ref_flow);
+    }
+    case Kind::kBinary:
+      return Binary(op, lhs->Clone(), rhs->Clone());
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Prints a literal compactly, using K/M/G binary suffixes for exact powers.
+std::string FormatLiteral(double value) {
+  const double kSuffixes[3] = {1024.0 * 1024.0 * 1024.0, 1024.0 * 1024.0, 1024.0};
+  const char kNames[3] = {'G', 'M', 'K'};
+  for (int i = 0; i < 3; ++i) {
+    if (value >= kSuffixes[i] && std::fmod(value, kSuffixes[i]) == 0.0) {
+      std::ostringstream os;
+      os << static_cast<long long>(value / kSuffixes[i]) << kNames[i];
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  if (value == static_cast<long long>(value)) {
+    os << static_cast<long long>(value);
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return FormatLiteral(literal);
+    case Kind::kRef:
+      return std::string(AttrRefName(ref_attr)) + "(" + ref_flow + ")";
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+  }
+  return "?";
+}
+
+const Expr* FlowDef::FindAttr(Attr attr) const {
+  for (const AttrValue& av : attrs) {
+    if (av.attr == attr) {
+      return av.value.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string FlowDef::ToString() const {
+  std::ostringstream os;
+  if (explicit_name) {
+    os << name << " ";
+  }
+  os << src.ToString() << " -> " << dst.ToString();
+  for (const AttrValue& av : attrs) {
+    os << " " << AttrName(av.attr) << " " << av.value->ToString();
+  }
+  return os.str();
+}
+
+const VarDecl* Query::FindVariable(const std::string& name) const {
+  for (const VarDecl& decl : variables) {
+    for (const std::string& n : decl.names) {
+      if (n == name) {
+        return &decl;
+      }
+    }
+  }
+  return nullptr;
+}
+
+const FlowDef* Query::FindFlow(const std::string& name) const {
+  for (const FlowDef& flow : flows) {
+    if (flow.name == name) {
+      return &flow;
+    }
+  }
+  return nullptr;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  const QueryOptions defaults;
+  if (options.use_packet_simulator != defaults.use_packet_simulator) {
+    os << "option packet\n";
+  }
+  if (options.use_dynamic_load != defaults.use_dynamic_load) {
+    os << "option static\n";
+  }
+  if (options.allow_same_binding != defaults.allow_same_binding) {
+    os << "option allow_same\n";
+  }
+  if (options.reserve != defaults.reserve) {
+    os << "option noreserve\n";
+  }
+  for (const VarDecl& decl : variables) {
+    for (const std::string& n : decl.names) {
+      os << n << " = ";
+    }
+    os << "(";
+    for (size_t i = 0; i < decl.values.size(); ++i) {
+      os << (i ? " " : "") << decl.values[i].ToString();
+    }
+    os << ")\n";
+  }
+  for (const Requirement& req : requirements) {
+    os << req.var << " requires";
+    if (req.cpu_cores > 0) {
+      os << " cpu " << FormatLiteral(req.cpu_cores);
+    }
+    if (req.memory > 0) {
+      os << " mem " << FormatLiteral(req.memory);
+    }
+    os << "\n";
+  }
+  for (const FlowDef& flow : flows) {
+    os << flow.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

@@ -1,0 +1,236 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (!AtEnd()) {
+      SkipSpacesAndComments();
+      if (AtEnd()) {
+        break;
+      }
+      const int line = line_;
+      const int column = column_;
+      const char c = Peek();
+      Token token;
+      token.line = line;
+      token.column = column;
+      if (c == '\n' || c == ';') {
+        Advance();
+        // Collapse runs of separators.
+        if (!tokens.empty() && tokens.back().kind != TokenKind::kSeparator) {
+          token.kind = TokenKind::kSeparator;
+          tokens.push_back(token);
+        }
+        continue;
+      }
+      if (c == '=') {
+        Advance();
+        token.kind = TokenKind::kEquals;
+      } else if (c == '(') {
+        Advance();
+        token.kind = TokenKind::kLParen;
+      } else if (c == ')') {
+        Advance();
+        token.kind = TokenKind::kRParen;
+      } else if (c == '+') {
+        Advance();
+        token.kind = TokenKind::kPlus;
+      } else if (c == '*') {
+        Advance();
+        token.kind = TokenKind::kStar;
+      } else if (c == '/') {
+        Advance();
+        token.kind = TokenKind::kSlash;
+      } else if (c == '>') {
+        Advance();
+        token.kind = TokenKind::kArrow;
+      } else if (c == '-') {
+        Advance();
+        if (!AtEnd() && Peek() == '>') {
+          Advance();
+          token.kind = TokenKind::kArrow;
+        } else {
+          token.kind = TokenKind::kMinus;
+        }
+      } else if (IsDigit(c)) {
+        Result<Token> num = ScanNumberOrAddress(line, column);
+        if (!num.ok()) {
+          return num.error();
+        }
+        token = num.value();
+      } else if (IsIdentStart(c)) {
+        std::string text;
+        while (!AtEnd() && IsIdentChar(Peek())) {
+          text.push_back(Peek());
+          Advance();
+        }
+        token.kind = TokenKind::kIdent;
+        token.text = std::move(text);
+      } else {
+        return Error{std::string("unexpected character '") + c + "'", line, column};
+      }
+      tokens.push_back(std::move(token));
+    }
+    // Drop a trailing separator; append EOF.
+    if (!tokens.empty() && tokens.back().kind == TokenKind::kSeparator) {
+      tokens.pop_back();
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipSpacesAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  // A token starting with a digit is either a dotted-quad address
+  // (1.2.3.4) or a number with an optional K/M/G (and optional B) suffix.
+  Result<Token> ScanNumberOrAddress(int line, int column) {
+    std::string text;
+    int dots = 0;
+    size_t probe = 0;
+    while (true) {
+      const char c = PeekAt(probe);
+      if (IsDigit(c)) {
+        ++probe;
+      } else if (c == '.' && IsDigit(PeekAt(probe + 1))) {
+        ++dots;
+        ++probe;
+      } else {
+        break;
+      }
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (dots == 3) {
+      for (size_t i = 0; i < probe; ++i) {
+        text.push_back(Peek());
+        Advance();
+      }
+      token.kind = TokenKind::kAddress;
+      token.text = std::move(text);
+      return token;
+    }
+    if (dots > 1) {
+      return Error{"malformed numeric literal", line, column};
+    }
+    for (size_t i = 0; i < probe; ++i) {
+      text.push_back(Peek());
+      Advance();
+    }
+    double value = std::strtod(text.c_str(), nullptr);
+    // Optional binary magnitude suffix, optionally followed by B: 256M, 10KB.
+    if (!AtEnd()) {
+      const char suffix = static_cast<char>(std::toupper(static_cast<unsigned char>(Peek())));
+      double scale = 0;
+      if (suffix == 'K') {
+        scale = 1024.0;
+      } else if (suffix == 'M') {
+        scale = 1024.0 * 1024.0;
+      } else if (suffix == 'G') {
+        scale = 1024.0 * 1024.0 * 1024.0;
+      }
+      if (scale > 0) {
+        Advance();
+        if (!AtEnd() && (Peek() == 'B' || Peek() == 'b')) {
+          Advance();
+        }
+        value *= scale;
+      }
+    }
+    token.kind = TokenKind::kNumber;
+    token.number = value;
+    return token;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) { return Scanner(input).Run(); }
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kAddress:
+      return "address";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kSeparator:
+      return "separator";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

@@ -1,0 +1,49 @@
+// Tokenizer for the CloudTalk language.
+//
+// The original implementation used flex; this is an equivalent hand-written
+// scanner (no generator dependency, better error positions).
+#ifndef CLOUDTALK_SRC_LANG_LEXER_H_
+#define CLOUDTALK_SRC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace cloudtalk {
+namespace lang {
+
+enum class TokenKind {
+  kIdent,      // identifiers and keywords: names, disk, size, st, ...
+  kNumber,     // numeric literal, suffix already applied
+  kAddress,    // dotted-quad IPv4 literal
+  kEquals,     // =
+  kLParen,     // (
+  kRParen,     // )
+  kArrow,      // -> or >
+  kSeparator,  // ; or newline
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // Raw text for idents/addresses.
+  double number = 0;   // Value for kNumber (K/M/G suffix already applied).
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `input`. Consecutive separators are collapsed into one.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_LEXER_H_

@@ -1,0 +1,426 @@
+#include "src/lang/parser.h"
+
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "src/lang/lexer.h"
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+std::optional<Attr> AttrKeyword(const std::string& word) {
+  if (word == "start") {
+    return Attr::kStart;
+  }
+  if (word == "end") {
+    return Attr::kEnd;
+  }
+  if (word == "size") {
+    return Attr::kSize;
+  }
+  if (word == "rate") {
+    return Attr::kRate;
+  }
+  if (word == "transfer" || word == "transferred") {
+    return Attr::kTransfer;
+  }
+  return std::nullopt;
+}
+
+std::optional<Attr> RefKeyword(const std::string& word) {
+  if (word == "st") {
+    return Attr::kStart;
+  }
+  if (word == "e") {
+    return Attr::kEnd;
+  }
+  if (word == "sz") {
+    return Attr::kSize;
+  }
+  if (word == "r") {
+    return Attr::kRate;
+  }
+  if (word == "t") {
+    return Attr::kTransfer;
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    while (!Check(TokenKind::kEof)) {
+      if (Check(TokenKind::kSeparator)) {
+        Advance();
+        continue;
+      }
+      if (Check(TokenKind::kIdent) && Cur().text == "option") {
+        if (Error* e = ParseOption()) {
+          return *e;
+        }
+      } else if (Check(TokenKind::kIdent) && CheckAt(1, TokenKind::kEquals)) {
+        if (Error* e = ParseVarDecl()) {
+          return *e;
+        }
+      } else if (Check(TokenKind::kIdent) && At(1).kind == TokenKind::kIdent &&
+                 At(1).text == "requires") {
+        if (Error* e = ParseRequirement()) {
+          return *e;
+        }
+      } else {
+        if (Error* e = ParseFlowDef()) {
+          return *e;
+        }
+      }
+      if (!Check(TokenKind::kEof) && !Check(TokenKind::kSeparator)) {
+        return *MakeError("expected end of statement");
+      }
+    }
+    if (Error* e = Validate()) {
+      return *e;
+    }
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& At(size_t offset) const {
+    const size_t i = pos_ + offset;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenKind kind) const { return Cur().kind == kind; }
+  bool CheckAt(size_t offset, TokenKind kind) const { return At(offset).kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+
+  // Error helpers: methods return nullptr on success, &error_ on failure so
+  // that `if (Error* e = ...) return *e;` reads naturally.
+  Error* MakeError(std::string message) {
+    error_ = Error{std::move(message), Cur().line, Cur().column};
+    return &error_;
+  }
+
+  Error* Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return MakeError(std::string("expected ") + TokenKindName(kind) + ", got " +
+                       TokenKindName(Cur().kind));
+    }
+    Advance();
+    return nullptr;
+  }
+
+  Error* ParseOption() {
+    Advance();  // 'option'
+    if (!Check(TokenKind::kIdent)) {
+      return MakeError("expected option name");
+    }
+    const std::string& opt = Cur().text;
+    if (opt == "packet") {
+      query_.options.use_packet_simulator = true;
+    } else if (opt == "flow") {
+      query_.options.use_packet_simulator = false;
+    } else if (opt == "static") {
+      query_.options.use_dynamic_load = false;
+    } else if (opt == "dynamic") {
+      query_.options.use_dynamic_load = true;
+    } else if (opt == "allow_same") {
+      query_.options.allow_same_binding = true;
+    } else if (opt == "noreserve") {
+      query_.options.reserve = false;
+    } else {
+      return MakeError("unknown option '" + opt + "'");
+    }
+    Advance();
+    return nullptr;
+  }
+
+  Error* ParseVarDecl() {
+    VarDecl decl;
+    // IDENT ('=' IDENT)* '=' '(' values ')'
+    while (true) {
+      if (!Check(TokenKind::kIdent)) {
+        return MakeError("expected variable name");
+      }
+      decl.names.push_back(Cur().text);
+      Advance();
+      if (Error* e = Expect(TokenKind::kEquals)) {
+        return e;
+      }
+      if (Check(TokenKind::kLParen)) {
+        break;
+      }
+    }
+    Advance();  // '('
+    while (!Check(TokenKind::kRParen)) {
+      if (Check(TokenKind::kAddress)) {
+        decl.values.push_back(Endpoint::Address(Cur().text));
+        Advance();
+      } else if (Check(TokenKind::kIdent)) {
+        if (Cur().text == "disk") {
+          decl.values.push_back(Endpoint::Disk());
+        } else {
+          decl.values.push_back(Endpoint::Address(Cur().text));
+        }
+        Advance();
+      } else {
+        return MakeError("expected server address in value pool");
+      }
+    }
+    Advance();  // ')'
+    if (decl.values.empty()) {
+      return MakeError("variable pool must not be empty");
+    }
+    for (const std::string& name : decl.names) {
+      if (!declared_vars_.insert(name).second) {
+        return MakeError("variable '" + name + "' declared twice");
+      }
+    }
+    query_.variables.push_back(std::move(decl));
+    return nullptr;
+  }
+
+  // IDENT 'requires' ('cpu' NUMBER | 'mem' NUMBER)+ — Section 7 extension.
+  Error* ParseRequirement() {
+    Requirement req;
+    req.var = Cur().text;
+    if (declared_vars_.count(req.var) == 0) {
+      return MakeError("requirement for undeclared variable '" + req.var + "'");
+    }
+    Advance();  // var name
+    Advance();  // 'requires'
+    bool any = false;
+    while (Check(TokenKind::kIdent) && (Cur().text == "cpu" || Cur().text == "mem")) {
+      const bool is_cpu = Cur().text == "cpu";
+      Advance();
+      if (!Check(TokenKind::kNumber)) {
+        return MakeError(std::string("expected number after '") + (is_cpu ? "cpu" : "mem") +
+                         "'");
+      }
+      if (is_cpu) {
+        req.cpu_cores = Cur().number;
+      } else {
+        req.memory = Cur().number;
+      }
+      Advance();
+      any = true;
+    }
+    if (!any) {
+      return MakeError("'requires' needs at least one of: cpu <n>, mem <bytes>");
+    }
+    for (const Requirement& existing : query_.requirements) {
+      if (existing.var == req.var) {
+        return MakeError("duplicate requirement for variable '" + req.var + "'");
+      }
+    }
+    query_.requirements.push_back(std::move(req));
+    return nullptr;
+  }
+
+  Error* ParseEndpoint(Endpoint* out) {
+    if (Check(TokenKind::kAddress)) {
+      *out = Cur().text == "0.0.0.0" ? Endpoint::Unknown() : Endpoint::Address(Cur().text);
+      Advance();
+      return nullptr;
+    }
+    if (Check(TokenKind::kIdent)) {
+      if (Cur().text == "disk") {
+        *out = Endpoint::Disk();
+      } else if (declared_vars_.count(Cur().text) > 0) {
+        *out = Endpoint::Variable(Cur().text);
+      } else {
+        *out = Endpoint::Address(Cur().text);
+      }
+      Advance();
+      return nullptr;
+    }
+    return MakeError("expected flow endpoint");
+  }
+
+  Error* ParseFlowDef() {
+    FlowDef flow;
+    // Optional leading name: present iff the token after it is NOT an arrow
+    // (i.e. "name src -> dst" vs "src -> dst").
+    if (Check(TokenKind::kIdent) && !CheckAt(1, TokenKind::kArrow) &&
+        Cur().text != "disk") {
+      flow.name = Cur().text;
+      flow.explicit_name = true;
+      Advance();
+    }
+    if (Error* e = ParseEndpoint(&flow.src)) {
+      return e;
+    }
+    if (Error* e = Expect(TokenKind::kArrow)) {
+      return e;
+    }
+    if (Error* e = ParseEndpoint(&flow.dst)) {
+      return e;
+    }
+    while (Check(TokenKind::kIdent)) {
+      const std::optional<Attr> attr = AttrKeyword(Cur().text);
+      if (!attr.has_value()) {
+        return MakeError("unknown flow attribute '" + Cur().text + "'");
+      }
+      Advance();
+      ExprPtr value;
+      if (Error* e = ParseExpr(&value)) {
+        return e;
+      }
+      for (const AttrValue& existing : flow.attrs) {
+        if (existing.attr == *attr) {
+          return MakeError(std::string("duplicate attribute '") + AttrName(*attr) + "'");
+        }
+      }
+      flow.attrs.push_back(AttrValue{*attr, std::move(value)});
+    }
+    if (!flow.explicit_name) {
+      flow.name = "_f" + std::to_string(query_.flows.size() + 1);
+    }
+    for (const FlowDef& existing : query_.flows) {
+      if (existing.name == flow.name) {
+        return MakeError("flow '" + flow.name + "' defined twice");
+      }
+    }
+    if (flow.src.kind == Endpoint::Kind::kDisk && flow.dst.kind == Endpoint::Kind::kDisk) {
+      return MakeError("flow cannot connect disk to disk");
+    }
+    query_.flows.push_back(std::move(flow));
+    return nullptr;
+  }
+
+  Error* ParseExpr(ExprPtr* out) {
+    if (Error* e = ParseMul(out)) {
+      return e;
+    }
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const char op = Check(TokenKind::kPlus) ? '+' : '-';
+      Advance();
+      ExprPtr rhs;
+      if (Error* e = ParseMul(&rhs)) {
+        return e;
+      }
+      *out = Expr::Binary(op, std::move(*out), std::move(rhs));
+    }
+    return nullptr;
+  }
+
+  Error* ParseMul(ExprPtr* out) {
+    if (Error* e = ParsePrimary(out)) {
+      return e;
+    }
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      const char op = Check(TokenKind::kStar) ? '*' : '/';
+      Advance();
+      ExprPtr rhs;
+      if (Error* e = ParsePrimary(&rhs)) {
+        return e;
+      }
+      *out = Expr::Binary(op, std::move(*out), std::move(rhs));
+    }
+    return nullptr;
+  }
+
+  Error* ParsePrimary(ExprPtr* out) {
+    if (Check(TokenKind::kNumber)) {
+      *out = Expr::Literal(Cur().number);
+      Advance();
+      return nullptr;
+    }
+    if (Check(TokenKind::kMinus)) {
+      Advance();
+      ExprPtr operand;
+      if (Error* e = ParsePrimary(&operand)) {
+        return e;
+      }
+      *out = Expr::Binary('-', Expr::Literal(0), std::move(operand));
+      return nullptr;
+    }
+    if (Check(TokenKind::kLParen)) {
+      Advance();
+      if (Error* e = ParseExpr(out)) {
+        return e;
+      }
+      return Expect(TokenKind::kRParen);
+    }
+    if (Check(TokenKind::kIdent)) {
+      const std::optional<Attr> ref = RefKeyword(Cur().text);
+      if (!ref.has_value()) {
+        return MakeError("expected value, got identifier '" + Cur().text + "'");
+      }
+      Advance();
+      if (Error* e = Expect(TokenKind::kLParen)) {
+        return e;
+      }
+      if (!Check(TokenKind::kIdent)) {
+        return MakeError("expected flow name inside reference");
+      }
+      const std::string flow_name = Cur().text;
+      Advance();
+      if (Error* e = Expect(TokenKind::kRParen)) {
+        return e;
+      }
+      *out = Expr::Ref(*ref, flow_name);
+      return nullptr;
+    }
+    return MakeError(std::string("expected expression, got ") + TokenKindName(Cur().kind));
+  }
+
+  // Post-parse validation that needs the whole query.
+  Error* Validate() {
+    // Every flow reference must name a defined flow.
+    for (const FlowDef& flow : query_.flows) {
+      for (const AttrValue& av : flow.attrs) {
+        if (Error* e = ValidateRefs(*av.value, flow)) {
+          return e;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  Error* ValidateRefs(const Expr& expr, const FlowDef& owner) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        return nullptr;
+      case Expr::Kind::kRef:
+        if (query_.FindFlow(expr.ref_flow) == nullptr) {
+          error_ = Error{"flow '" + owner.name + "' references undefined flow '" +
+                         expr.ref_flow + "'"};
+          return &error_;
+        }
+        return nullptr;
+      case Expr::Kind::kBinary:
+        if (Error* e = ValidateRefs(*expr.lhs, owner)) {
+          return e;
+        }
+        return ValidateRefs(*expr.rhs, owner);
+    }
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Query query_;
+  std::set<std::string> declared_vars_;
+  Error error_;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) {
+    return tokens.error();
+  }
+  return Parser(std::move(tokens).value()).Run();
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

@@ -1,0 +1,41 @@
+// Recursive-descent parser for the CloudTalk language.
+//
+// Grammar (Table 1 of the paper; statements separated by ';' or newline):
+//
+//   query    := { stmt }
+//   stmt     := vardecl | flowdef | option
+//   vardecl  := IDENT '=' { IDENT '=' } '(' { value } ')'
+//   value    := ADDRESS | IDENT | 'disk'
+//   flowdef  := [IDENT] endpoint '->' endpoint { attr expr }
+//   endpoint := ADDRESS | IDENT | 'disk'        (0.0.0.0 = unknown source)
+//   attr     := 'start' | 'end' | 'size' | 'rate' | 'transfer'
+//   expr     := mul { ('+'|'-') mul }
+//   mul      := prim { ('*'|'/') prim }
+//   prim     := NUMBER | REF '(' IDENT ')' | '(' expr ')' | '-' prim
+//   REF      := 'st' | 'e' | 'sz' | 'r' | 't'
+//   option   := 'option' IDENT                  (extension, see QueryOptions)
+//
+// An identifier used as a flow endpoint resolves to a variable if a variable
+// of that name was declared earlier in the query, otherwise it denotes a
+// literal server name. Numeric literals accept K/M/G binary suffixes
+// (optionally followed by B): 256M, 10KB, 1G.
+#ifndef CLOUDTALK_SRC_LANG_PARSER_H_
+#define CLOUDTALK_SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+
+namespace cloudtalk {
+namespace lang {
+
+// Parses a full query. Performs the syntactic checks plus basic semantic
+// validation: duplicate variable/flow names, empty value pools, references
+// to undefined flows, and disk-to-disk flows are rejected.
+Result<Query> Parse(std::string_view input);
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_PARSER_H_

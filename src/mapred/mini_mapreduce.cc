@@ -1,0 +1,489 @@
+#include "src/mapred/mini_mapreduce.h"
+#include <cstdlib>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace cloudtalk {
+
+MiniMapReduce::MiniMapReduce(Cluster* cluster, MiniHdfs* hdfs, MapRedOptions options)
+    : cluster_(cluster), hdfs_(hdfs), options_(options) {}
+
+bool MiniMapReduce::RunJob(const std::string& input_file, int num_reducers, JobDoneCb done) {
+  if (job_active_) {
+    return false;
+  }
+  const MiniHdfs::FileInfo* file = hdfs_->GetFile(input_file);
+  if (file == nullptr || num_reducers <= 0) {
+    return false;
+  }
+  job_active_ = true;
+  job_done_ = std::move(done);
+  ++job_counter_;
+  stats_ = JobStats{};
+  stats_.started = cluster_->now();
+
+  maps_.clear();
+  const int blocks = static_cast<int>(file->block_replicas.size());
+  stats_.maps_total = blocks;
+  for (int i = 0; i < blocks; ++i) {
+    MapTask task;
+    task.index = i;
+    task.bytes = std::min(file->block_size, file->size - i * file->block_size);
+    task.replicas = file->block_replicas[i];
+    maps_.push_back(std::move(task));
+  }
+  reduces_.assign(num_reducers, ReduceTask{});
+  for (int i = 0; i < num_reducers; ++i) {
+    reduces_[i].index = i;
+  }
+  maps_done_ = 0;
+  reduces_done_ = 0;
+  outputs_synced_ = 0;
+  outputs_expected_ = options_.write_output ? num_reducers : 0;
+
+  trackers_.clear();
+  std::vector<NodeId> nodes = options_.nodes;
+  if (nodes.empty()) {
+    for (int i = 0; i < cluster_->num_hosts(); ++i) {
+      nodes.push_back(cluster_->host(i));
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    Tracker tracker;
+    tracker.node = nodes[i];
+    trackers_.push_back(tracker);
+    // Trackers start at arbitrary times, so their heartbeats land at random
+    // phases of the interval (assignment order must not be a determinism
+    // artifact of host numbering).
+    const Seconds phase = cluster_->rng().Uniform(0, options_.heartbeat);
+    const int index = static_cast<int>(i);
+    cluster_->sim().Schedule(cluster_->now() + phase, [this, index] { Heartbeat(index); });
+  }
+  return true;
+}
+
+void MiniMapReduce::Heartbeat(int tracker_index) {
+  if (!job_active_) {
+    return;
+  }
+  Tracker& tracker = trackers_[tracker_index];
+  MaybeAssignMap(tracker);
+  MaybeAssignReduce(tracker);
+  MaybeSpeculate();
+  cluster_->sim().Schedule(cluster_->now() + options_.heartbeat,
+                           [this, tracker_index] { Heartbeat(tracker_index); });
+}
+
+void MiniMapReduce::MaybeAssignMap(Tracker& tracker) {
+  if (tracker.running_maps >= options_.map_slots) {
+    return;
+  }
+  // Data-local task if one exists.
+  MapTask* local = nullptr;
+  MapTask* any = nullptr;
+  for (MapTask& task : maps_) {
+    if (task.state != TaskState::kPending) {
+      continue;
+    }
+    if (any == nullptr) {
+      any = &task;
+    }
+    if (std::find(task.replicas.begin(), task.replicas.end(), tracker.node) !=
+        task.replicas.end()) {
+      local = &task;
+      break;
+    }
+  }
+  MapTask* chosen = local != nullptr ? local : any;
+  if (chosen == nullptr) {
+    return;
+  }
+  if (local == nullptr) {
+    ++stats_.non_local_maps;
+  }
+  chosen->state = TaskState::kRunning;
+  chosen->node = tracker.node;
+  tracker.running_maps += 1;
+  StartMap(*chosen, tracker);
+}
+
+NodeId MiniMapReduce::PickMapSource(const MapTask& task, NodeId node) {
+  const bool local_replica =
+      std::find(task.replicas.begin(), task.replicas.end(), node) != task.replicas.end();
+  // Baseline Hadoop always reads the local replica when there is one.
+  // CloudTalk reconsiders: a slow local disk can lose to streaming from an
+  // idle remote replica ("Mappers prefer to copy data over the network
+  // instead of accessing the slow local disks", Section 5.3).
+  if (local_replica && !options_.cloudtalk_map) {
+    return node;
+  }
+  if (options_.cloudtalk_map) {
+    // Section 5.3 map query: X ranges over the hosts storing the split.
+    // noreserve: a disk read adds little load to a multi-Gbps source, and
+    // reserving sources would cascade every node off its own local disk.
+    std::ostringstream query;
+    query << "option noreserve\n";
+    query << "X = (";
+    for (NodeId r : task.replicas) {
+      query << cluster_->topology().IpOf(r) << " ";
+    }
+    query << ")\n";
+    const long long size = static_cast<long long>(task.bytes);
+    query << "f1 disk -> X size " << size << " rate r(f2)\n";
+    query << "f2 X -> " << cluster_->topology().IpOf(node) << " size " << size
+          << " rate r(f1)\n";
+    auto reply = cluster_->cloudtalk().Answer(query.str());
+    if (reply.ok()) {
+      NodeId picked = cluster_->directory().Resolve(reply.value().binding.at("X").name);
+      if (getenv("MR_DEBUG") && local_replica && picked != node) {
+        std::fprintf(stderr, "t=%.2f map src: node %d had local replica but picked %d\n",
+                     cluster_->now(), node, picked);
+      }
+      return picked;
+    }
+  }
+  return task.replicas[cluster_->rng().UniformInt(
+      0, static_cast<int64_t>(task.replicas.size()) - 1)];
+}
+
+void MiniMapReduce::StartMap(MapTask& task, Tracker& tracker) {
+  const NodeId source = PickMapSource(task, tracker.node);
+  FluidSimulation& sim = cluster_->sim();
+  // Read the split (local or remote), coupled disk+net chain.
+  GroupSpec read;
+  FluidFlow disk;
+  disk.resources = {sim.resources().DiskRead(source)};
+  disk.size = task.bytes;
+  read.flows.push_back(std::move(disk));
+  if (source != tracker.node) {
+    FluidFlow net;
+    net.resources = sim.resources().NetworkPath(cluster_->topology(), source, tracker.node);
+    net.size = task.bytes;
+    read.flows.push_back(std::move(net));
+  }
+  const int task_index = task.index;
+  const int tracker_index =
+      static_cast<int>(&tracker - trackers_.data());
+  const int64_t job = job_counter_;
+  sim.AddGroup(std::move(read), [this, task_index, tracker_index, job](GroupId, Seconds) {
+    if (job != job_counter_) {
+      return;
+    }
+    MapTask& t = maps_[task_index];
+    // Compute phase, then spill the output to local disk.
+    const Seconds compute = TransferTime(t.bytes, options_.map_compute_rate);
+    cluster_->sim().Schedule(cluster_->now() + compute, [this, task_index, tracker_index,
+                                                         job] {
+      if (job != job_counter_) {
+        return;
+      }
+      MapTask& task2 = maps_[task_index];
+      task2.output_bytes = task2.bytes * options_.output_ratio;
+      GroupSpec spill;
+      FluidFlow out;
+      out.resources = {cluster_->sim().resources().DiskWrite(task2.node)};
+      out.size = task2.output_bytes;
+      spill.flows.push_back(std::move(out));
+      cluster_->sim().AddGroup(std::move(spill),
+                               [this, task_index, tracker_index, job](GroupId, Seconds) {
+                                 if (job != job_counter_) {
+                                   return;
+                                 }
+                                 FinishMap(maps_[task_index], trackers_[tracker_index]);
+                               });
+    });
+  });
+}
+
+void MiniMapReduce::FinishMap(MapTask& task, Tracker& tracker) {
+  task.state = TaskState::kDone;
+  tracker.running_maps -= 1;
+  ++maps_done_;
+  if (getenv("MR_DEBUG") && maps_done_ == stats_.maps_total) {
+    std::fprintf(stderr, "t=%.2f all maps done\n", cluster_->now());
+  }
+  // Feed running reduces that were waiting on this output.
+  for (ReduceTask& reduce : reduces_) {
+    if (reduce.state == TaskState::kRunning && !reduce.computing) {
+      FetchMapOutput(reduce, task);
+    }
+  }
+}
+
+std::vector<NodeId> MiniMapReduce::RecommendedReduceNodes(int pending) {
+  std::ostringstream query;
+  // The scheduler polls this query every heartbeat and usually assigns at
+  // most one of the recommendations, so the server must not reserve them.
+  query << "option noreserve\n";
+  const int m = pending;
+  for (int i = 0; i < m; ++i) {
+    query << "x" << (i + 1) << " = ";
+  }
+  query << "(";
+  for (const Tracker& tracker : trackers_) {
+    query << cluster_->topology().IpOf(tracker.node) << " ";
+  }
+  query << ")\n";
+  // Section 5.3: odd flows are unknown-source network receptions of equal
+  // size; even flows capture writing the shuffled data to disk.
+  for (int i = 0; i < m; ++i) {
+    const int odd = 2 * i + 1;
+    const int even = 2 * i + 2;
+    query << "f" << odd << " 0.0.0.0 -> x" << (i + 1) << " size 1G rate r(f" << even
+          << ")\n";
+    query << "f" << even << " x" << (i + 1) << " -> disk size 1G rate r(f" << odd << ")\n";
+  }
+  auto reply = cluster_->cloudtalk().Answer(query.str());
+  std::vector<NodeId> nodes;
+  if (!reply.ok()) {
+    CLOUDTALK_LOG(kWarning) << "reduce query failed: " << reply.error().ToString();
+    return nodes;
+  }
+  for (const auto& [var, endpoint] : reply.value().binding) {
+    (void)var;
+    const NodeId node = cluster_->directory().Resolve(endpoint.name);
+    if (node != kInvalidNode) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+void MiniMapReduce::MaybeAssignReduce(Tracker& tracker) {
+  if (tracker.running_reduces >= options_.reduce_slots) {
+    return;
+  }
+  if (maps_done_ <
+      static_cast<int>(std::ceil(options_.reduce_slowstart * stats_.maps_total))) {
+    return;
+  }
+  int pending = 0;
+  ReduceTask* next = nullptr;
+  for (ReduceTask& task : reduces_) {
+    if (task.state == TaskState::kPending) {
+      ++pending;
+      if (next == nullptr) {
+        next = &task;
+      }
+    }
+  }
+  if (next == nullptr) {
+    return;
+  }
+  if (options_.cloudtalk_reduce) {
+    // "A task is given to the current node x only if x is in S, and a
+    // mechanism that prevents endlessly waiting for the best node in
+    // certain situations is in place."
+    const std::vector<NodeId> recommended = RecommendedReduceNodes(pending);
+    const bool in_set = std::find(recommended.begin(), recommended.end(), tracker.node) !=
+                        recommended.end();
+    if (!recommended.empty() && !in_set &&
+        tracker.reduce_skips < options_.reduce_patience) {
+      tracker.reduce_skips += 1;
+      return;
+    }
+    tracker.reduce_skips = 0;
+  }
+  if (getenv("MR_DEBUG")) {
+    std::fprintf(stderr, "t=%.2f assign reduce %d -> node %d (skips=%d)\n",
+                 cluster_->now(), next->index, tracker.node, tracker.reduce_skips);
+  }
+  next->state = TaskState::kRunning;
+  next->node = tracker.node;
+  next->started = cluster_->now();
+  stats_.reduce_nodes.push_back(tracker.node);
+  tracker.running_reduces += 1;
+  StartReduce(*next, tracker);
+}
+
+void MiniMapReduce::StartReduce(ReduceTask& task, Tracker& tracker) {
+  (void)tracker;
+  // Fetch every already-finished map output; future ones arrive via
+  // FinishMap.
+  task.fetched_maps = 0;
+  task.fetches_outstanding = 0;
+  for (const MapTask& map : maps_) {
+    if (map.state == TaskState::kDone) {
+      FetchMapOutput(task, map);
+    }
+  }
+  MaybeFinishShuffle(task);  // Degenerate: everything already local/fetched.
+}
+
+void MiniMapReduce::FetchMapOutput(ReduceTask& reduce, const MapTask& map) {
+  const Bytes part = map.output_bytes / static_cast<double>(reduces_.size());
+  reduce.fetches_outstanding += 1;
+  FluidSimulation& sim = cluster_->sim();
+  GroupSpec fetch;
+  FluidFlow src_disk;
+  src_disk.resources = {sim.resources().DiskRead(map.node)};
+  src_disk.size = part;
+  fetch.flows.push_back(std::move(src_disk));
+  if (map.node != reduce.node) {
+    FluidFlow net;
+    net.resources = sim.resources().NetworkPath(cluster_->topology(), map.node, reduce.node);
+    net.size = part;
+    fetch.flows.push_back(std::move(net));
+  }
+  FluidFlow dst_disk;
+  dst_disk.resources = {sim.resources().DiskWrite(reduce.node)};
+  dst_disk.size = part;
+  fetch.flows.push_back(std::move(dst_disk));
+  const int reduce_index = reduce.index;
+  const int incarnation = reduce.incarnation;
+  const int64_t job = job_counter_;
+  sim.AddGroup(std::move(fetch), [this, reduce_index, part, job, incarnation](GroupId,
+                                                                              Seconds) {
+    if (job != job_counter_) {
+      return;
+    }
+    ReduceTask& r = reduces_[reduce_index];
+    if (r.incarnation != incarnation) {
+      return;  // Fetch belonged to a superseded (speculated-away) copy.
+    }
+    r.fetches_outstanding -= 1;
+    r.fetched_maps += 1;
+    r.fetched_bytes += part;
+    MaybeFinishShuffle(r);
+  });
+}
+
+void MiniMapReduce::MaybeFinishShuffle(ReduceTask& reduce) {
+  if (reduce.state != TaskState::kRunning || reduce.computing) {
+    return;
+  }
+  if (maps_done_ < stats_.maps_total || reduce.fetches_outstanding > 0 ||
+      reduce.fetched_maps < stats_.maps_total) {
+    return;
+  }
+  reduce.computing = true;
+  stats_.shuffle_durations.push_back(cluster_->now() - reduce.started);
+  const Seconds compute = TransferTime(reduce.fetched_bytes, options_.reduce_compute_rate);
+  const int reduce_index = reduce.index;
+  const int64_t job = job_counter_;
+  cluster_->sim().Schedule(cluster_->now() + compute, [this, reduce_index, job] {
+    if (job != job_counter_) {
+      return;
+    }
+    FinishReduce(reduces_[reduce_index]);
+  });
+}
+
+void MiniMapReduce::FinishReduce(ReduceTask& reduce) {
+  if (reduce.state == TaskState::kDone) {
+    return;  // A speculative copy beat us.
+  }
+  reduce.state = TaskState::kDone;
+  for (Tracker& tracker : trackers_) {
+    if (tracker.node == reduce.node) {
+      tracker.running_reduces -= 1;
+      break;
+    }
+  }
+  ++reduces_done_;
+  if (options_.write_output && reduce.fetched_bytes > 0) {
+    const std::string name = "_job" + std::to_string(job_counter_) + "_out" +
+                             std::to_string(reduce.index);
+    const int64_t job = job_counter_;
+    hdfs_->WriteFile(reduce.node, name, reduce.fetched_bytes,
+                     [this, job](Seconds, Seconds) {
+                       if (job != job_counter_) {
+                         return;
+                       }
+                       ++outputs_synced_;
+                       MaybeFinishJob();
+                     });
+  }
+  MaybeFinishJob();
+}
+
+void MiniMapReduce::MaybeSpeculate() {
+  if (!options_.speculative_reduces || reduces_done_ * 2 < static_cast<int>(reduces_.size())) {
+    return;
+  }
+  // Straggler detection based on shuffle durations observed so far.
+  if (stats_.shuffle_durations.empty()) {
+    return;
+  }
+  const double median = Median(stats_.shuffle_durations);
+  if (getenv("MR_DEBUG_SPEC")) {
+    int running = 0;
+    double max_elapsed = 0;
+    for (const ReduceTask& task : reduces_) {
+      if (task.state == TaskState::kRunning && !task.computing) {
+        ++running;
+        max_elapsed = std::max(max_elapsed, cluster_->now() - task.started);
+      }
+    }
+    std::fprintf(stderr, "t=%.1f spec-check done=%d median=%.1f running=%d max_el=%.1f\n",
+                 cluster_->now(), reduces_done_, median, running, max_elapsed);
+  }
+  for (ReduceTask& task : reduces_) {
+    if (task.state != TaskState::kRunning || task.computing || task.speculated) {
+      continue;
+    }
+    const Seconds elapsed = cluster_->now() - task.started;
+    if (elapsed > options_.speculation_slowdown * median + options_.heartbeat) {
+      // Relaunch on the least-loaded tracker with a free slot.
+      Tracker* best = nullptr;
+      for (Tracker& tracker : trackers_) {
+        if (tracker.node == task.node ||
+            tracker.running_reduces >= options_.reduce_slots) {
+          continue;
+        }
+        if (best == nullptr || tracker.running_reduces < best->running_reduces) {
+          best = &tracker;
+        }
+      }
+      if (best == nullptr) {
+        continue;
+      }
+      task.speculated = true;
+      stats_.speculative_launches += 1;
+      // Restart the task on the new node (the first incarnation's flows
+      // keep running but its completions are ignored once this one wins).
+      for (Tracker& tracker : trackers_) {
+        if (tracker.node == task.node) {
+          tracker.running_reduces -= 1;  // Free the straggling node's slot.
+          break;
+        }
+      }
+      task.incarnation += 1;
+      task.node = best->node;
+      task.started = cluster_->now();
+      task.fetched_maps = 0;
+      task.fetched_bytes = 0;
+      task.fetches_outstanding = 0;
+      best->running_reduces += 1;
+      StartReduce(task, *best);
+    }
+  }
+}
+
+void MiniMapReduce::MaybeFinishJob() {
+  if (!job_active_) {
+    return;
+  }
+  if (reduces_done_ < static_cast<int>(reduces_.size())) {
+    return;
+  }
+  if (stats_.finished == 0) {
+    stats_.finished = cluster_->now();
+  }
+  if (outputs_synced_ < outputs_expected_) {
+    return;
+  }
+  stats_.synced = cluster_->now();
+  job_active_ = false;
+  if (job_done_) {
+    JobStats stats = stats_;
+    job_done_(stats);
+  }
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,145 @@
+// Mini-MapReduce: the Hadoop-style substrate of the evaluation.
+//
+// Models the pieces of Hadoop that CloudTalk's optimisations touch
+// (Section 5.3):
+//  * Heartbeat-driven scheduling: task trackers ping the JobTracker every
+//    heartbeat interval and receive at most one new task per type.
+//  * Map tasks prefer data-local splits; a non-local map streams its split
+//    from a replica over the network.
+//  * Reduce tasks shuffle a partition from every map output, write their
+//    result to HDFS, and can be speculatively re-executed when they straggle.
+//
+// CloudTalk integration points (all expressed as real query text):
+//  * Reduce placement: the m-variable "unknown source" query; a heartbeating
+//    node only gets a reduce if it is in the recommended set, with an
+//    anti-starvation patience counter ("a mechanism that prevents endlessly
+//    waiting for the best node in certain situations is in place").
+//  * Map placement: the disk->X->currentNode query picks which replica host
+//    a non-local map should stream from.
+//  * Output writes inherit the MiniHdfs policy they are given.
+#ifndef CLOUDTALK_SRC_MAPRED_MINI_MAPREDUCE_H_
+#define CLOUDTALK_SRC_MAPRED_MINI_MAPREDUCE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/hdfs/mini_hdfs.h"
+
+namespace cloudtalk {
+
+struct MapRedOptions {
+  int map_slots = 2;
+  int reduce_slots = 2;
+  Seconds heartbeat = 300 * kMillisecond;
+  double reduce_slowstart = 0.05;  // Maps done before reduces may schedule.
+  // "CPU" phases modeled as a fixed processing bandwidth over task bytes.
+  Bps map_compute_rate = 6.4e9;     // 800 MB/s.
+  Bps reduce_compute_rate = 6.4e9;  // 800 MB/s.
+  bool cloudtalk_reduce = false;
+  bool cloudtalk_map = false;
+  // Heartbeats a tracker lets pass before taking a reduce despite not being
+  // in CloudTalk's recommended set.
+  int reduce_patience = 3;
+  // Speculative execution for straggling reduces.
+  bool speculative_reduces = true;
+  double speculation_slowdown = 2.0;  // Straggler threshold vs median.
+  double output_ratio = 1.0;          // Output bytes per input byte (sort = 1).
+  bool write_output = true;           // Reduce output -> HDFS.
+  // Hosts that run task trackers. Empty = every cluster host. Lets the
+  // Hadoop cluster be a subset of the simulated machines (Figures 7/8 place
+  // iperf senders outside the cluster).
+  std::vector<NodeId> nodes;
+};
+
+struct JobStats {
+  Seconds started = 0;
+  Seconds finished = 0;   // Last reduce completed its shuffle + compute.
+  Seconds synced = 0;     // All output data (incl. disk writes) durable.
+  std::vector<double> shuffle_durations;  // Successful reduces only.
+  std::vector<NodeId> reduce_nodes;       // Where each reduce was placed.
+  int maps_total = 0;
+  int non_local_maps = 0;
+  int speculative_launches = 0;
+};
+
+class MiniMapReduce {
+ public:
+  using JobDoneCb = std::function<void(const JobStats&)>;
+
+  MiniMapReduce(Cluster* cluster, MiniHdfs* hdfs, MapRedOptions options);
+
+  // Runs a job over `input_file` (must exist in the MiniHdfs; each block is
+  // one map split). Asynchronous; at most one job at a time.
+  bool RunJob(const std::string& input_file, int num_reducers, JobDoneCb done);
+
+ private:
+  enum class TaskState { kPending, kRunning, kDone };
+
+  struct MapTask {
+    int index = 0;
+    Bytes bytes = 0;
+    std::vector<NodeId> replicas;
+    TaskState state = TaskState::kPending;
+    NodeId node = kInvalidNode;   // Where it ran; map output lives here.
+    Bytes output_bytes = 0;
+  };
+  struct ReduceTask {
+    int index = 0;
+    TaskState state = TaskState::kPending;
+    NodeId node = kInvalidNode;
+    Seconds started = 0;
+    int fetches_outstanding = 0;
+    int fetched_maps = 0;
+    Bytes fetched_bytes = 0;
+    bool computing = false;
+    bool speculated = false;  // A backup copy was launched.
+    int incarnation = 0;      // Bumped when the task restarts elsewhere.
+  };
+  struct Tracker {
+    NodeId node = kInvalidNode;
+    int running_maps = 0;
+    int running_reduces = 0;
+    int reduce_skips = 0;  // Heartbeats skipped waiting for CloudTalk's nod.
+  };
+
+  void Heartbeat(int tracker_index);
+  void MaybeAssignMap(Tracker& tracker);
+  void MaybeAssignReduce(Tracker& tracker);
+  // CloudTalk reduce query: returns the recommended node set for the
+  // pending reduce tasks (empty on failure -> behave like baseline).
+  std::vector<NodeId> RecommendedReduceNodes(int pending);
+  // Picks the replica host a non-local map on `node` should stream from.
+  NodeId PickMapSource(const MapTask& task, NodeId node);
+
+  void StartMap(MapTask& task, Tracker& tracker);
+  void FinishMap(MapTask& task, Tracker& tracker);
+  void StartReduce(ReduceTask& task, Tracker& tracker);
+  void FetchMapOutput(ReduceTask& reduce, const MapTask& map);
+  void MaybeFinishShuffle(ReduceTask& reduce);
+  void FinishReduce(ReduceTask& reduce);
+  void MaybeSpeculate();
+  void MaybeFinishJob();
+
+  Cluster* cluster_;
+  MiniHdfs* hdfs_;
+  MapRedOptions options_;
+
+  bool job_active_ = false;
+  JobDoneCb job_done_;
+  JobStats stats_;
+  std::vector<MapTask> maps_;
+  std::vector<ReduceTask> reduces_;
+  std::vector<Tracker> trackers_;
+  int maps_done_ = 0;
+  int reduces_done_ = 0;
+  int outputs_synced_ = 0;
+  int outputs_expected_ = 0;
+  int64_t job_counter_ = 0;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_MAPRED_MINI_MAPREDUCE_H_

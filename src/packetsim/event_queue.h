@@ -1,0 +1,69 @@
+// Discrete-event core for the packet-level simulator.
+#ifndef CLOUDTALK_SRC_PACKETSIM_EVENT_QUEUE_H_
+#define CLOUDTALK_SRC_PACKETSIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cloudtalk {
+namespace packetsim {
+
+class EventQueue {
+ public:
+  Seconds now() const { return now_; }
+
+  void Schedule(Seconds at, std::function<void()> fn) {
+    events_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+  // Runs events until `t` (inclusive); time ends at t.
+  void RunUntil(Seconds t) {
+    while (!events_.empty() && events_.top().at <= t) {
+      // Copy out before pop: the handler may schedule new events.
+      auto fn = events_.top().fn;
+      now_ = events_.top().at;
+      events_.pop();
+      fn();
+    }
+    if (now_ < t) {
+      now_ = t;
+    }
+  }
+
+  // Runs until no events remain or `hard_deadline` passes.
+  void RunUntilIdle(Seconds hard_deadline = 1e9) {
+    while (!events_.empty() && events_.top().at <= hard_deadline) {
+      auto fn = events_.top().fn;
+      now_ = events_.top().at;
+      events_.pop();
+      fn();
+    }
+  }
+
+  int64_t processed() const { return next_seq_; }
+
+ private:
+  struct Event {
+    Seconds at;
+    int64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  Seconds now_ = 0;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace packetsim
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_PACKETSIM_EVENT_QUEUE_H_

@@ -1,0 +1,436 @@
+#include "src/packetsim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace cloudtalk {
+namespace packetsim {
+
+// ---------------- LinkQueue ----------------
+
+void LinkQueue::Enqueue(Packet packet) {
+  if (queue_.size() >= capacity_ && !net_->params().enable_pfc) {
+    ++drops_;
+    return;
+  }
+  // Under PFC the sender was paused before overflow; an occasional packet
+  // above the nominal capacity is absorbed (PFC headroom).
+  queue_.push_back(std::move(packet));
+  if (!busy_) {
+    busy_ = true;
+    ServiceNext();
+  }
+}
+
+void LinkQueue::ServiceNext() {
+  // Serialize the head packet; at finish, hand it to the pipe (propagation
+  // delay) and start on the next one.
+  const Packet& head = queue_.front();
+  const Seconds tx_time = head.size * 8.0 / rate_;
+  net_->events().Schedule(net_->now() + tx_time, [this] { CompleteHead(); });
+}
+
+void LinkQueue::CompleteHead() {
+  if (net_->params().enable_pfc && !net_->NextHopHasRoom(queue_.front())) {
+    // Paused: the downstream port has no room. Hold the head (and, with it,
+    // everything behind — head-of-line blocking) and re-check shortly.
+    ++pause_events_;
+    net_->events().Schedule(net_->now() + net_->params().pfc_poll, [this] { CompleteHead(); });
+    return;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  net_->events().Schedule(net_->now() + delay_,
+                          [this, p = std::move(packet)]() mutable { net_->Forward(std::move(p)); });
+  if (queue_.empty()) {
+    busy_ = false;
+  } else {
+    ServiceNext();
+  }
+}
+
+// ---------------- TCP state ----------------
+
+struct PacketNetwork::TcpSourceState {
+  FlowId id = -1;
+  std::vector<int32_t> route_out;
+  int64_t total_packets = 0;
+  Bytes last_payload = 0;  // Payload of the final packet.
+  FlowCompletionCb on_complete;
+
+  double cwnd = 2;
+  double ssthresh = 1e9;
+  int64_t highest_sent = 0;  // Next fresh sequence number to send.
+  int64_t acked = 0;         // All packets below this are delivered.
+  int dupacks = 0;
+  bool in_recovery = false;
+  int64_t recovery_point = 0;
+  bool done = false;
+
+  // RTT estimation (one outstanding sample at a time).
+  Seconds srtt = 0;
+  Seconds rttvar = 0;
+  Seconds rto = 0;
+  int64_t sample_seq = -1;
+  Seconds sample_time = 0;
+  uint64_t timer_generation = 0;
+};
+
+struct PacketNetwork::TcpSinkState {
+  FlowId id = -1;
+  std::vector<int32_t> route_back;
+  int64_t expected = 0;             // Next in-order packet.
+  std::set<int64_t> out_of_order;   // Buffered future packets.
+};
+
+struct PacketNetwork::DatagramState {
+  DatagramCb on_delivery;
+};
+
+// ---------------- PacketNetwork ----------------
+
+PacketNetwork::PacketNetwork(const Topology* topo, NetworkParams params)
+    : topo_(topo), params_(params), rng_(params.seed) {
+  queues_.reserve(topo->num_links());
+  for (int l = 0; l < topo->num_links(); ++l) {
+    const Link& link = topo->link(l);
+    Bps rate = link.capacity;
+    int capacity = params_.queue_packets;
+    // Access links are clamped to the host NIC caps so per-VM rate limits
+    // (EC2 profile) hold in the packet model too.
+    if (topo->node(link.from).kind == NodeKind::kHost) {
+      rate = std::min(rate, topo->host_caps(link.from).nic_up);
+      // A host's egress queue is its NIC/qdisc buffer: effectively deep
+      // (Linux txqueuelen-scale), and a local sender is backpressured, not
+      // dropped. Shallow buffers belong to switch ports.
+      capacity = std::max(capacity, 1000);
+    }
+    if (topo->node(link.to).kind == NodeKind::kHost) {
+      rate = std::min(rate, topo->host_caps(link.to).nic_down);
+    }
+    queues_.push_back(std::make_unique<LinkQueue>(this, rate, link.delay, capacity));
+  }
+}
+
+PacketNetwork::~PacketNetwork() = default;
+
+std::vector<int32_t> PacketNetwork::RouteOf(NodeId src, NodeId dst, uint64_t salt) const {
+  // Fold the network seed in so ECMP placement varies run to run (flow ids
+  // alone are deterministic small integers).
+  const uint64_t mixed = salt * 0x9e3779b97f4a7c15ULL + (params_.seed << 17);
+  std::vector<int32_t> route;
+  for (LinkId link : topo_->PathBetween(src, dst, mixed)) {
+    route.push_back(link);
+  }
+  return route;
+}
+
+FlowId PacketNetwork::StartTcpFlow(NodeId src, NodeId dst, Bytes bytes, Seconds at,
+                                   FlowCompletionCb on_complete) {
+  const FlowId id = next_flow_++;
+  auto source = std::make_unique<TcpSourceState>();
+  source->id = id;
+  source->route_out = RouteOf(src, dst, static_cast<uint64_t>(id));
+  source->cwnd = params_.initial_cwnd;
+  source->rto = params_.min_rto;
+  source->total_packets =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(bytes / params_.mss)));
+  const Bytes rem = bytes - (source->total_packets - 1) * params_.mss;
+  source->last_payload = rem > 0 ? rem : params_.mss;
+  source->on_complete = std::move(on_complete);
+
+  auto sink = std::make_unique<TcpSinkState>();
+  sink->id = id;
+  sink->route_back = RouteOf(dst, src, static_cast<uint64_t>(id));
+
+  sources_.emplace(id, std::move(source));
+  sinks_.emplace(id, std::move(sink));
+  events_.Schedule(at, [this, id] {
+    auto it = sources_.find(id);
+    if (it != sources_.end()) {
+      TcpSend(*it->second);
+      ArmTimer(*it->second);
+    }
+  });
+  return id;
+}
+
+FlowId PacketNetwork::StartMultipathFlow(NodeId src, NodeId dst, Bytes bytes, int subflows,
+                                         Seconds at, FlowCompletionCb on_complete) {
+  subflows = std::max(1, subflows);
+  // Shared completion state across subflows.
+  auto remaining = std::make_shared<int>(subflows);
+  auto first = std::make_shared<FlowId>(-1);
+  const Bytes stripe = bytes / subflows;
+  for (int s = 0; s < subflows; ++s) {
+    const Bytes this_stripe = s == subflows - 1 ? bytes - stripe * (subflows - 1) : stripe;
+    const FlowId id = StartTcpFlow(
+        src, dst, this_stripe, at,
+        [remaining, on_complete, first](FlowId, Seconds t) {
+          if (--*remaining == 0 && on_complete) {
+            on_complete(*first, t);
+          }
+        });
+    if (*first < 0) {
+      *first = id;
+    }
+  }
+  return *first;
+}
+
+void PacketNetwork::SendDatagram(NodeId src, NodeId dst, Bytes size, Seconds at,
+                                 DatagramCb on_delivery) {
+  const FlowId id = next_flow_++;
+  auto state = std::make_unique<DatagramState>();
+  state->on_delivery = std::move(on_delivery);
+  datagrams_.emplace(id, std::move(state));
+  std::vector<int32_t> route = RouteOf(src, dst, static_cast<uint64_t>(id));
+  events_.Schedule(at, [this, id, route = std::move(route), size] {
+    Packet packet;
+    packet.type = PacketType::kDatagram;
+    packet.flow = id;
+    packet.size = size;
+    packet.route = route;
+    packet.hop = 0;
+    Forward(std::move(packet));
+  });
+}
+
+void PacketNetwork::Forward(Packet packet) {
+  if (packet.hop >= static_cast<int32_t>(packet.route.size())) {
+    Deliver(packet);
+    return;
+  }
+  const int32_t queue_index = packet.route[packet.hop];
+  packet.hop += 1;
+  queues_[queue_index]->Enqueue(std::move(packet));
+}
+
+void PacketNetwork::Deliver(const Packet& packet) {
+  switch (packet.type) {
+    case PacketType::kTcpData: {
+      auto it = sinks_.find(packet.flow);
+      if (it != sinks_.end()) {
+        TcpOnData(*it->second, packet);
+      }
+      return;
+    }
+    case PacketType::kTcpAck: {
+      auto it = sources_.find(packet.flow);
+      if (it != sources_.end()) {
+        TcpOnAck(*it->second, packet.seq);
+      }
+      return;
+    }
+    case PacketType::kDatagram: {
+      auto it = datagrams_.find(packet.flow);
+      if (it != datagrams_.end()) {
+        if (it->second->on_delivery) {
+          it->second->on_delivery(now());
+        }
+        datagrams_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+void PacketNetwork::TcpSend(TcpSourceState& src) {
+  src.cwnd = std::min(src.cwnd, params_.max_cwnd);
+  while (!src.done && src.highest_sent < src.total_packets &&
+         src.highest_sent - src.acked < static_cast<int64_t>(src.cwnd)) {
+    // Local backpressure: a real sender blocks when its NIC queue is full
+    // instead of dropping its own packets; the ACK clock resumes it.
+    if (!src.route_out.empty() && !queues_[src.route_out.front()]->HasRoom()) {
+      break;
+    }
+    Packet packet;
+    packet.type = PacketType::kTcpData;
+    packet.flow = src.id;
+    packet.seq = src.highest_sent;
+    const Bytes payload =
+        packet.seq == src.total_packets - 1 ? src.last_payload : params_.mss;
+    packet.size = payload + kTcpHeaderBytes;
+    packet.route = src.route_out;
+    packet.hop = 0;
+    if (src.sample_seq < 0) {
+      src.sample_seq = packet.seq;
+      src.sample_time = now();
+    }
+    src.highest_sent += 1;
+    Forward(std::move(packet));
+  }
+}
+
+void PacketNetwork::TcpOnData(TcpSinkState& sink, const Packet& packet) {
+  if (packet.seq == sink.expected) {
+    sink.expected += 1;
+    while (!sink.out_of_order.empty() && *sink.out_of_order.begin() == sink.expected) {
+      sink.out_of_order.erase(sink.out_of_order.begin());
+      sink.expected += 1;
+    }
+  } else if (packet.seq > sink.expected) {
+    sink.out_of_order.insert(packet.seq);
+  }
+  Packet ack;
+  ack.type = PacketType::kTcpAck;
+  ack.flow = sink.id;
+  ack.seq = sink.expected;
+  ack.size = kTcpHeaderBytes;
+  ack.route = sink.route_back;
+  ack.hop = 0;
+  Forward(std::move(ack));
+}
+
+void PacketNetwork::TcpOnAck(TcpSourceState& src, int64_t ack) {
+  if (src.done) {
+    return;
+  }
+  if (ack > src.acked) {
+    const int64_t newly = ack - src.acked;
+    src.acked = ack;
+    src.dupacks = 0;
+    // RTT sample: the outstanding probe is covered by this ACK.
+    if (src.sample_seq >= 0 && ack > src.sample_seq) {
+      const Seconds rtt = now() - src.sample_time;
+      if (src.srtt == 0) {
+        src.srtt = rtt;
+        src.rttvar = rtt / 2;
+      } else {
+        src.rttvar = 0.75 * src.rttvar + 0.25 * std::abs(src.srtt - rtt);
+        src.srtt = 0.875 * src.srtt + 0.125 * rtt;
+      }
+      src.rto = std::max(params_.min_rto, src.srtt + 4 * src.rttvar);
+      src.sample_seq = -1;
+    }
+    if (src.in_recovery && ack >= src.recovery_point) {
+      src.in_recovery = false;
+      src.cwnd = src.ssthresh;
+    } else if (src.in_recovery) {
+      // NewReno partial ACK: another packet in the pre-loss window is also
+      // missing; retransmit the next hole immediately instead of waiting
+      // for an RTO.
+      Packet packet;
+      packet.type = PacketType::kTcpData;
+      packet.flow = src.id;
+      packet.seq = src.acked;
+      const Bytes payload =
+          packet.seq == src.total_packets - 1 ? src.last_payload : params_.mss;
+      packet.size = payload + kTcpHeaderBytes;
+      packet.route = src.route_out;
+      packet.hop = 0;
+      if (src.sample_seq >= src.acked) {
+        src.sample_seq = -1;  // Sample would span a retransmission.
+      }
+      Forward(std::move(packet));
+    } else {
+      if (src.cwnd < src.ssthresh) {
+        src.cwnd += newly;  // Slow start.
+      } else {
+        src.cwnd += newly / src.cwnd;  // Congestion avoidance.
+      }
+    }
+    if (src.acked >= src.total_packets) {
+      src.done = true;
+      src.timer_generation += 1;  // Disarm pending timer.
+      if (src.on_complete) {
+        src.on_complete(src.id, now());
+      }
+      return;
+    }
+    ArmTimer(src);
+    TcpSend(src);
+    return;
+  }
+  // Duplicate ACK.
+  src.dupacks += 1;
+  if (src.dupacks > 3 && src.in_recovery) {
+    // Window inflation: each further dupack signals a departure, so admit
+    // one more packet to keep the pipe full during recovery.
+    src.cwnd += 1;
+    TcpSend(src);
+    return;
+  }
+  if (src.dupacks == 3 && !src.in_recovery) {
+    // Fast retransmit + fast recovery.
+    const double inflight = static_cast<double>(src.highest_sent - src.acked);
+    src.ssthresh = std::max(2.0, inflight / 2.0);
+    src.cwnd = src.ssthresh + 3;
+    src.in_recovery = true;
+    src.recovery_point = src.highest_sent;
+    if (src.sample_seq >= src.acked) {
+      src.sample_seq = -1;  // Sample packet is being retransmitted.
+    }
+    Packet packet;
+    packet.type = PacketType::kTcpData;
+    packet.flow = src.id;
+    packet.seq = src.acked;
+    const Bytes payload =
+        packet.seq == src.total_packets - 1 ? src.last_payload : params_.mss;
+    packet.size = payload + kTcpHeaderBytes;
+    packet.route = src.route_out;
+    packet.hop = 0;
+    Forward(std::move(packet));
+    ArmTimer(src);
+  }
+}
+
+void PacketNetwork::ArmTimer(TcpSourceState& src) {
+  src.timer_generation += 1;
+  const uint64_t generation = src.timer_generation;
+  const double jitter =
+      params_.rto_jitter > 0 ? rng_.Uniform(-params_.rto_jitter, params_.rto_jitter) : 0.0;
+  events_.Schedule(now() + src.rto * (1.0 + jitter), [this, id = src.id, generation] {
+    OnTimeout(id, generation);
+  });
+}
+
+void PacketNetwork::OnTimeout(FlowId flow, uint64_t generation) {
+  auto it = sources_.find(flow);
+  if (it == sources_.end()) {
+    return;
+  }
+  TcpSourceState& src = *it->second;
+  if (src.done || generation != src.timer_generation || src.acked >= src.total_packets) {
+    return;
+  }
+  NoteTimeout();
+  // Go-back-N: collapse the window and resend from the hole.
+  src.ssthresh = std::max(2.0, src.cwnd / 2.0);
+  src.cwnd = 1;
+  src.dupacks = 0;
+  src.in_recovery = false;
+  src.highest_sent = src.acked;
+  src.sample_seq = -1;  // An RTT sample across a retransmit would be bogus.
+  src.rto = std::min(src.rto * 2, 60.0);
+  TcpSend(src);
+  ArmTimer(src);
+}
+
+bool PacketNetwork::NextHopHasRoom(const Packet& packet) const {
+  if (packet.hop >= static_cast<int32_t>(packet.route.size())) {
+    return true;  // Endpoint delivery is always possible.
+  }
+  return queues_[packet.route[packet.hop]]->HasRoom();
+}
+
+int64_t PacketNetwork::total_drops() const {
+  int64_t drops = 0;
+  for (const auto& queue : queues_) {
+    drops += queue->drops();
+  }
+  return drops;
+}
+
+int64_t PacketNetwork::total_pauses() const {
+  int64_t pauses = 0;
+  for (const auto& queue : queues_) {
+    pauses += queue->pause_events();
+  }
+  return pauses;
+}
+
+}  // namespace packetsim
+}  // namespace cloudtalk

@@ -1,0 +1,155 @@
+// Packet-level network simulator (the reproduction's htsim stand-in).
+//
+// A PacketNetwork instantiates one drop-tail queue per directed topology
+// link (queue rate clamped to the attached host's NIC cap on access links),
+// routes packets over ECMP shortest paths, and runs TCP Reno sources with
+// slow start, fast retransmit and RTO-based recovery. Its purpose in
+// CloudTalk is the packet-level query evaluator (Section 4): "very accurate
+// and captures packet-level effects such as incast" — the basis of the
+// web-search placement study (Section 5.4, Figure 11).
+#ifndef CLOUDTALK_SRC_PACKETSIM_NETWORK_H_
+#define CLOUDTALK_SRC_PACKETSIM_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/packetsim/event_queue.h"
+#include "src/packetsim/packet.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace packetsim {
+
+struct NetworkParams {
+  int queue_packets = 50;              // Per-port buffer ("50-packet buffers", §5.4).
+  Seconds min_rto = 200 * kMillisecond;  // Classic incast-era minimum RTO.
+  double initial_cwnd = 2;             // Packets.
+  double max_cwnd = 256;               // Socket-buffer bound, packets.
+  Bytes mss = kDefaultMss;
+  // Randomization applied to each armed RTO (fractional, +/-). Without it,
+  // synchronized incast victims can retransmit in lock-step indefinitely;
+  // the default is kept small because incast-era TCP stacks had essentially
+  // none — larger values soften the collapse the Figure 11 study measures.
+  double rto_jitter = 0.01;
+  uint64_t seed = 1;
+  // Priority Flow Control (Section 2: "The provider could enable PFC, a
+  // layer two mechanism that uses pause messages to prevent loss and
+  // completely eliminate incast-related problems. PFC cannot be enabled for
+  // all tenants, though, because it reduces throughput for elephant
+  // flows."). When on, a queue never drops: a link holds its head packet
+  // (pausing, with head-of-line blocking) until the next hop has room.
+  bool enable_pfc = false;
+  Seconds pfc_poll = 5 * kMicrosecond;  // Pause re-check interval.
+};
+
+class PacketNetwork;
+
+// One directed link: drop-tail buffer + serialization + propagation.
+class LinkQueue {
+ public:
+  LinkQueue(PacketNetwork* net, Bps rate, Seconds delay, int capacity_packets)
+      : net_(net), rate_(rate), delay_(delay), capacity_(capacity_packets) {}
+
+  void Enqueue(Packet packet);
+
+  int64_t drops() const { return drops_; }
+  size_t depth() const { return queue_.size(); }
+  bool HasRoom() const { return queue_.size() < capacity_; }
+  Bps rate() const { return rate_; }
+  int64_t pause_events() const { return pause_events_; }
+
+ private:
+  void ServiceNext();
+  // After serialization: hand the head packet to the pipe, or — under PFC —
+  // pause until the next hop has room.
+  void CompleteHead();
+
+  PacketNetwork* net_;
+  Bps rate_;
+  Seconds delay_;
+  size_t capacity_;
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  int64_t drops_ = 0;
+  int64_t pause_events_ = 0;
+};
+
+class PacketNetwork {
+ public:
+  using FlowCompletionCb = std::function<void(FlowId, Seconds)>;
+  using DatagramCb = std::function<void(Seconds)>;
+
+  PacketNetwork(const Topology* topo, NetworkParams params);
+  ~PacketNetwork();
+  PacketNetwork(const PacketNetwork&) = delete;
+  PacketNetwork& operator=(const PacketNetwork&) = delete;
+
+  // Starts a TCP transfer of `bytes` from src to dst at absolute time `at`.
+  FlowId StartTcpFlow(NodeId src, NodeId dst, Bytes bytes, Seconds at,
+                      FlowCompletionCb on_complete = nullptr);
+
+  // MPTCP-style multipath transfer (Section 2: "The best solutions involve
+  // changing the end-host stacks to spread high-throughput elephant
+  // connections over multiple paths"): the bytes are striped over
+  // `subflows` independent TCP subflows, each hashed onto its own ECMP
+  // path; completion fires when the last subflow lands. Returns the first
+  // subflow's id.
+  FlowId StartMultipathFlow(NodeId src, NodeId dst, Bytes bytes, int subflows, Seconds at,
+                            FlowCompletionCb on_complete = nullptr);
+
+  // Fires one unreliable datagram; `on_delivery` runs at arrival (never on
+  // drop).
+  void SendDatagram(NodeId src, NodeId dst, Bytes size, Seconds at,
+                    DatagramCb on_delivery = nullptr);
+
+  EventQueue& events() { return events_; }
+  Seconds now() const { return events_.now(); }
+  void RunUntil(Seconds t) { events_.RunUntil(t); }
+  void RunUntilIdle(Seconds hard_deadline = 1e9) { events_.RunUntilIdle(hard_deadline); }
+
+  const NetworkParams& params() const { return params_; }
+  int64_t total_drops() const;
+  int64_t total_timeouts() const { return total_timeouts_; }
+  int64_t total_pauses() const;
+
+  // --- Internal plumbing (used by LinkQueue and the TCP machinery) ---
+  void Forward(Packet packet);           // Advance one hop or deliver.
+  void Deliver(const Packet& packet);    // Packet reached its final node.
+  void NoteTimeout() { ++total_timeouts_; }
+  // True when the packet's next hop (if any) can accept it (PFC check).
+  bool NextHopHasRoom(const Packet& packet) const;
+
+ private:
+  friend class TcpSource;
+  struct TcpSourceState;
+  struct TcpSinkState;
+  struct DatagramState;
+
+  std::vector<int32_t> RouteOf(NodeId src, NodeId dst, uint64_t salt) const;
+  void TcpSend(TcpSourceState& src);      // Push packets while cwnd allows.
+  void TcpOnAck(TcpSourceState& src, int64_t ack);
+  void TcpOnData(TcpSinkState& sink, const Packet& packet);
+  void ArmTimer(TcpSourceState& src);
+  void OnTimeout(FlowId flow, uint64_t generation);
+
+  const Topology* topo_;
+  NetworkParams params_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<LinkQueue>> queues_;  // Indexed by LinkId.
+  std::unordered_map<FlowId, std::unique_ptr<TcpSourceState>> sources_;
+  std::unordered_map<FlowId, std::unique_ptr<TcpSinkState>> sinks_;
+  std::unordered_map<FlowId, std::unique_ptr<DatagramState>> datagrams_;
+  FlowId next_flow_ = 1;
+  int64_t total_timeouts_ = 0;
+  Rng rng_;
+};
+
+}  // namespace packetsim
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_PACKETSIM_NETWORK_H_

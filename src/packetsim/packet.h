@@ -1,0 +1,41 @@
+// Packet representation for the packet-level simulator.
+//
+// Packets are small value types; a packet carries its source route (the
+// sequence of directed-link queues it will traverse) plus TCP metadata.
+#ifndef CLOUDTALK_SRC_PACKETSIM_PACKET_H_
+#define CLOUDTALK_SRC_PACKETSIM_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cloudtalk {
+namespace packetsim {
+
+using FlowId = int64_t;
+
+enum class PacketType : uint8_t {
+  kTcpData,
+  kTcpAck,
+  kDatagram,  // One-shot message (e.g. web-search request fan-out).
+};
+
+inline constexpr Bytes kTcpHeaderBytes = 40;
+inline constexpr Bytes kDefaultMss = 1460;  // Payload bytes per data packet.
+
+struct Packet {
+  PacketType type = PacketType::kTcpData;
+  FlowId flow = -1;
+  int64_t seq = 0;      // Data: packet number. ACK: cumulative ack (next expected).
+  Bytes size = 0;       // Wire size including headers.
+  // Route as indices into the network's queue table, plus current position.
+  std::vector<int32_t> route;
+  int32_t hop = 0;
+};
+
+}  // namespace packetsim
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_PACKETSIM_PACKET_H_

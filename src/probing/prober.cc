@@ -1,0 +1,108 @@
+#include "src/probing/prober.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cloudtalk {
+namespace probing {
+
+PingResult NetworkProber::Ping(NodeId a, NodeId b) {
+  PingResult result;
+  if (a == b) {
+    result.hops = 0;
+    result.rtt = rng_.Uniform(0, rtt_jitter_ * 0.1);
+    return result;
+  }
+  const std::vector<LinkId> path = topo_->PathBetween(a, b);
+  // Traceroute counts intermediate routers: links - 1.
+  result.hops = static_cast<int>(path.size()) - 1;
+  Seconds one_way = 0;
+  for (LinkId link : path) {
+    one_way += topo_->link(link).delay;
+  }
+  result.rtt = 2 * one_way + rng_.Uniform(0, rtt_jitter_);
+  return result;
+}
+
+std::vector<std::vector<int>> NetworkProber::HopMatrix(const std::vector<NodeId>& hosts) {
+  const int n = static_cast<int>(hosts.size());
+  std::vector<std::vector<int>> hops(n, std::vector<int>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        hops[i][j] = Ping(hosts[i], hosts[j]).hops;
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<int> InferRacks(const std::vector<std::vector<int>>& hops) {
+  const int n = static_cast<int>(hops.size());
+  std::vector<int> rack(n, -1);
+  if (n == 0) {
+    return rack;
+  }
+  // The same-rack hop distance is the minimum nonzero distance observed.
+  int min_hops = std::numeric_limits<int>::max();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        min_hops = std::min(min_hops, hops[i][j]);
+      }
+    }
+  }
+  int next_label = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rack[i] >= 0) {
+      continue;
+    }
+    rack[i] = next_label++;
+    for (int j = i + 1; j < n; ++j) {
+      if (rack[j] < 0 && hops[i][j] <= min_hops) {
+        rack[j] = rack[i];
+      }
+    }
+  }
+  return rack;
+}
+
+double RackInferenceAccuracy(const Topology& topo, const std::vector<NodeId>& hosts,
+                             const std::vector<int>& inferred) {
+  const int n = static_cast<int>(hosts.size());
+  if (n < 2) {
+    return 1.0;
+  }
+  int correct = 0;
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool truly_same = topo.SameRack(hosts[i], hosts[j]);
+      const bool inferred_same = inferred[i] == inferred[j];
+      correct += truly_same == inferred_same ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / total;
+}
+
+void StartCapacityProbe(FluidSimulation* sim, NodeId src, NodeId dst, Bytes probe_bytes,
+                        std::function<void(Bps measured)> done) {
+  GroupSpec spec;
+  FluidFlow flow;
+  flow.resources = sim->resources().NetworkPath(sim->topology(), src, dst);
+  flow.size = probe_bytes;
+  spec.flows.push_back(std::move(flow));
+  const Seconds started = sim->now();
+  sim->AddGroup(std::move(spec), [sim, probe_bytes, started,
+                                  done = std::move(done)](GroupId, Seconds finished) {
+    const Seconds elapsed = finished - started;
+    if (done) {
+      done(elapsed > 0 ? probe_bytes * 8.0 / elapsed : 0);
+    }
+    (void)sim;
+  });
+}
+
+}  // namespace probing
+}  // namespace cloudtalk

@@ -1,0 +1,72 @@
+// Tenant-side network probing (paper Section 3): what a tenant can learn
+// about a hidden cloud topology with ping, traceroute and iperf — and what
+// that costs.
+//
+// The paper reverse-engineered EC2's topology with exactly these tools:
+// traceroute hop counts cluster VMs by host/rack/subnet, ping RTTs
+// correlate with hop counts, and iperf measures available bandwidth. It
+// also argues why providers hate this: probing "is both costly and
+// unreliable when performed independently by multiple tenants" — probes
+// interfere and produce wrong capacity estimates. Both the inference and
+// the interference are reproducible here.
+#ifndef CLOUDTALK_SRC_PROBING_PROBER_H_
+#define CLOUDTALK_SRC_PROBING_PROBER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/fluidsim/fluid_simulation.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace probing {
+
+struct PingResult {
+  int hops = 0;     // Router hops (traceroute).
+  Seconds rtt = 0;  // Round-trip time, with measurement jitter.
+};
+
+// Ping/traceroute against the true topology: hop count is the real path
+// length; RTT is twice the summed propagation delays plus per-sample jitter
+// (queueing noise).
+class NetworkProber {
+ public:
+  NetworkProber(const Topology* topo, uint64_t seed = 1, Seconds rtt_jitter = 20 * kMicrosecond)
+      : topo_(topo), rng_(seed), rtt_jitter_(rtt_jitter) {}
+
+  PingResult Ping(NodeId a, NodeId b);
+
+  // Full pairwise hop matrix for `hosts` (hosts.size()^2 traceroutes).
+  std::vector<std::vector<int>> HopMatrix(const std::vector<NodeId>& hosts);
+
+ private:
+  const Topology* topo_;
+  Rng rng_;
+  Seconds rtt_jitter_;
+};
+
+// Clusters hosts into inferred racks from a hop matrix: two hosts share a
+// rack iff they are mutually at the minimum observed nonzero hop distance
+// (in the measured EC2 topology: two hypervisor hops). Returns a rack label
+// per host (labels are arbitrary but consistent).
+std::vector<int> InferRacks(const std::vector<std::vector<int>>& hops);
+
+// Fraction of host pairs whose same-rack/different-rack relation the
+// inference got right versus the true topology.
+double RackInferenceAccuracy(const Topology& topo, const std::vector<NodeId>& hosts,
+                             const std::vector<int>& inferred);
+
+// An iperf-style capacity probe executed on the live fluid simulation: a
+// transfer of `probe_bytes` from a to b whose measured throughput is the
+// transfer's achieved rate. Asynchronous; the callback receives the
+// measured bandwidth. Concurrent probes contend like any other traffic —
+// which is precisely why multi-tenant probing misleads.
+void StartCapacityProbe(FluidSimulation* sim, NodeId src, NodeId dst, Bytes probe_bytes,
+                        std::function<void(Bps measured)> done);
+
+}  // namespace probing
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_PROBING_PROBER_H_

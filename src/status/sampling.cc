@@ -1,0 +1,67 @@
+#include "src/status/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudtalk {
+
+namespace {
+
+double LogChoose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double BinomialTailAtLeast(int n, double p, int k) {
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (k > n || p <= 0.0) {
+    return 0.0;
+  }
+  if (p >= 1.0) {
+    return 1.0;
+  }
+  // Sum the (small) head P[X < k] and subtract; k is small in our use.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double head = 0.0;
+  for (int i = 0; i < k; ++i) {
+    head += std::exp(LogChoose(n, i) + i * log_p + (n - i) * log_q);
+  }
+  return std::clamp(1.0 - head, 0.0, 1.0);
+}
+
+int RequiredSamples(int d, double idle_fraction, double confidence, int max_n) {
+  if (d <= 0) {
+    return 0;
+  }
+  if (idle_fraction <= 0.0) {
+    return max_n;
+  }
+  // The tail is monotone in n, so binary search works; start from the
+  // obvious lower bound n >= d.
+  int lo = d;
+  int hi = d;
+  while (hi < max_n && BinomialTailAtLeast(hi, idle_fraction, d) < confidence) {
+    hi = std::min(max_n, hi * 2);
+    if (hi == max_n) {
+      break;
+    }
+  }
+  if (BinomialTailAtLeast(hi, idle_fraction, d) < confidence) {
+    return max_n;
+  }
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (BinomialTailAtLeast(mid, idle_fraction, d) >= confidence) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,23 @@
+// Sampling analysis (paper Section 4.3 / Figure 4).
+//
+// When a query's candidate pool holds N >> 100 servers, CloudTalk probes
+// only n of them. Assuming a bimodal load distribution where a fraction q
+// of servers is idle, the number of idle servers among n random probes is
+// Binomial(n, q) (N is large). RequiredSamples computes the smallest n such
+// that at least d idle servers are found with the requested confidence —
+// the quantity Figure 4 plots.
+#ifndef CLOUDTALK_SRC_STATUS_SAMPLING_H_
+#define CLOUDTALK_SRC_STATUS_SAMPLING_H_
+
+namespace cloudtalk {
+
+// P[Binomial(n, p) >= k], computed stably in log space.
+double BinomialTailAtLeast(int n, double p, int k);
+
+// Smallest n with P[Binomial(n, idle_fraction) >= d] >= confidence.
+// Returns max_n if no n <= max_n suffices (e.g. idle_fraction == 0).
+int RequiredSamples(int d, double idle_fraction, double confidence, int max_n = 1 << 20);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_STATUS_SAMPLING_H_

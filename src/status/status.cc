@@ -1,0 +1,205 @@
+#include "src/status/status.h"
+
+#include <cstring>
+#include <string>
+
+namespace cloudtalk {
+
+namespace {
+
+constexpr uint16_t kMagic = 0xC10D;  // "CloUD".
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kTypeRequest = 1;
+constexpr uint8_t kTypeReply = 2;
+constexpr uint8_t kTypeReplyV2 = 3;
+constexpr uint8_t kRequestFlagExtended = 0x1;
+
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Rates travel as integer bits-per-second.
+uint64_t RateToWire(Bps rate) { return rate <= 0 ? 0 : static_cast<uint64_t>(rate); }
+
+}  // namespace
+
+StatusReport StatusReport::AssumeLoaded(NodeId host, const HostCaps& caps) {
+  StatusReport report;
+  report.host = host;
+  report.nic_tx_cap = caps.nic_up;
+  report.nic_tx_use = caps.nic_up;
+  report.nic_rx_cap = caps.nic_down;
+  report.nic_rx_use = caps.nic_down;
+  report.disk_read_cap = caps.disk_read;
+  report.disk_read_use = caps.disk_read;
+  report.disk_write_cap = caps.disk_write;
+  report.disk_write_use = caps.disk_write;
+  report.cpu_cores_total = caps.cpu_cores;
+  report.cpu_cores_used = caps.cpu_cores;
+  report.mem_total = caps.memory;
+  report.mem_used = caps.memory;
+  return report;
+}
+
+StatusReport StatusReport::Idle(NodeId host, const HostCaps& caps) {
+  StatusReport report = AssumeLoaded(host, caps);
+  report.nic_tx_use = 0;
+  report.nic_rx_use = 0;
+  report.disk_read_use = 0;
+  report.disk_write_use = 0;
+  report.cpu_cores_used = 0;
+  report.mem_used = 0;
+  return report;
+}
+
+// Request layout (64 bytes):
+//   0  magic     u16
+//   2  version   u8
+//   3  type      u8
+//   4  seq       u32
+//   8  sender    u32
+//  12  target    u32
+//  16  pad[48]
+ProbeRequestWire EncodeProbeRequest(uint32_t seq, uint32_t sender_ip, uint32_t target_ip,
+                                    bool want_extended) {
+  ProbeRequestWire wire{};
+  PutU16(wire.data() + 0, kMagic);
+  wire[2] = kVersion;
+  wire[3] = kTypeRequest;
+  PutU32(wire.data() + 4, seq);
+  PutU32(wire.data() + 8, sender_ip);
+  PutU32(wire.data() + 12, target_ip);
+  wire[16] = want_extended ? kRequestFlagExtended : 0;
+  return wire;
+}
+
+std::optional<DecodedProbeRequest> DecodeProbeRequest(const ProbeRequestWire& wire) {
+  if (GetU16(wire.data()) != kMagic || wire[2] != kVersion || wire[3] != kTypeRequest) {
+    return std::nullopt;
+  }
+  DecodedProbeRequest out;
+  out.seq = GetU32(wire.data() + 4);
+  out.sender_ip = GetU32(wire.data() + 8);
+  out.target_ip = GetU32(wire.data() + 12);
+  out.want_extended = (wire[16] & kRequestFlagExtended) != 0;
+  return out;
+}
+
+// Reply layout (78 bytes):
+//   0  magic     u16
+//   2  version   u8
+//   3  type      u8
+//   4  seq       u32
+//   8  reporter  u32
+//  12  flags     u16
+//  14  8 x u64   rates: txc txu rxc rxu drc dru dwc dwu
+ProbeReplyWire EncodeProbeReply(uint32_t seq, uint32_t reporter_ip, const StatusReport& report) {
+  ProbeReplyWire wire{};
+  PutU16(wire.data() + 0, kMagic);
+  wire[2] = kVersion;
+  wire[3] = kTypeReply;
+  PutU32(wire.data() + 4, seq);
+  PutU32(wire.data() + 8, reporter_ip);
+  PutU16(wire.data() + 12, 0);
+  const Bps rates[8] = {report.nic_tx_cap,    report.nic_tx_use,    report.nic_rx_cap,
+                        report.nic_rx_use,    report.disk_read_cap, report.disk_read_use,
+                        report.disk_write_cap, report.disk_write_use};
+  for (int i = 0; i < 8; ++i) {
+    PutU64(wire.data() + 14 + 8 * i, RateToWire(rates[i]));
+  }
+  return wire;
+}
+
+std::optional<DecodedProbeReply> DecodeProbeReply(const ProbeReplyWire& wire) {
+  if (GetU16(wire.data()) != kMagic || wire[2] != kVersion || wire[3] != kTypeReply) {
+    return std::nullopt;
+  }
+  DecodedProbeReply out;
+  out.seq = GetU32(wire.data() + 4);
+  out.reporter_ip = GetU32(wire.data() + 8);
+  Bps* rates[8] = {&out.report.nic_tx_cap,    &out.report.nic_tx_use,
+                   &out.report.nic_rx_cap,    &out.report.nic_rx_use,
+                   &out.report.disk_read_cap, &out.report.disk_read_use,
+                   &out.report.disk_write_cap, &out.report.disk_write_use};
+  for (int i = 0; i < 8; ++i) {
+    *rates[i] = static_cast<Bps>(GetU64(wire.data() + 14 + 8 * i));
+  }
+  return out;
+}
+
+// v2 reply layout: the 78-byte v1 layout (type = 3) followed by
+//   78  cpu total   u32 (milli-cores)
+//   82  cpu used    u32 (milli-cores)
+//   86  mem total   u64
+//   94  mem used    u64
+ProbeReplyV2Wire EncodeProbeReplyV2(uint32_t seq, uint32_t reporter_ip,
+                                    const StatusReport& report) {
+  const ProbeReplyWire v1 = EncodeProbeReply(seq, reporter_ip, report);
+  ProbeReplyV2Wire wire{};
+  std::memcpy(wire.data(), v1.data(), v1.size());
+  wire[3] = kTypeReplyV2;
+  PutU32(wire.data() + 78, static_cast<uint32_t>(report.cpu_cores_total * 1000));
+  PutU32(wire.data() + 82, static_cast<uint32_t>(report.cpu_cores_used * 1000));
+  PutU64(wire.data() + 86, static_cast<uint64_t>(report.mem_total));
+  PutU64(wire.data() + 94, static_cast<uint64_t>(report.mem_used));
+  return wire;
+}
+
+std::optional<DecodedProbeReply> DecodeProbeReplyV2(const ProbeReplyV2Wire& wire) {
+  if (GetU16(wire.data()) != kMagic || wire[2] != kVersion || wire[3] != kTypeReplyV2) {
+    return std::nullopt;
+  }
+  ProbeReplyWire v1{};
+  std::memcpy(v1.data(), wire.data(), v1.size());
+  v1[3] = kTypeReply;
+  std::optional<DecodedProbeReply> out = DecodeProbeReply(v1);
+  if (!out.has_value()) {
+    return std::nullopt;
+  }
+  out->report.cpu_cores_total = GetU32(wire.data() + 78) / 1000.0;
+  out->report.cpu_cores_used = GetU32(wire.data() + 82) / 1000.0;
+  out->report.mem_total = static_cast<Bytes>(GetU64(wire.data() + 86));
+  out->report.mem_used = static_cast<Bytes>(GetU64(wire.data() + 94));
+  return out;
+}
+
+uint32_t PackIpv4(const std::string& dotted) {
+  uint32_t ip = 0;
+  uint32_t part = 0;
+  int shift = 24;
+  for (char c : dotted + ".") {
+    if (c == '.') {
+      ip |= (part & 0xFF) << shift;
+      shift -= 8;
+      part = 0;
+      if (shift < -8) {
+        break;
+      }
+    } else if (c >= '0' && c <= '9') {
+      part = part * 10 + static_cast<uint32_t>(c - '0');
+    }
+  }
+  return ip;
+}
+
+std::string UnpackIpv4(uint32_t ip) {
+  return std::to_string((ip >> 24) & 0xFF) + "." + std::to_string((ip >> 16) & 0xFF) + "." +
+         std::to_string((ip >> 8) & 0xFF) + "." + std::to_string(ip & 0xFF);
+}
+
+}  // namespace cloudtalk

@@ -1,0 +1,64 @@
+// The per-host status server (Figure 2): it periodically measures local
+// disk and NIC usage and answers CloudTalk server probes with the latest
+// sample.
+//
+// The measurement *period* matters: probes see state as of the last sample,
+// which is the feedback delay behind the oscillatory behaviour analysed in
+// Section 5.5. A period of zero makes every probe see live usage.
+#ifndef CLOUDTALK_SRC_STATUS_STATUS_SERVER_H_
+#define CLOUDTALK_SRC_STATUS_STATUS_SERVER_H_
+
+#include <functional>
+
+#include "src/common/units.h"
+#include "src/status/status.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+// Where a status server reads instantaneous local I/O usage from. The
+// harness implements this on top of the fluid simulation; tests use
+// synthetic sources.
+class UsageSource {
+ public:
+  virtual ~UsageSource() = default;
+  virtual StatusReport Snapshot(NodeId host) = 0;
+};
+
+class StatusServer {
+ public:
+  // `source` must outlive the server. `period` is the measurement interval;
+  // 0 means "measure on every probe".
+  StatusServer(NodeId host, UsageSource* source, Seconds period = 100 * kMillisecond)
+      : host_(host), source_(source), period_(period) {}
+
+  NodeId host() const { return host_; }
+  Seconds period() const { return period_; }
+
+  // Refreshes the cached measurement; the harness calls this on the
+  // measurement schedule.
+  void Measure() {
+    cached_ = source_->Snapshot(host_);
+    has_sample_ = true;
+  }
+
+  // Answers a probe: the latest sample (or a live one when period == 0 or
+  // nothing has been measured yet).
+  StatusReport Report() {
+    if (period_ <= 0 || !has_sample_) {
+      Measure();
+    }
+    return cached_;
+  }
+
+ private:
+  NodeId host_;
+  UsageSource* source_;
+  Seconds period_;
+  StatusReport cached_;
+  bool has_sample_ = false;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_STATUS_STATUS_SERVER_H_

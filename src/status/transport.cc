@@ -1,0 +1,42 @@
+#include "src/status/transport.h"
+
+#include <algorithm>
+
+namespace cloudtalk {
+
+ProbeOutcome SimUdpTransport::Probe(const std::vector<NodeId>& targets, Seconds timeout) {
+  (void)timeout;  // The simulated probe completes "within" the timeout.
+  ProbeOutcome outcome;
+  const int n = static_cast<int>(targets.size());
+  outcome.stats.requests_sent = n;
+  outcome.stats.bytes_sent = static_cast<int64_t>(n) * kProbeRequestBytes;
+
+  // Which replies survive the incast burst: all of them when the fan-in is
+  // within the burst capacity, otherwise a uniformly random subset of
+  // roughly burst_capacity replies.
+  std::vector<int> surviving;
+  if (n <= params_.burst_capacity) {
+    surviving.resize(n);
+    for (int i = 0; i < n; ++i) {
+      surviving[i] = i;
+    }
+  } else {
+    surviving = rng_.SampleWithoutReplacement(n, params_.burst_capacity);
+  }
+  for (int idx : surviving) {
+    if (params_.base_loss > 0 && rng_.Bernoulli(params_.base_loss)) {
+      continue;
+    }
+    const NodeId host = targets[idx];
+    const auto it = servers_.find(host);
+    if (it == servers_.end()) {
+      continue;  // No status server: behaves like a lost reply.
+    }
+    outcome.reports.emplace(host, it->second->Report());
+    outcome.stats.replies_received += 1;
+    outcome.stats.bytes_received += kProbeReplyBytes;
+  }
+  return outcome;
+}
+
+}  // namespace cloudtalk

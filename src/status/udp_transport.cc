@@ -1,0 +1,199 @@
+#include "src/status/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace cloudtalk {
+
+namespace {
+
+int MakeUdpSocket() { return ::socket(AF_INET, SOCK_DGRAM, 0); }
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpStatusDaemon::UdpStatusDaemon(NodeId host, uint32_t host_ip, UsageSource* source)
+    : host_(host), host_ip_(host_ip), source_(source) {}
+
+UdpStatusDaemon::~UdpStatusDaemon() { Stop(); }
+
+bool UdpStatusDaemon::Start(uint16_t port) {
+  fd_ = MakeUdpSocket();
+  if (fd_ < 0) {
+    return false;
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void UdpStatusDaemon::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Nudge the blocking recv with a zero-byte datagram to ourselves.
+  const int fd = MakeUdpSocket();
+  if (fd >= 0) {
+    sockaddr_in addr = LoopbackAddr(port_);
+    ::sendto(fd, "", 0, 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void UdpStatusDaemon::Loop() {
+  while (running_.load()) {
+    ProbeRequestWire wire{};
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n = ::recvfrom(fd_, wire.data(), wire.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (!running_.load()) {
+      return;
+    }
+    if (n != static_cast<ssize_t>(wire.size())) {
+      continue;
+    }
+    const auto request = DecodeProbeRequest(wire);
+    if (!request.has_value()) {
+      continue;
+    }
+    const StatusReport report = source_->Snapshot(host_);
+    if (request->want_extended) {
+      const ProbeReplyV2Wire reply = EncodeProbeReplyV2(request->seq, host_ip_, report);
+      ::sendto(fd_, reply.data(), reply.size(), 0, reinterpret_cast<sockaddr*>(&from),
+               from_len);
+    } else {
+      const ProbeReplyWire reply = EncodeProbeReply(request->seq, host_ip_, report);
+      ::sendto(fd_, reply.data(), reply.size(), 0, reinterpret_cast<sockaddr*>(&from),
+               from_len);
+    }
+    requests_served_.fetch_add(1);
+  }
+}
+
+UdpSocketTransport::~UdpSocketTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void UdpSocketTransport::Register(NodeId host, uint32_t host_ip, uint16_t port) {
+  peers_[host] = Peer{host_ip, port};
+  ip_to_host_[host_ip] = host;
+}
+
+bool UdpSocketTransport::Open() {
+  if (fd_ >= 0) {
+    return true;
+  }
+  fd_ = MakeUdpSocket();
+  return fd_ >= 0;
+}
+
+ProbeOutcome UdpSocketTransport::Probe(const std::vector<NodeId>& targets, Seconds timeout) {
+  ProbeOutcome outcome;
+  if (!Open()) {
+    return outcome;
+  }
+  const uint32_t base_seq = next_seq_;
+  next_seq_ += static_cast<uint32_t>(targets.size());
+
+  // Scatter.
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const auto it = peers_.find(targets[i]);
+    if (it == peers_.end()) {
+      continue;
+    }
+    const ProbeRequestWire wire = EncodeProbeRequest(base_seq + static_cast<uint32_t>(i), 0,
+                                                     it->second.ip, request_extended_);
+    sockaddr_in addr = LoopbackAddr(it->second.port);
+    if (::sendto(fd_, wire.data(), wire.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) == static_cast<ssize_t>(wire.size())) {
+      outcome.stats.requests_sent += 1;
+      outcome.stats.bytes_sent += kProbeRequestBytes;
+    }
+  }
+
+  // Gather until every target answered or the timeout expires.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
+  while (outcome.stats.replies_received < outcome.stats.requests_sent) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count());
+    if (remaining_ms <= 0) {
+      break;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms);
+    if (ready <= 0) {
+      break;
+    }
+    ProbeReplyV2Wire buffer{};
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    std::optional<DecodedProbeReply> reply;
+    int reply_bytes = 0;
+    if (n == static_cast<ssize_t>(kProbeReplyBytes)) {
+      ProbeReplyWire v1{};
+      std::memcpy(v1.data(), buffer.data(), v1.size());
+      reply = DecodeProbeReply(v1);
+      reply_bytes = kProbeReplyBytes;
+    } else if (n == static_cast<ssize_t>(kProbeReplyV2Bytes)) {
+      reply = DecodeProbeReplyV2(buffer);
+      reply_bytes = kProbeReplyV2Bytes;
+    } else {
+      continue;
+    }
+    if (!reply.has_value() || reply->seq < base_seq ||
+        reply->seq >= base_seq + targets.size()) {
+      continue;
+    }
+    const auto host_it = ip_to_host_.find(reply->reporter_ip);
+    if (host_it == ip_to_host_.end()) {
+      continue;
+    }
+    StatusReport report = reply->report;
+    report.host = host_it->second;
+    outcome.reports[host_it->second] = report;
+    outcome.stats.replies_received += 1;
+    outcome.stats.bytes_received += reply_bytes;
+  }
+  return outcome;
+}
+
+}  // namespace cloudtalk

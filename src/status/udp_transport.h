@@ -1,0 +1,86 @@
+// Real-socket UDP implementation of the status protocol.
+//
+// This is the deployment path: one UdpStatusDaemon runs next to each host
+// (in the paper, inside the hypervisor — or inside the VM on EC2), and the
+// CloudTalk server scatter-gathers with UdpSocketTransport. The in-process
+// SimUdpTransport remains the default for simulations; this code exists so
+// the distributed mode is real, testable (loopback) and demonstrable.
+#ifndef CLOUDTALK_SRC_STATUS_UDP_TRANSPORT_H_
+#define CLOUDTALK_SRC_STATUS_UDP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/status/status_server.h"
+#include "src/status/transport.h"
+
+namespace cloudtalk {
+
+// Answers probe requests on a UDP port. `source` must be thread-safe: the
+// daemon calls Snapshot() from its receive thread.
+class UdpStatusDaemon {
+ public:
+  UdpStatusDaemon(NodeId host, uint32_t host_ip, UsageSource* source);
+  ~UdpStatusDaemon();
+  UdpStatusDaemon(const UdpStatusDaemon&) = delete;
+  UdpStatusDaemon& operator=(const UdpStatusDaemon&) = delete;
+
+  // Binds 127.0.0.1 on an ephemeral port (or `port` if nonzero) and starts
+  // the receive thread. Returns false on socket errors.
+  bool Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  int64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void Loop();
+
+  NodeId host_;
+  uint32_t host_ip_;
+  UsageSource* source_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+// Probes UdpStatusDaemons over loopback.
+class UdpSocketTransport : public ProbeTransport {
+ public:
+  UdpSocketTransport() = default;
+  ~UdpSocketTransport() override;
+  UdpSocketTransport(const UdpSocketTransport&) = delete;
+  UdpSocketTransport& operator=(const UdpSocketTransport&) = delete;
+
+  // Maps a host to the daemon's loopback port and its wire IP.
+  void Register(NodeId host, uint32_t host_ip, uint16_t port);
+
+  // Creates the client socket lazily; returns false on failure.
+  bool Open();
+
+  // Request v2 (extended) replies carrying CPU/memory scalars (Section 7).
+  void set_request_extended(bool extended) { request_extended_ = extended; }
+
+  ProbeOutcome Probe(const std::vector<NodeId>& targets, Seconds timeout) override;
+
+ private:
+  struct Peer {
+    uint32_t ip = 0;
+    uint16_t port = 0;
+  };
+  int fd_ = -1;
+  bool request_extended_ = false;
+  uint32_t next_seq_ = 1;
+  std::unordered_map<NodeId, Peer> peers_;
+  std::unordered_map<uint32_t, NodeId> ip_to_host_;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_STATUS_UDP_TRANSPORT_H_

@@ -1,0 +1,207 @@
+#include "src/topology/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace cloudtalk {
+
+namespace {
+
+// Cheap deterministic mixer for ECMP tie-breaking.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+NodeId Topology::AddNode(NodeKind kind, std::string name, int rack) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, std::move(name), rack});
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  dist_cache_.clear();
+  return id;
+}
+
+NodeId Topology::AddHost(std::string name, const HostCaps& caps, int rack) {
+  const NodeId id = AddNode(NodeKind::kHost, std::move(name), rack);
+  hosts_.push_back(id);
+  host_caps_[id] = caps;
+  const int idx = static_cast<int>(hosts_.size()) - 1;
+  const int r = rack >= 0 ? rack : 0;
+  std::string ip = "10." + std::to_string(r % 250) + "." + std::to_string((idx / 250) % 250) +
+                   "." + std::to_string(idx % 250 + 1);
+  host_ips_[id] = ip;
+  ip_to_host_[ip] = id;
+  return id;
+}
+
+LinkId Topology::AddLink(NodeId from, NodeId to, Bps capacity, Seconds delay) {
+  assert(from != to);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, from, to, capacity, delay});
+  out_links_[from].push_back(id);
+  in_links_[to].push_back(id);
+  dist_cache_.clear();
+  return id;
+}
+
+LinkId Topology::AddDuplexLink(NodeId a, NodeId b, Bps capacity, Seconds delay) {
+  const LinkId forward = AddLink(a, b, capacity, delay);
+  AddLink(b, a, capacity, delay);
+  return forward;
+}
+
+NodeId Topology::HostByIp(const std::string& ip) const {
+  auto it = ip_to_host_.find(ip);
+  return it == ip_to_host_.end() ? kInvalidNode : it->second;
+}
+
+LinkId Topology::UplinkOf(NodeId host) const {
+  assert(node(host).kind == NodeKind::kHost);
+  return out_links_[host].empty() ? kInvalidLink : out_links_[host].front();
+}
+
+LinkId Topology::DownlinkOf(NodeId host) const {
+  assert(node(host).kind == NodeKind::kHost);
+  return in_links_[host].empty() ? kInvalidLink : in_links_[host].front();
+}
+
+const std::vector<int>& Topology::DistanceTo(NodeId dst) const {
+  auto it = dist_cache_.find(dst);
+  if (it != dist_cache_.end()) {
+    return it->second;
+  }
+  std::vector<int> dist(nodes_.size(), std::numeric_limits<int>::max());
+  std::deque<NodeId> queue;
+  dist[dst] = 0;
+  queue.push_back(dst);
+  // BFS over reversed edges so that dist[n] is hops from n to dst.
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (LinkId lid : in_links_[n]) {
+      const NodeId prev = links_[lid].from;
+      if (dist[prev] == std::numeric_limits<int>::max()) {
+        dist[prev] = dist[n] + 1;
+        queue.push_back(prev);
+      }
+    }
+  }
+  return dist_cache_.emplace(dst, std::move(dist)).first->second;
+}
+
+std::vector<LinkId> Topology::PathBetween(NodeId src, NodeId dst, uint64_t ecmp_salt) const {
+  std::vector<LinkId> path;
+  if (src == dst) {
+    return path;
+  }
+  const std::vector<int>& dist = DistanceTo(dst);
+  assert(dist[src] != std::numeric_limits<int>::max() && "no route between nodes");
+  NodeId cur = src;
+  while (cur != dst) {
+    // Collect all next hops on shortest paths, then break ties with the salt
+    // so that distinct flows spread over the equal-cost core.
+    LinkId best = kInvalidLink;
+    uint64_t best_hash = 0;
+    for (LinkId lid : out_links_[cur]) {
+      const Link& l = links_[lid];
+      if (dist[l.to] != dist[cur] - 1) {
+        continue;
+      }
+      const uint64_t h = Mix(ecmp_salt, static_cast<uint64_t>(lid) + 1);
+      if (best == kInvalidLink || h > best_hash) {
+        best = lid;
+        best_hash = h;
+      }
+    }
+    assert(best != kInvalidLink);
+    path.push_back(best);
+    cur = links_[best].to;
+  }
+  return path;
+}
+
+bool Topology::SameRack(NodeId a, NodeId b) const {
+  return node(a).rack >= 0 && node(a).rack == node(b).rack;
+}
+
+Topology MakeSingleSwitch(const SingleSwitchParams& params) {
+  Topology topo;
+  const NodeId sw = topo.AddNode(NodeKind::kTor, "switch0", 0);
+  for (int i = 0; i < params.num_hosts; ++i) {
+    const NodeId h = topo.AddHost("host" + std::to_string(i), params.host_caps, 0);
+    topo.AddDuplexLink(h, sw, params.link_capacity, params.link_delay);
+  }
+  return topo;
+}
+
+Topology MakeVl2(const Vl2Params& params) {
+  Topology topo;
+  std::vector<NodeId> cores;
+  std::vector<NodeId> aggs;
+  cores.reserve(params.num_cores);
+  aggs.reserve(params.num_aggs);
+  for (int c = 0; c < params.num_cores; ++c) {
+    cores.push_back(topo.AddNode(NodeKind::kCore, "core" + std::to_string(c)));
+  }
+  for (int a = 0; a < params.num_aggs; ++a) {
+    const NodeId agg = topo.AddNode(NodeKind::kAgg, "agg" + std::to_string(a));
+    aggs.push_back(agg);
+    for (NodeId core : cores) {
+      topo.AddDuplexLink(agg, core, params.agg_uplink, params.link_delay);
+    }
+  }
+  for (int r = 0; r < params.num_racks; ++r) {
+    const NodeId tor = topo.AddNode(NodeKind::kTor, "tor" + std::to_string(r), r);
+    for (NodeId agg : aggs) {
+      topo.AddDuplexLink(tor, agg, params.tor_uplink, params.link_delay);
+    }
+    for (int h = 0; h < params.hosts_per_rack; ++h) {
+      if (params.max_hosts > 0 &&
+          static_cast<int>(topo.hosts().size()) >= params.max_hosts) {
+        break;
+      }
+      HostCaps caps = params.host_caps;
+      caps.nic_up = std::min(caps.nic_up, params.host_link);
+      caps.nic_down = std::min(caps.nic_down, params.host_link);
+      const NodeId host =
+          topo.AddHost("h" + std::to_string(r) + "_" + std::to_string(h), caps, r);
+      topo.AddDuplexLink(host, tor, params.host_link, params.link_delay);
+    }
+  }
+  return topo;
+}
+
+Topology MakeEc2(const Ec2Params& params) {
+  Vl2Params vl2;
+  vl2.hosts_per_rack = params.hosts_per_rack;
+  vl2.max_hosts = params.num_instances;
+  vl2.num_racks =
+      (params.num_instances + params.hosts_per_rack - 1) / params.hosts_per_rack;
+  vl2.num_aggs = 4;
+  vl2.num_cores = 8;
+  // The tenant-visible bottleneck is the per-instance cap: give the fabric
+  // ample headroom (full bisection) and clamp the host NICs.
+  vl2.host_link = 10 * kGbps;
+  vl2.tor_uplink = 40 * kGbps * params.hosts_per_rack / 10;
+  vl2.agg_uplink = 100 * kGbps;
+  vl2.link_delay = params.link_delay;
+  vl2.host_caps.nic_up = params.instance_rate;
+  vl2.host_caps.nic_down = params.instance_rate;
+  vl2.host_caps.disk_read = params.disk_read;
+  vl2.host_caps.disk_write = params.disk_write;
+  Topology topo = MakeVl2(vl2);
+  assert(static_cast<int>(topo.hosts().size()) == params.num_instances);
+  return topo;
+}
+
+}  // namespace cloudtalk

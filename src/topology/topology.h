@@ -1,0 +1,160 @@
+// Datacenter topology model.
+//
+// A Topology is a directed graph of hosts and switches connected by
+// capacity-annotated links. Hosts additionally carry NIC and disk capacity
+// descriptors (the resources where, per the paper's full-bisection argument,
+// all contention forms). Builders are provided for the three fabrics used in
+// the evaluation: a single-switch local cluster, a VL2-style multi-rack
+// datacenter (what EC2 resembles, per Section 3), and a host-only "EC2
+// tenant" view where each VM has a flat per-instance bandwidth cap.
+#ifndef CLOUDTALK_SRC_TOPOLOGY_TOPOLOGY_H_
+#define CLOUDTALK_SRC_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cloudtalk {
+
+using NodeId = int32_t;
+using LinkId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind { kHost, kTor, kAgg, kCore };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  int rack = -1;  // Rack index for hosts and ToRs; -1 otherwise.
+};
+
+// A directed link. Duplex cables are modelled as two directed links.
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Bps capacity = 0;
+  Seconds delay = 0;  // Propagation delay; only the packet simulator uses it.
+};
+
+// Per-host I/O capacities. NIC capacities usually match the host's access
+// link but are kept separate so that EC2-style per-VM rate caps (500 Mbps on
+// c3.large regardless of fabric speed) can be expressed.
+struct HostCaps {
+  Bps nic_up = 1 * kGbps;
+  Bps nic_down = 1 * kGbps;
+  Bps disk_read = 4 * kGbps;   // ~500 MB/s SSD.
+  Bps disk_write = 4 * kGbps;  // ~500 MB/s SSD.
+  // Scalar resources (Section 7 extension).
+  double cpu_cores = 8;
+  Bytes memory = 32.0 * 1024 * 1024 * 1024;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId AddNode(NodeKind kind, std::string name, int rack = -1);
+  // Adds a host with an auto-assigned synthetic IPv4 address and caps.
+  NodeId AddHost(std::string name, const HostCaps& caps, int rack = -1);
+
+  LinkId AddLink(NodeId from, NodeId to, Bps capacity, Seconds delay = 0);
+  // Adds both directions; returns the forward link id (the reverse id is
+  // forward + 1 by construction).
+  LinkId AddDuplexLink(NodeId a, NodeId b, Bps capacity, Seconds delay = 0);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const Link& link(LinkId id) const { return links_[id]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  const std::vector<NodeId>& hosts() const { return hosts_; }
+  const HostCaps& host_caps(NodeId host) const { return host_caps_.at(host); }
+  HostCaps& mutable_host_caps(NodeId host) { return host_caps_.at(host); }
+
+  // Synthetic IPv4 address assigned to each host ("10.<rack>.<idx>.<n>").
+  const std::string& IpOf(NodeId host) const { return host_ips_.at(host); }
+  // kInvalidNode if no host carries `ip`.
+  NodeId HostByIp(const std::string& ip) const;
+
+  // Outgoing links of a node.
+  const std::vector<LinkId>& OutLinks(NodeId node) const { return out_links_[node]; }
+
+  // The directed access link leaving/entering a host (first out/in link).
+  LinkId UplinkOf(NodeId host) const;
+  LinkId DownlinkOf(NodeId host) const;
+
+  // Shortest path from `src` to `dst` as a sequence of directed link ids.
+  // Equal-cost choices are broken by `ecmp_salt` so that different flows can
+  // take different core paths. Empty when src == dst (loopback transfer).
+  std::vector<LinkId> PathBetween(NodeId src, NodeId dst, uint64_t ecmp_salt = 0) const;
+
+  // True if a and b are hosts in the same rack.
+  bool SameRack(NodeId a, NodeId b) const;
+
+ private:
+  const std::vector<int>& DistanceTo(NodeId dst) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+  std::vector<NodeId> hosts_;
+  std::unordered_map<NodeId, HostCaps> host_caps_;
+  std::unordered_map<NodeId, std::string> host_ips_;
+  std::unordered_map<std::string, NodeId> ip_to_host_;
+  // Distance tables, lazily computed per destination (BFS hop counts).
+  mutable std::unordered_map<NodeId, std::vector<int>> dist_cache_;
+};
+
+// ---------- Builders ----------
+
+struct SingleSwitchParams {
+  int num_hosts = 20;
+  Bps link_capacity = 1 * kGbps;
+  Seconds link_delay = 10 * kMicrosecond;
+  HostCaps host_caps;
+};
+
+// The paper's local cluster: N hosts into one switch.
+Topology MakeSingleSwitch(const SingleSwitchParams& params);
+
+struct Vl2Params {
+  int num_racks = 25;
+  int hosts_per_rack = 48;
+  int max_hosts = 0;  // 0 = fill every rack; otherwise stop after this many.
+  int num_aggs = 4;
+  int num_cores = 8;
+  Bps host_link = 1 * kGbps;
+  Bps tor_uplink = 10 * kGbps;
+  Bps agg_uplink = 10 * kGbps;
+  Seconds link_delay = 10 * kMicrosecond;
+  HostCaps host_caps;
+};
+
+// VL2-like three-tier fabric: hosts - ToR - Agg - Core, full mesh between
+// tiers above the ToR (full bisection when uplinks are generously sized).
+Topology MakeVl2(const Vl2Params& params);
+
+struct Ec2Params {
+  int num_instances = 100;
+  Bps instance_rate = 500 * kMbps;  // c3.large-era per-VM cap.
+  int hosts_per_rack = 20;
+  Seconds link_delay = 50 * kMicrosecond;
+  Bps disk_read = 8 * kGbps;   // "local storage was considerably faster".
+  Bps disk_write = 8 * kGbps;
+};
+
+// The tenant's-eye view of EC2 in 2015: a full-bisection fabric where each
+// instance is strictly rate-limited; racks only matter for latency.
+Topology MakeEc2(const Ec2Params& params);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,132 @@
+#include "src/websearch/search_cluster.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace cloudtalk {
+
+namespace {
+
+// Per-query bookkeeping shared by the event callbacks.
+struct QueryState {
+  Seconds issued = 0;
+  int aggs_outstanding = 0;
+  std::vector<int> leaves_outstanding;  // Per aggregator.
+  bool done = false;
+};
+
+}  // namespace
+
+SearchCluster::SearchCluster(const Topology* topo, SearchDeployment deployment,
+                             SearchParams params)
+    : topo_(topo), deployment_(std::move(deployment)), params_(params) {}
+
+SearchStats SearchCluster::RunLoad(double qps, Seconds duration, uint64_t seed) {
+  packetsim::PacketNetwork net(topo_, params_.net);
+  Rng rng(seed);
+  SearchStats stats;
+  std::vector<std::unique_ptr<QueryState>> queries;
+
+  const int num_aggs = static_cast<int>(deployment_.aggregators.size());
+
+  // Issue one query: frontend -> aggs -> leaves (requests as datagrams),
+  // leaves answer with TCP responses; each agg forwards once its leaves all
+  // answered; query completes when every agg's merge lands at the frontend.
+  auto issue = [&](Seconds at) {
+    auto state = std::make_unique<QueryState>();
+    QueryState* q = state.get();
+    q->issued = at;
+    q->aggs_outstanding = num_aggs;
+    q->leaves_outstanding.resize(num_aggs);
+    queries.push_back(std::move(state));
+    stats.issued += 1;
+
+    for (int a = 0; a < num_aggs; ++a) {
+      const NodeId agg = deployment_.aggregators[a];
+      const auto& leaves = deployment_.leaves_per_aggregator[a];
+      q->leaves_outstanding[a] = static_cast<int>(leaves.size());
+      // Frontend -> agg request, then agg -> leaves fan-out. Requests ride
+      // TCP (Solr speaks HTTP): a dropped request packet is retransmitted
+      // rather than silently lost in the fan-out burst.
+      net.StartTcpFlow(deployment_.frontend, agg, params_.request_size, at,
+                       [&net, this, q, a, agg, &leaves, &stats](packetsim::FlowId,
+                                                                Seconds t_agg) {
+        for (const NodeId leaf : leaves) {
+          net.StartTcpFlow(agg, leaf, params_.request_size, t_agg,
+                           [&net, this, q, a, agg, leaf, &stats](packetsim::FlowId,
+                                                                 Seconds t_leaf) {
+            // Leaf searches its shard, then streams results to the agg.
+            const Seconds respond_at = t_leaf + params_.leaf_compute;
+            net.StartTcpFlow(leaf, agg, params_.leaf_response, respond_at,
+                             [&net, this, q, a, agg, &stats](packetsim::FlowId, Seconds t) {
+              if (--q->leaves_outstanding[a] > 0) {
+                return;
+              }
+              // All leaves answered: forward the merged results.
+              const Bytes merged =
+                  params_.leaf_response *
+                  static_cast<double>(deployment_.leaves_per_aggregator[a].size());
+              net.StartTcpFlow(agg, deployment_.frontend, merged, t,
+                               [this, q, &stats, &net](packetsim::FlowId, Seconds t_done) {
+                if (--q->aggs_outstanding > 0 || q->done) {
+                  return;
+                }
+                q->done = true;
+                stats.completed += 1;
+                stats.latencies.push_back(t_done - q->issued);
+                (void)net;
+              });
+            });
+          });
+        }
+      });
+    }
+  };
+
+  // Poisson arrivals.
+  Seconds t = 0;
+  while (t < duration) {
+    issue(t);
+    t += rng.Exponential(1.0 / qps);
+  }
+  net.RunUntilIdle(/*hard_deadline=*/duration + 120.0);
+  stats.drops = net.total_drops();
+  stats.timeouts = net.total_timeouts();
+  return stats;
+}
+
+SearchDeployment SingleAggregatorDeployment(const std::vector<NodeId>& hosts, NodeId frontend,
+                                            NodeId aggregator) {
+  SearchDeployment deployment;
+  deployment.frontend = frontend;
+  deployment.aggregators = {aggregator};
+  deployment.leaves_per_aggregator.emplace_back();
+  for (NodeId h : hosts) {
+    if (h != frontend && h != aggregator) {
+      deployment.leaves_per_aggregator[0].push_back(h);
+    }
+  }
+  return deployment;
+}
+
+SearchDeployment TwoAggregatorDeployment(const std::vector<NodeId>& hosts, NodeId frontend,
+                                         NodeId agg1, NodeId agg2) {
+  SearchDeployment deployment;
+  deployment.frontend = frontend;
+  deployment.aggregators = {agg1, agg2};
+  deployment.leaves_per_aggregator.resize(2);
+  std::vector<NodeId> leaves;
+  for (NodeId h : hosts) {
+    if (h != frontend && h != agg1 && h != agg2) {
+      leaves.push_back(h);
+    }
+  }
+  // "Servers addresses are sorted according to proximity. The first 50
+  // servers go to the first aggregator, and the other 50 to the second."
+  const size_t half = leaves.size() / 2;
+  deployment.leaves_per_aggregator[0].assign(leaves.begin(), leaves.begin() + half);
+  deployment.leaves_per_aggregator[1].assign(leaves.begin() + half, leaves.end());
+  return deployment;
+}
+
+}  // namespace cloudtalk

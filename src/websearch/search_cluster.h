@@ -1,0 +1,70 @@
+// Web-search substrate (Section 5.4): a scatter-gather query tree in the
+// packet-level simulator.
+//
+// Servers form a hierarchy: a frontend fans queries out to aggregators,
+// each aggregator to its leaf index servers. Every leaf returns ~10 KB of
+// results over TCP; the aggregator forwards the merged results to the
+// frontend once all of its leaves answered. Query latency is dominated by
+// TCP incast at the aggregation points — with a single aggregator facing
+// 100 leaves the system collapses beyond a few tens of queries per second,
+// which is Figure 11.
+#ifndef CLOUDTALK_SRC_WEBSEARCH_SEARCH_CLUSTER_H_
+#define CLOUDTALK_SRC_WEBSEARCH_SEARCH_CLUSTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/packetsim/network.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+
+struct SearchParams {
+  Bytes request_size = 200;          // Query fan-out message.
+  Bytes leaf_response = 10 * kKB;    // Per-leaf results ("10KB", Section 5.4).
+  Seconds leaf_compute = 5 * kMillisecond;  // Local index search time.
+  packetsim::NetworkParams net;
+};
+
+struct SearchStats {
+  std::vector<double> latencies;  // Completed query latencies (seconds).
+  int issued = 0;
+  int completed = 0;
+  int64_t drops = 0;
+  int64_t timeouts = 0;
+};
+
+// A deployment: where the frontend, aggregators and leaves live, and which
+// leaves report to which aggregator.
+struct SearchDeployment {
+  NodeId frontend = kInvalidNode;
+  std::vector<NodeId> aggregators;
+  std::vector<std::vector<NodeId>> leaves_per_aggregator;
+};
+
+class SearchCluster {
+ public:
+  SearchCluster(const Topology* topo, SearchDeployment deployment, SearchParams params);
+
+  // Issues queries at `qps` (Poisson arrivals) for `duration`, runs the
+  // simulation to completion, and returns latency statistics.
+  SearchStats RunLoad(double qps, Seconds duration, uint64_t seed = 1);
+
+ private:
+  const Topology* topo_;
+  SearchDeployment deployment_;
+  SearchParams params_;
+};
+
+// Deployment builders over a host list: one aggregator serving all leaves,
+// or two aggregators splitting them (the Figure 10 architecture).
+SearchDeployment SingleAggregatorDeployment(const std::vector<NodeId>& hosts,
+                                            NodeId frontend, NodeId aggregator);
+SearchDeployment TwoAggregatorDeployment(const std::vector<NodeId>& hosts, NodeId frontend,
+                                         NodeId agg1, NodeId agg2);
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_WEBSEARCH_SEARCH_CLUSTER_H_

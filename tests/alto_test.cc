@@ -1,0 +1,136 @@
+// Tests for the ALTO baseline (Section 3.2) and its HDFS integration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/alto/alto.h"
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/hdfs/mini_hdfs.h"
+
+namespace cloudtalk {
+namespace {
+
+Topology SmallVl2() {
+  Vl2Params params;
+  params.num_racks = 3;
+  params.hosts_per_rack = 4;
+  return MakeVl2(params);
+}
+
+TEST(AltoTest, PidsFollowRacks) {
+  const Topology topo = SmallVl2();
+  alto::AltoServer server(&topo);
+  EXPECT_EQ(server.num_pids(), 3);
+  EXPECT_EQ(server.PidOf(topo.hosts()[0]), server.PidOf(topo.hosts()[1]));
+  EXPECT_NE(server.PidOf(topo.hosts()[0]), server.PidOf(topo.hosts()[4]));
+}
+
+TEST(AltoTest, CostsReflectProximity) {
+  const Topology topo = SmallVl2();
+  alto::AltoServer server(&topo);
+  const NodeId a = topo.hosts()[0];
+  EXPECT_DOUBLE_EQ(server.Cost(a, topo.hosts()[1]), 0.0);  // Same PID.
+  EXPECT_GT(server.Cost(a, topo.hosts()[4]), 0.0);         // Cross rack.
+}
+
+TEST(AltoTest, SelectsNearestCandidate) {
+  const Topology topo = SmallVl2();
+  alto::AltoServer server(&topo);
+  Rng rng(1);
+  const NodeId client = topo.hosts()[0];
+  const NodeId same_rack = topo.hosts()[2];
+  const NodeId far = topo.hosts()[8];
+  EXPECT_EQ(server.SelectEndpoint(client, {far, same_rack}, rng), same_rack);
+}
+
+TEST(AltoTest, TieBreaksAreUniformish) {
+  const Topology topo = SmallVl2();
+  alto::AltoServer server(&topo);
+  Rng rng(7);
+  const NodeId client = topo.hosts()[0];
+  std::set<NodeId> picks;
+  for (int i = 0; i < 64; ++i) {
+    picks.insert(server.SelectEndpoint(client, {topo.hosts()[1], topo.hosts()[2]}, rng));
+  }
+  EXPECT_EQ(picks.size(), 2u);  // Both same-cost candidates get chosen.
+}
+
+TEST(AltoTest, MultiSelectDistinctAndNearestFirst) {
+  const Topology topo = SmallVl2();
+  alto::AltoServer server(&topo);
+  Rng rng(3);
+  const NodeId client = topo.hosts()[0];
+  std::vector<NodeId> candidates(topo.hosts().begin() + 1, topo.hosts().end());
+  const std::vector<NodeId> chosen = server.SelectEndpoints(client, candidates, 3, rng);
+  ASSERT_EQ(chosen.size(), 3u);
+  std::set<NodeId> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // The three same-rack candidates cost 0; they must fill the selection.
+  for (NodeId host : chosen) {
+    EXPECT_TRUE(topo.SameRack(client, host));
+  }
+}
+
+TEST(AltoHdfsTest, ReadPrefersNearReplicaButIgnoresLoad) {
+  // ALTO picks the same-rack replica even when it is overloaded — exactly
+  // the Section 3.2 criticism ("does not include dynamic load information").
+  Vl2Params params;
+  params.num_racks = 2;
+  params.hosts_per_rack = 4;
+  Cluster cluster(MakeVl2(params));
+  cluster.StartStatusSweep();
+  alto::AltoServer alto_server(&cluster.topology());
+  // The same-rack replica (host 1) is hammered; the far replica is idle.
+  cluster.AddBackgroundPair(cluster.host(2), cluster.host(1), 950 * kMbps);
+  cluster.AddBackgroundPair(cluster.host(1), cluster.host(2), 950 * kMbps);
+  cluster.RunUntil(0.25);
+
+  HdfsOptions options;
+  options.alto = &alto_server;
+  MiniHdfs hdfs(&cluster, options);
+  hdfs.InstallFile("data", 256 * kMB, {{cluster.host(1), cluster.host(5)}});
+  Seconds alto_time = -1;
+  ASSERT_TRUE(hdfs.ReadFile(cluster.host(0), "data", [&](Seconds s, Seconds e) {
+    alto_time = e - s;
+  }));
+  cluster.RunUntil(cluster.now() + 120);
+  ASSERT_GT(alto_time, 0);
+
+  // CloudTalk on the same layout reads from the idle far replica.
+  HdfsOptions ct_options;
+  ct_options.cloudtalk_reads = true;
+  MiniHdfs ct_hdfs(&cluster, ct_options);
+  ct_hdfs.InstallFile("data2", 256 * kMB, {{cluster.host(1), cluster.host(5)}});
+  Seconds ct_time = -1;
+  ASSERT_TRUE(ct_hdfs.ReadFile(cluster.host(0), "data2", [&](Seconds s, Seconds e) {
+    ct_time = e - s;
+  }));
+  cluster.RunUntil(cluster.now() + 120);
+  ASSERT_GT(ct_time, 0);
+  EXPECT_GT(alto_time, ct_time * 2);
+}
+
+TEST(AltoHdfsTest, WritePipelineUsesNearestRemotes) {
+  Vl2Params params;
+  params.num_racks = 2;
+  params.hosts_per_rack = 4;
+  Cluster cluster(MakeVl2(params));
+  alto::AltoServer alto_server(&cluster.topology());
+  HdfsOptions options;
+  options.alto = &alto_server;
+  MiniHdfs hdfs(&cluster, options);
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 256 * kMB, nullptr));
+  cluster.sim().RunUntilIdle();
+  const MiniHdfs::FileInfo* file = hdfs.GetFile("f");
+  ASSERT_NE(file, nullptr);
+  const auto& replicas = file->block_replicas[0];
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0], cluster.host(0));
+  // ALTO keeps the pipeline in the writer's rack.
+  EXPECT_TRUE(cluster.topology().SameRack(replicas[0], replicas[1]));
+  EXPECT_TRUE(cluster.topology().SameRack(replicas[0], replicas[2]));
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -1,0 +1,110 @@
+// Unit tests for src/common: units, stats, rng, result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+
+namespace cloudtalk {
+namespace {
+
+TEST(UnitsTest, TransferTime) {
+  // 1 MB at 8 Mbps = 1.048576 seconds (binary MB).
+  EXPECT_DOUBLE_EQ(TransferTime(1 * kMB, 8 * kMbps), kMB * 8 / (8e6));
+  EXPECT_GT(TransferTime(1, 0), 1e17);  // Zero rate: effectively never.
+}
+
+TEST(UnitsTest, RateFor) {
+  EXPECT_DOUBLE_EQ(RateFor(1000, 8), 1000.0);  // 1000 B in 8 s = 1000 bps.
+  EXPECT_DOUBLE_EQ(RateFor(1000, 0), 0.0);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+  EXPECT_NEAR(Percentile(v, 99), 9.91, 1e-9);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({9, 1, 5}, 50), 5.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementWholePopulation) {
+  Rng rng(11);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 10).size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  Result<int> err(Error{"boom", 3, 7});
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().message, "boom");
+  EXPECT_EQ(err.error().ToString(), "boom at line 3, column 7");
+}
+
+TEST(ResultTest, ErrorWithoutPosition) {
+  Error e{"plain"};
+  EXPECT_EQ(e.ToString(), "plain");
+}
+
+}  // namespace
+}  // namespace cloudtalk

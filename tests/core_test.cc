@@ -1,0 +1,762 @@
+// Tests for the CloudTalk server core: heuristic, estimator, exhaustive
+// search, reservations, sampling integration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/directory.h"
+#include "src/core/estimator.h"
+#include "src/core/exhaustive.h"
+#include "src/core/heuristic.h"
+#include "src/core/policy.h"
+#include "src/core/reservations.h"
+#include "src/core/server.h"
+#include "src/lang/parser.h"
+#include "src/status/status_server.h"
+#include "src/status/transport.h"
+
+namespace cloudtalk {
+namespace {
+
+using lang::CompiledQuery;
+using lang::Endpoint;
+using lang::Parse;
+using lang::Query;
+
+StatusReport MakeReport(Bps cap, Bps tx_use, Bps rx_use, Bps disk_cap = 4e9,
+                        Bps disk_read_use = 0, Bps disk_write_use = 0) {
+  StatusReport r;
+  r.nic_tx_cap = cap;
+  r.nic_tx_use = tx_use;
+  r.nic_rx_cap = cap;
+  r.nic_rx_use = rx_use;
+  r.disk_read_cap = disk_cap;
+  r.disk_read_use = disk_read_use;
+  r.disk_write_cap = disk_cap;
+  r.disk_write_use = disk_write_use;
+  return r;
+}
+
+CompiledQuery MustCompile(const Query& query) {
+  auto compiled = CompiledQuery::Compile(query);
+  EXPECT_TRUE(compiled.ok()) << (compiled.ok() ? "" : compiled.error().ToString());
+  return std::move(compiled).value();
+}
+
+Query MustParse(const std::string& text) {
+  auto query = Parse(text);
+  EXPECT_TRUE(query.ok()) << (query.ok() ? "" : query.error().ToString());
+  return std::move(query).value();
+}
+
+// ---- Fitness functions ----
+
+TEST(FitnessTest, LinearWeightTradesCapacityAgainstContention) {
+  // The paper's linear model: with W=2 the fast-but-loaded host scores
+  // 10G - 2*5G = 0 < 1G; with W=0 raw capacity wins.
+  const StatusReport slow_idle = MakeReport(1e9, 0, 0);
+  const StatusReport fast_loaded = MakeReport(10e9, 5e9, 5e9);
+  EXPECT_GT(EvalTx(slow_idle, 2.0, FitnessModel::kLinear),
+            EvalTx(fast_loaded, 2.0, FitnessModel::kLinear));
+  EXPECT_LT(EvalTx(slow_idle, 0.0, FitnessModel::kLinear),
+            EvalTx(fast_loaded, 0.0, FitnessModel::kLinear));
+}
+
+TEST(FitnessTest, FairShareAvoidsSaturationInversion) {
+  // The repository-default model: among two saturated disks, the faster one
+  // still wins (its elastic competitors would yield a fair share); the
+  // linear model inverts this (DESIGN.md reproduction note).
+  const double fast_saturated = EvalFitness(3e9, 3e9, 2.0, FitnessModel::kFairShare);
+  const double slow_saturated = EvalFitness(375e6, 375e6, 2.0, FitnessModel::kFairShare);
+  EXPECT_GT(fast_saturated, slow_saturated);
+  EXPECT_LT(EvalFitness(3e9, 3e9, 2.0, FitnessModel::kLinear),
+            EvalFitness(375e6, 375e6, 2.0, FitnessModel::kLinear));
+}
+
+TEST(FitnessTest, FairShareMonotoneInUsage) {
+  for (double cap : {1e9, 3e9, 10e9}) {
+    double prev = EvalFitness(cap, 0, 2.0, FitnessModel::kFairShare);
+    EXPECT_DOUBLE_EQ(prev, cap);  // Idle: full capacity.
+    for (double frac = 0.1; frac <= 1.01; frac += 0.1) {
+      const double score = EvalFitness(cap, frac * cap, 2.0, FitnessModel::kFairShare);
+      EXPECT_LE(score, prev + 1e-9);
+      EXPECT_GT(score, 0.0);
+      prev = score;
+    }
+  }
+}
+
+// ---- Heuristic: the paper's Section 4.2 walkthrough ----
+
+TEST(HeuristicTest, PaperExampleBindsZToLocalEndpoint) {
+  // X = Y = Z = (a b c); f1: X->Y 100M; f2: Z->a 100M.
+  // Z must be bound to a (loopback); X gets the best tx of {b, c}; Y the rest.
+  const Query query = MustParse(
+      "X = Y = Z = (a b c)\n"
+      "f1 X -> Y size 100M\n"
+      "f2 Z -> a size 100M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["a"] = MakeReport(1e9, 100e6, 100e6);
+  status["b"] = MakeReport(1e9, 600e6, 0);      // Busy sender.
+  status["c"] = MakeReport(1e9, 100e6, 300e6);  // Mostly idle sender.
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const Binding& binding = result.value().binding;
+  EXPECT_EQ(binding.at("Z").name, "a");
+  // X transmits: c has more tx headroom than b.
+  EXPECT_EQ(binding.at("X").name, "c");
+  EXPECT_EQ(binding.at("Y").name, "b");
+}
+
+TEST(HeuristicTest, PriorityBindingAblationLosesLocalOptimum) {
+  // With priority binding disabled, X binds first (declaration order) and
+  // can steal `a`, preventing the free local binding for Z (DESIGN.md #3).
+  const Query query = MustParse(
+      "X = Y = Z = (a b c)\n"
+      "f1 X -> Y size 100M\n"
+      "f2 Z -> a size 100M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["a"] = MakeReport(1e9, 0, 0);  // a looks best for everyone.
+  status["b"] = MakeReport(1e9, 500e6, 500e6);
+  status["c"] = MakeReport(1e9, 600e6, 600e6);
+  HeuristicParams params;
+  params.enable_priority_binding = false;
+  auto result = EvaluateHeuristic(compiled, status, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("X").name, "a");
+  EXPECT_NE(result.value().binding.at("Z").name, "a");
+}
+
+TEST(HeuristicTest, DistinctBindingsByDefault) {
+  const Query query = MustParse(
+      "A = B = (x y z)\n"
+      "f1 A -> sink size 1M\n"
+      "f2 B -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0);
+  status["y"] = MakeReport(1e9, 100e6, 0);
+  status["z"] = MakeReport(1e9, 900e6, 0);
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().binding.at("A").name, result.value().binding.at("B").name);
+  EXPECT_EQ(result.value().binding.at("A").name, "x");
+  EXPECT_EQ(result.value().binding.at("B").name, "y");
+}
+
+TEST(HeuristicTest, AllowSameOverride) {
+  const Query query = MustParse(
+      "option allow_same\n"
+      "A = B = (x y)\n"
+      "f1 A -> sink size 1M\n"
+      "f2 B -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0);
+  status["y"] = MakeReport(1e9, 900e6, 0);
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("A").name, "x");
+  EXPECT_EQ(result.value().binding.at("B").name, "x");
+}
+
+TEST(HeuristicTest, PoolWrapsWhenMoreVariablesThanValues) {
+  // Section 5.3 reduce query: "If there are less nodes than reduce tasks,
+  // then everyone receives at least one reduce task."
+  const Query query = MustParse(
+      "a1 = a2 = a3 = a4 = a5 = (x y)\n"
+      "f1 0.0.0.0 -> a1 size 1G\n"
+      "f2 0.0.0.0 -> a2 size 1G\n"
+      "f3 0.0.0.0 -> a3 size 1G\n"
+      "f4 0.0.0.0 -> a4 size 1G\n"
+      "f5 0.0.0.0 -> a5 size 1G\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0);
+  status["y"] = MakeReport(1e9, 0, 100e6);
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  int x_count = 0;
+  int y_count = 0;
+  for (const auto& [var, endpoint] : result.value().binding) {
+    (void)var;
+    (endpoint.name == "x" ? x_count : y_count) += 1;
+  }
+  EXPECT_EQ(x_count + y_count, 5);
+  EXPECT_GE(x_count, 2);  // Both servers get work.
+  EXPECT_GE(y_count, 2);
+}
+
+TEST(HeuristicTest, ReservationFilterSkipsReservedBest) {
+  const Query query = MustParse(
+      "A = (x y)\n"
+      "f1 A -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0);        // Best.
+  status["y"] = MakeReport(1e9, 400e6, 0);    // Second.
+  auto reserved = [](const std::string& address) { return address == "x"; };
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{}, reserved);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("A").name, "y");
+}
+
+TEST(HeuristicTest, AllReservedFallsBackToBest) {
+  const Query query = MustParse(
+      "A = (x y)\n"
+      "f1 A -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0);
+  status["y"] = MakeReport(1e9, 400e6, 0);
+  auto reserved = [](const std::string&) { return true; };
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{}, reserved);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("A").name, "x");
+}
+
+TEST(HeuristicTest, DiskOnlyVariableScoredByDisk) {
+  const Query query = MustParse(
+      "A = (x y)\n"
+      "f1 disk -> A size 1G\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 0, /*disk_cap=*/4e9, /*disk_read_use=*/3.9e9);
+  status["y"] = MakeReport(1e9, 900e6, 900e6, /*disk_cap=*/4e9, /*disk_read_use=*/0);
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  // NIC load is irrelevant: A only reads from its local disk.
+  EXPECT_EQ(result.value().binding.at("A").name, "y");
+}
+
+
+// ---- Section 7 extension: scalar requirements in the heuristic ----
+
+TEST(HeuristicTest, RequirementFiltersOverloadedHosts) {
+  const Query query = MustParse(
+      "X = (a b)\n"
+      "X requires cpu 4 mem 8G\n"
+      "f1 X -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  StatusReport a = MakeReport(1e9, 0, 0);  // Network-idle but CPU-starved.
+  a.cpu_cores_total = 8;
+  a.cpu_cores_used = 6;  // Only 2 cores free < 4 required.
+  a.mem_total = 32.0 * kGB;
+  StatusReport b = MakeReport(1e9, 500e6, 0);  // Busier network, free CPU.
+  b.cpu_cores_total = 8;
+  b.mem_total = 32.0 * kGB;
+  status["a"] = a;
+  status["b"] = b;
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("X").name, "b");
+}
+
+TEST(HeuristicTest, RequirementMemoryShortfall) {
+  const Query query = MustParse(
+      "X = (a b)\n"
+      "X requires mem 16G\n"
+      "f1 X -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  StatusReport a = MakeReport(1e9, 0, 0);
+  a.mem_total = 32.0 * kGB;
+  a.mem_used = 30.0 * kGB;  // 2 GB free.
+  StatusReport b = MakeReport(1e9, 800e6, 100e6);
+  b.mem_total = 32.0 * kGB;
+  status["a"] = a;
+  status["b"] = b;
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("X").name, "b");
+}
+
+TEST(HeuristicTest, UnknownScalarStatePasses) {
+  // A report without CPU/memory info (total == 0) must not be filtered.
+  const Query query = MustParse(
+      "X = (a b)\n"
+      "X requires cpu 64\n"
+      "f1 X -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["a"] = MakeReport(1e9, 0, 0);        // No scalar info at all.
+  status["b"] = MakeReport(1e9, 500e6, 0);
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("X").name, "a");
+}
+
+TEST(HeuristicTest, AllCandidatesFilteredStillBinds) {
+  const Query query = MustParse(
+      "X = (a)\n"
+      "X requires cpu 4\n"
+      "f1 X -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  StatusReport a = MakeReport(1e9, 0, 0);
+  a.cpu_cores_total = 2;  // Can never satisfy 4 cores.
+  status["a"] = a;
+  auto result = EvaluateHeuristic(compiled, status, HeuristicParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().binding.at("X").name, "a");  // Best effort.
+}
+
+
+
+// ---- Provider traffic policy (Section 2) ----
+
+TEST(PolicyTest, ClassifiesScatterGather) {
+  // 10 small flows converging on one aggregator.
+  std::string text = "AGG = (a1 a2)\n";
+  for (int i = 0; i < 10; ++i) {
+    text += "f" + std::to_string(i) + " leaf" + std::to_string(i) + " -> AGG size 10KB\n";
+  }
+  const Query query = MustParse(text);
+  const CompiledQuery compiled = MustCompile(query);
+  const TransportPolicy policy = ClassifyQuery(compiled);
+  EXPECT_EQ(policy.traffic_class, TrafficClass::kScatterGather);
+  EXPECT_TRUE(policy.enable_pfc);
+  EXPECT_EQ(policy.multipath_subflows, 1);
+}
+
+TEST(PolicyTest, ClassifiesElephants) {
+  const Query query = MustParse(
+      "f1 a -> b size 1G\n"
+      "f2 c -> d size 512M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  const TransportPolicy policy = ClassifyQuery(compiled);
+  EXPECT_EQ(policy.traffic_class, TrafficClass::kElephant);
+  EXPECT_FALSE(policy.enable_pfc);
+  EXPECT_GT(policy.multipath_subflows, 1);
+}
+
+TEST(PolicyTest, MixedTrafficLeavesDefaults) {
+  // A few mid-sized flows: neither incast-prone nor elephants.
+  const Query query = MustParse(
+      "f1 a -> b size 1M\n"
+      "f2 c -> b size 1M\n"
+      "f3 d -> e size 1G\n");
+  const CompiledQuery compiled = MustCompile(query);
+  const TransportPolicy policy = ClassifyQuery(compiled);
+  EXPECT_EQ(policy.traffic_class, TrafficClass::kMixed);
+  EXPECT_FALSE(policy.enable_pfc);
+  EXPECT_EQ(policy.multipath_subflows, 1);
+}
+
+TEST(PolicyTest, DiskOnlyQueryIsMixed) {
+  const Query query = MustParse("f1 disk -> a size 1G\n");
+  const CompiledQuery compiled = MustCompile(query);
+  EXPECT_EQ(ClassifyQuery(compiled).traffic_class, TrafficClass::kMixed);
+}
+
+TEST(PolicyTest, HdfsWritePipelineIsElephant) {
+  // The Section 5.3 write query: 2 network elephants + disk hops.
+  const Query query = MustParse(
+      "r1 = r2 = (d1 d2 d3)\n"
+      "f1 client -> r1 size 256M rate r(f2)\n"
+      "f2 r1 -> disk size 256M rate r(f1)\n"
+      "f3 r1 -> r2 size 256M rate r(f4) transfer t(f2)\n"
+      "f4 r2 -> disk size 256M rate r(f3)\n");
+  const CompiledQuery compiled = MustCompile(query);
+  EXPECT_EQ(ClassifyQuery(compiled).traffic_class, TrafficClass::kElephant);
+}
+
+// ---- Flow-level estimator ----
+
+TEST(EstimatorTest, SimpleTransferTime) {
+  const Query query = MustParse("f1 src -> dst size 125M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["src"] = MakeReport(1e9, 0, 0);
+  status["dst"] = MakeReport(1e9, 0, 0);
+  FlowLevelEstimator estimator;
+  auto estimate = estimator.EstimateQuery(compiled, {}, status);
+  ASSERT_TRUE(estimate.ok()) << estimate.error().ToString();
+  EXPECT_NEAR(estimate.value().makespan, 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(EstimatorTest, BindingResolvesVariables) {
+  const Query query = MustParse(
+      "A = (r1 r2)\n"
+      "f1 A -> client size 125M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["r1"] = MakeReport(1e9, 500e6, 0);  // Half-loaded sender.
+  status["r2"] = MakeReport(1e9, 0, 0);
+  status["client"] = MakeReport(1e9, 0, 0);
+  FlowLevelEstimator estimator;
+  Binding bind_r1{{"A", Endpoint::Address("r1")}};
+  Binding bind_r2{{"A", Endpoint::Address("r2")}};
+  auto est1 = estimator.EstimateQuery(compiled, bind_r1, status);
+  auto est2 = estimator.EstimateQuery(compiled, bind_r2, status);
+  ASSERT_TRUE(est1.ok());
+  ASSERT_TRUE(est2.ok());
+  EXPECT_GT(est1.value().makespan, est2.value().makespan);
+  EXPECT_NEAR(est2.value().makespan, 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(EstimatorTest, DaisyChainBoundBySlowestHop) {
+  const Query query = MustParse(
+      "f1 client -> r1 size 64M rate r(f2)\n"
+      "f2 r1 -> disk size 64M rate r(f1)\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["client"] = MakeReport(1e9, 0, 0);
+  status["r1"] = MakeReport(1e9, 0, 0, /*disk_cap=*/200e6);  // Slow disk.
+  FlowLevelEstimator estimator;
+  auto estimate = estimator.EstimateQuery(compiled, {}, status);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value().makespan, 64 * kMB * 8 / 200e6, 1e-6);
+}
+
+TEST(EstimatorTest, UnknownSourceOnlyLoadsReceiver) {
+  const Query query = MustParse("f1 0.0.0.0 -> sink size 125M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["sink"] = MakeReport(1e9, 0, 0);
+  FlowLevelEstimator estimator;
+  auto estimate = estimator.EstimateQuery(compiled, {}, status);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value().makespan, 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(EstimatorTest, UnboundVariableFails) {
+  const Query query = MustParse(
+      "A = (x)\n"
+      "f1 A -> sink size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  FlowLevelEstimator estimator;
+  EXPECT_FALSE(estimator.EstimateQuery(compiled, {}, {}).ok());
+}
+
+// ---- Exhaustive search ----
+
+TEST(ExhaustiveTest, FindsOptimalReplica) {
+  const Query query = MustParse(
+      "A = (r1 r2 r3)\n"
+      "f1 A -> client size 256M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["r1"] = MakeReport(1e9, 800e6, 0);
+  status["r2"] = MakeReport(1e9, 200e6, 0);
+  status["r3"] = MakeReport(1e9, 500e6, 0);
+  status["client"] = MakeReport(1e9, 0, 0);
+  FlowLevelEstimator estimator;
+  auto best = EvaluateExhaustive(compiled, status, estimator);
+  ASSERT_TRUE(best.ok()) << best.error().ToString();
+  EXPECT_EQ(best.value().binding.at("A").name, "r2");
+  EXPECT_EQ(best.value().bindings_tried, 3);
+}
+
+TEST(ExhaustiveTest, DistinctBindingEnumeration) {
+  const Query query = MustParse(
+      "A = B = (x y z)\n"
+      "f1 A -> B size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  for (const char* s : {"x", "y", "z"}) {
+    status[s] = MakeReport(1e9, 0, 0);
+  }
+  FlowLevelEstimator estimator;
+  auto best = EvaluateExhaustive(compiled, status, estimator);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().bindings_tried, 6);  // 3 * 2 ordered pairs.
+  EXPECT_NE(best.value().binding.at("A").name, best.value().binding.at("B").name);
+}
+
+TEST(ExhaustiveTest, SpaceGuard) {
+  const Query query = MustParse(
+      "A = B = C = D = E = (v1 v2 v3 v4 v5 v6 v7 v8 v9 v10)\n"
+      "f1 A -> B size 1M\nf2 C -> D size 1M\nf3 E -> v1 size 1M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  FlowLevelEstimator estimator;
+  ExhaustiveParams params;
+  params.max_bindings = 100;  // 10^5 > 100.
+  EXPECT_FALSE(EvaluateExhaustive(compiled, {}, estimator, params).ok());
+}
+
+// ---- Heuristic optimality properties (paper Section 5.1 claims) ----
+
+class SingleVariableOptimalityTest : public ::testing::TestWithParam<int> {};
+
+// "Our algorithm is optimal for single variable queries."
+TEST_P(SingleVariableOptimalityTest, MatchesExhaustive) {
+  Rng rng(GetParam() * 131);
+  StatusByAddress status;
+  std::string pool;
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    status[name] = MakeReport(1e9, rng.Uniform(0, 0.9) * 1e9, rng.Uniform(0, 0.9) * 1e9);
+    pool += name + " ";
+  }
+  status["client"] = MakeReport(1e9, 0, 0);
+  const Query query = MustParse("A = (" + pool + ")\nf1 A -> client size 256M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  FlowLevelEstimator estimator;
+  HeuristicParams params;
+  params.weight = 1.0;  // Equal-capacity pool: availability ordering is exact.
+  auto heuristic = EvaluateHeuristic(compiled, status, params);
+  auto exhaustive = EvaluateExhaustive(compiled, status, estimator);
+  ASSERT_TRUE(heuristic.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  // Compare achieved makespan, not identity (ties are possible).
+  auto h_est =
+      estimator.EstimateQuery(compiled, heuristic.value().binding, status);
+  ASSERT_TRUE(h_est.ok());
+  EXPECT_NEAR(h_est.value().makespan, exhaustive.value().estimate.makespan, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStates, SingleVariableOptimalityTest, ::testing::Range(1, 21));
+
+// ---- Reservations ----
+
+TEST(ReservationTest, ExpiryAndHold) {
+  ReservationTable table(/*hold_time=*/0.3);
+  table.Reserve("x", /*now=*/1.0);
+  EXPECT_TRUE(table.IsReserved("x", 1.1));
+  EXPECT_TRUE(table.IsReserved("x", 1.29));
+  EXPECT_FALSE(table.IsReserved("x", 1.31));
+  EXPECT_FALSE(table.IsReserved("y", 1.1));
+}
+
+TEST(ReservationTest, ZeroHoldDisables) {
+  ReservationTable table(0.0);
+  table.Reserve("x", 1.0);
+  EXPECT_FALSE(table.IsReserved("x", 1.0));
+}
+
+TEST(ReservationTest, ActiveCount) {
+  ReservationTable table(0.5);
+  table.Reserve("x", 0.0);
+  table.Reserve("y", 0.2);
+  EXPECT_EQ(table.ActiveCount(0.3), 2);
+  EXPECT_EQ(table.ActiveCount(0.6), 1);
+  EXPECT_EQ(table.ActiveCount(1.0), 0);
+}
+
+// ---- Server end-to-end ----
+
+class ClusterSource : public UsageSource {
+ public:
+  explicit ClusterSource(const Topology* topo) : topo_(topo) {}
+  StatusReport Snapshot(NodeId host) override {
+    const auto it = reports_.find(host);
+    if (it != reports_.end()) {
+      return it->second;
+    }
+    return StatusReport::Idle(host, topo_->host_caps(host));
+  }
+  void Set(NodeId host, StatusReport report) {
+    report.host = host;
+    reports_[host] = report;
+  }
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<NodeId, StatusReport> reports_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SingleSwitchParams params;
+    params.num_hosts = 10;
+    topo_ = MakeSingleSwitch(params);
+    source_ = std::make_unique<ClusterSource>(&topo_);
+    directory_ = std::make_unique<TopologyDirectory>(&topo_);
+    std::unordered_map<NodeId, StatusServer*> map;
+    for (NodeId h : topo_.hosts()) {
+      servers_.push_back(std::make_unique<StatusServer>(h, source_.get(), 0.0));
+      map[h] = servers_.back().get();
+      directory_->AddAlias("host" + std::to_string(h), h);
+    }
+    transport_ = std::make_unique<SimUdpTransport>(std::move(map), SimUdpParams{}, 1);
+  }
+
+  CloudTalkServer MakeServer(ServerConfig config = {}) {
+    return CloudTalkServer(config, directory_.get(), transport_.get(),
+                           [this] { return now_; });
+  }
+
+  std::string Ip(int host_index) const { return topo_.IpOf(topo_.hosts()[host_index]); }
+
+  Topology topo_;
+  std::unique_ptr<ClusterSource> source_;
+  std::unique_ptr<TopologyDirectory> directory_;
+  std::vector<std::unique_ptr<StatusServer>> servers_;
+  std::unique_ptr<SimUdpTransport> transport_;
+  Seconds now_ = 0;
+};
+
+TEST_F(ServerTest, AnswersReplicaQuery) {
+  // Make host 1 busy, host 2 idle; the query should pick host 2.
+  StatusReport busy = StatusReport::AssumeLoaded(0, topo_.host_caps(topo_.hosts()[1]));
+  source_->Set(topo_.hosts()[1], busy);
+  CloudTalkServer server = MakeServer();
+  auto reply = server.Answer("A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) +
+                             " size 256M\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("A").name, Ip(2));
+  EXPECT_EQ(reply.value().probe_stats.requests_sent, 3);  // 2 pool + 1 literal.
+  EXPECT_EQ(reply.value().probe_stats.replies_received, 3);
+}
+
+TEST_F(ServerTest, ReservationPreventsImmediateReuse) {
+  CloudTalkServer server = MakeServer();
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 256M\n";
+  auto first = server.Answer(query);
+  ASSERT_TRUE(first.ok());
+  const std::string first_pick = first.value().binding.at("A").name;
+  auto second = server.Answer(query);  // Same sim time: within hold window.
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().binding.at("A").name, first_pick);
+  // After the hold expires the original best is available again.
+  now_ = 1.0;
+  auto third = server.Answer(query);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().binding.at("A").name, first_pick);
+}
+
+TEST_F(ServerTest, MissingRepliesAssumedLoaded) {
+  // Use a transport that drops everything: every candidate looks loaded, but
+  // an answer is still produced.
+  SimUdpParams lossy;
+  lossy.base_loss = 1.0;
+  SimUdpTransport dead_transport({}, lossy, 1);
+  ServerConfig config;
+  CloudTalkServer server(config, directory_.get(), &dead_transport, [] { return 0.0; });
+  auto reply =
+      server.Answer("A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 1M\n");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().probe_stats.replies_received, 0);
+  EXPECT_FALSE(reply.value().binding.at("A").name.empty());
+}
+
+TEST_F(ServerTest, StaticOptionSkipsProbing) {
+  CloudTalkServer server = MakeServer();
+  auto reply = server.Answer("option static\nA = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " +
+                             Ip(0) + " size 1M\n");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().probe_stats.requests_sent, 0);
+}
+
+TEST_F(ServerTest, SamplingCapsProbeCount) {
+  ServerConfig config;
+  config.sample_threshold = 4;   // Tiny threshold to trigger sampling.
+  config.sample_override = 5;
+  CloudTalkServer server = MakeServer(config);
+  std::string pool;
+  for (int i = 0; i < 9; ++i) {
+    pool += Ip(i) + " ";
+  }
+  auto reply = server.Answer("A = (" + pool + ")\nf1 A -> " + Ip(9) + " size 1M\n");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().probe_stats.requests_sent, 6);  // 5 sampled + 1 literal.
+}
+
+TEST_F(ServerTest, ProbeStatsAccumulate) {
+  CloudTalkServer server = MakeServer();
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 1M\n";
+  ASSERT_TRUE(server.Answer(query).ok());
+  ASSERT_TRUE(server.Answer(query).ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, 6);
+  EXPECT_EQ(server.total_probe_stats().bytes_sent, 6 * 64);
+}
+
+TEST_F(ServerTest, SymbolicAliasesResolve) {
+  CloudTalkServer server = MakeServer();
+  const NodeId h1 = topo_.hosts()[1];
+  auto reply = server.Answer("A = (host" + std::to_string(h1) + ")\nf1 A -> " + Ip(0) +
+                             " size 1M\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("A").name, "host" + std::to_string(h1));
+}
+
+TEST_F(ServerTest, ParseErrorPropagates) {
+  CloudTalkServer server = MakeServer();
+  EXPECT_FALSE(server.Answer("A = ()\n").ok());
+}
+
+TEST_F(ServerTest, PacketOptionWithoutEstimatorFails) {
+  CloudTalkServer server = MakeServer();
+  auto reply = server.Answer("option packet\nA = (" + Ip(1) + ")\nf1 A -> " + Ip(0) +
+                             " size 1M\n");
+  EXPECT_FALSE(reply.ok());
+}
+
+
+// ---- Section 7: price quotes ----
+
+TEST_F(ServerTest, QuoteChecksDeadline) {
+  CloudTalkServer server = MakeServer();
+  // 1 GiB at 1 Gbps takes ~8.6 s: a 20 s deadline holds, a 2 s one cannot.
+  const std::string base =
+      "A = (" + Ip(1) + ")\nf1 A -> " + Ip(0) + " size 1G";
+  auto relaxed = server.Quote(base + " end 20\n");
+  ASSERT_TRUE(relaxed.ok()) << relaxed.error().ToString();
+  EXPECT_TRUE(relaxed.value().has_deadline);
+  EXPECT_DOUBLE_EQ(relaxed.value().deadline, 20.0);
+  EXPECT_TRUE(relaxed.value().deadline_met);
+
+  auto tight = server.Quote(base + " end 2\n");
+  ASSERT_TRUE(tight.ok());
+  EXPECT_TRUE(tight.value().has_deadline);
+  EXPECT_FALSE(tight.value().deadline_met);
+
+  auto none = server.Quote(base + "\n");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().has_deadline);
+}
+
+TEST_F(ServerTest, QuotePricesWorkload) {
+  CloudTalkServer server = MakeServer();
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 1G\n";
+  auto quote = server.Quote(query);
+  ASSERT_TRUE(quote.ok()) << quote.error().ToString();
+  EXPECT_DOUBLE_EQ(quote.value().bytes_moved, 1024.0 * 1024 * 1024);
+  EXPECT_EQ(quote.value().endpoints, 2);  // Chosen replica + client.
+  EXPECT_GT(quote.value().estimate.makespan, 0);
+  EXPECT_GT(quote.value().price, 0);
+  // Roughly: 1 GiB * 0.01 + 2 endpoints * ~8.6s * 0.0001.
+  EXPECT_NEAR(quote.value().price, 0.01 + 2 * quote.value().estimate.makespan * 0.0001, 1e-9);
+}
+
+TEST_F(ServerTest, QuoteDoesNotReserve) {
+  CloudTalkServer server = MakeServer();
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 256M\n";
+  auto quote = server.Quote(query);
+  ASSERT_TRUE(quote.ok());
+  // A real query right after still gets the best endpoint: the quote held
+  // nothing.
+  auto reply = server.Answer(query);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().binding.at("A").name, quote.value().binding.at("A").name);
+}
+
+TEST_F(ServerTest, QuoteScalesWithPricingModel) {
+  CloudTalkServer server = MakeServer();
+  const std::string query =
+      "A = (" + Ip(1) + ")\nf1 A -> " + Ip(0) + " size 1G\n";
+  auto cheap = server.Quote(query);
+  ASSERT_TRUE(cheap.ok());
+  PricingModel expensive;
+  expensive.per_gb_moved = 1.0;
+  expensive.per_server_second = 0.1;
+  server.set_pricing(expensive);
+  auto pricier = server.Quote(query);
+  ASSERT_TRUE(pricier.ok());
+  EXPECT_GT(pricier.value().price, cheap.value().price * 10);
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -1,0 +1,380 @@
+// Unit and property tests for the fluid simulation engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fluidsim/fluid_simulation.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace {
+
+SingleSwitchParams GigabitCluster(int hosts = 4) {
+  SingleSwitchParams params;
+  params.num_hosts = hosts;
+  params.link_capacity = 1 * kGbps;
+  return params;
+}
+
+GroupSpec NetworkTransfer(const FluidSimulation& sim, NodeId src, NodeId dst, Bytes size) {
+  GroupSpec spec;
+  FluidFlow flow;
+  flow.resources = sim.resources().NetworkPath(sim.topology(), src, dst);
+  flow.size = size;
+  spec.flows.push_back(std::move(flow));
+  return spec;
+}
+
+TEST(FluidSimTest, SingleFlowUsesFullLink) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  Seconds done = -1;
+  sim.AddGroup(NetworkTransfer(sim, a, b, 125 * kMB),
+               [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  // 125 MiB over 1 Gbps ~ 1.048576 s.
+  EXPECT_NEAR(done, 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(FluidSimTest, TwoFlowsShareBottleneckEqually) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const NodeId c = topo.hosts()[2];
+  // Both flows target b: its NIC down (1 Gbps) is the shared bottleneck.
+  std::vector<Seconds> done;
+  sim.AddGroup(NetworkTransfer(sim, a, b, 125 * kMB),
+               [&](GroupId, Seconds t) { done.push_back(t); });
+  sim.AddGroup(NetworkTransfer(sim, c, b, 125 * kMB),
+               [&](GroupId, Seconds t) { done.push_back(t); });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2 * 125 * kMB * 8 / 1e9, 1e-6);
+  EXPECT_NEAR(done[1], 2 * 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(FluidSimTest, UnequalFlowsMaxMinConvergence) {
+  // Flow 1: a->b, flow 2: a->c. Shared resource: a's NIC up.
+  // After flow 2 finishes, flow 1 speeds up.
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const NodeId c = topo.hosts()[2];
+  Seconds done1 = -1;
+  Seconds done2 = -1;
+  sim.AddGroup(NetworkTransfer(sim, a, b, 250 * kMB), [&](GroupId, Seconds t) { done1 = t; });
+  sim.AddGroup(NetworkTransfer(sim, a, c, 125 * kMB), [&](GroupId, Seconds t) { done2 = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  const Seconds unit = 125 * kMB * 8 / 1e9;  // Time for 125 MiB at line rate.
+  // Phase 1: both at 500 Mbps until flow 2 moves 125 MiB (takes 2*unit).
+  EXPECT_NEAR(done2, 2 * unit, 1e-6);
+  // Flow 1 then has 125 MiB left at full rate: one more unit.
+  EXPECT_NEAR(done1, 3 * unit, 1e-6);
+}
+
+TEST(FluidSimTest, RateLimitRespected) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  GroupSpec spec = NetworkTransfer(sim, a, b, 125 * kMB);
+  spec.rate_limit = 100 * kMbps;
+  Seconds done = -1;
+  sim.AddGroup(std::move(spec), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(done, 125 * kMB * 8 / 1e8, 1e-6);
+}
+
+TEST(FluidSimTest, ChainGroupBoundByslowestResource) {
+  // Daisy chain a->b plus disk write on b, where b's disk is slow.
+  Topology topo = MakeSingleSwitch(GigabitCluster());
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  topo.mutable_host_caps(b).disk_write = 200 * kMbps;
+  FluidSimulation sim(&topo);
+  GroupSpec spec;
+  FluidFlow net;
+  net.resources = sim.resources().NetworkPath(topo, a, b);
+  net.size = 25 * kMB;
+  FluidFlow disk;
+  disk.resources = {sim.resources().DiskWrite(b)};
+  disk.size = 25 * kMB;
+  spec.flows.push_back(std::move(net));
+  spec.flows.push_back(std::move(disk));
+  Seconds done = -1;
+  sim.AddGroup(std::move(spec), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  // The chain advances at the disk's 200 Mbps.
+  EXPECT_NEAR(done, 25 * kMB * 8 / 2e8, 1e-6);
+}
+
+TEST(FluidSimTest, BackgroundTrafficReducesElasticShare) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  // 600 Mbps of inelastic background into b.
+  sim.AddBackground(sim.resources().NicDown(b), 600 * kMbps);
+  Seconds done = -1;
+  sim.AddGroup(NetworkTransfer(sim, a, b, 50 * kMB), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(done, 50 * kMB * 8 / 4e8, 1e-6);  // Gets the remaining 400 Mbps.
+}
+
+TEST(FluidSimTest, LineRateBackgroundLeavesMinimumShare) {
+  // With min_available_fraction = 0.1, a flow against 100% background still
+  // gets 10% of the link (models TCP vs UDP blast).
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo, /*min_available_fraction=*/0.1);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  sim.AddBackground(sim.resources().NicDown(b), 1 * kGbps);
+  Seconds done = -1;
+  sim.AddGroup(NetworkTransfer(sim, a, b, 12.5 * kMB), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(done, 12.5 * kMB * 8 / 1e8, 1e-6);
+}
+
+TEST(FluidSimTest, AddBackgroundPathIsUndoable) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const std::vector<ResourceId> touched = sim.AddBackgroundPath(a, b, 300 * kMbps);
+  EXPECT_DOUBLE_EQ(sim.background(sim.resources().NicUp(a)), 300 * kMbps);
+  for (ResourceId r : touched) {
+    sim.AddBackground(r, -300 * kMbps);
+  }
+  EXPECT_DOUBLE_EQ(sim.background(sim.resources().NicUp(a)), 0.0);
+  EXPECT_DOUBLE_EQ(sim.background(sim.resources().NicDown(b)), 0.0);
+}
+
+TEST(FluidSimTest, DelayedStartTime) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  GroupSpec spec = NetworkTransfer(sim, a, b, 125 * kMB);
+  spec.start_time = 5.0;
+  Seconds done = -1;
+  sim.AddGroup(std::move(spec), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(done, 5.0 + 125 * kMB * 8 / 1e9, 1e-6);
+}
+
+TEST(FluidSimTest, ScheduledCallbacksFireInOrder) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(FluidSimTest, CancelGroupReleasesCapacity) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const NodeId c = topo.hosts()[2];
+  const GroupId hog = sim.AddGroup(NetworkTransfer(sim, a, b, 1250 * kMB));
+  Seconds done = -1;
+  sim.AddGroup(NetworkTransfer(sim, c, b, 125 * kMB), [&](GroupId, Seconds t) { done = t; });
+  sim.Schedule(0.0, [&] { sim.CancelGroup(hog); });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(done, 125 * kMB * 8 / 1e9, 1e-4);
+}
+
+TEST(FluidSimTest, UsageReflectsElasticAndBackground) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  sim.AddBackground(sim.resources().NicDown(b), 200 * kMbps);
+  sim.AddGroup(NetworkTransfer(sim, a, b, 1250 * kMB));
+  sim.RunUntil(0.001);
+  // Elastic flow gets 800 Mbps; usage on b's NIC down = 200 + 800.
+  EXPECT_NEAR(sim.Usage(sim.resources().NicDown(b)), 1e9, 1e6);
+  EXPECT_NEAR(sim.Usage(sim.resources().NicUp(a)), 8e8, 1e6);
+}
+
+TEST(FluidSimTest, ZeroSizeGroupCompletesImmediately) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  GroupSpec spec;
+  FluidFlow flow;
+  flow.resources = {};
+  flow.size = 0;
+  spec.flows.push_back(std::move(flow));
+  Seconds done = -1;
+  sim.AddGroup(std::move(spec), [&](GroupId, Seconds t) { done = t; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(FluidSimTest, LoopbackTransferConsumesNothing) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  EXPECT_TRUE(sim.resources().NetworkPath(topo, a, a).empty());
+}
+
+
+TEST(FluidSimTest, GroupMembersMayFinishAtDifferentTimes) {
+  // A group whose members have different sizes: the small member finishes
+  // first and releases its resources while the rest of the group runs on.
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const NodeId c = topo.hosts()[2];
+  GroupSpec spec;
+  FluidFlow big;
+  big.resources = sim.resources().NetworkPath(topo, a, b);
+  big.size = 250 * kMB;
+  FluidFlow small;
+  small.resources = sim.resources().NetworkPath(topo, a, c);
+  small.size = 125 * kMB;
+  spec.flows.push_back(std::move(big));
+  spec.flows.push_back(std::move(small));
+  const GroupId id = sim.AddGroup(std::move(spec));
+  // The group rate is bounded by a's NIC up shared by two members: 500 Mbps
+  // each. After the small member's 125 MiB complete, the big one keeps the
+  // same group rate but now has the uplink to itself... still one group, so
+  // rate rises to 1 Gbps.
+  sim.RunUntil(0.1);
+  EXPECT_NEAR(sim.GroupRate(id), 5e8, 1e6);
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_FALSE(sim.GroupActive(id));
+  EXPECT_NEAR(sim.GroupTransferred(id, 0), 250 * kMB, 1.0);
+  EXPECT_NEAR(sim.GroupTransferred(id, 1), 125 * kMB, 1.0);
+}
+
+TEST(FluidSimTest, ScheduleFromCallback) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Schedule(sim.now() + 1.0, [&] { ++fired; });
+  });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FluidSimTest, UsageDropsAfterCancel) {
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const GroupId id = sim.AddGroup(NetworkTransfer(sim, a, b, 1250 * kMB));
+  sim.RunUntil(0.01);
+  EXPECT_GT(sim.Usage(sim.resources().NicUp(a)), 9e8);
+  sim.CancelGroup(id);
+  EXPECT_NEAR(sim.Usage(sim.resources().NicUp(a)), 0.0, 1.0);
+}
+
+TEST(FluidSimTest, RunUntilIdleReportsStall) {
+  // An inelastic wall with zero minimum share: the flow can never move.
+  const Topology topo = MakeSingleSwitch(GigabitCluster());
+  FluidSimulation sim(&topo, /*min_available_fraction=*/0.0);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  sim.AddBackground(sim.resources().NicDown(b), 1 * kGbps);
+  sim.AddGroup(NetworkTransfer(sim, a, b, 1 * kMB));
+  EXPECT_FALSE(sim.RunUntilIdle(/*hard_deadline=*/10));
+}
+
+// ---- Property-style tests ----
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Invariants checked on random workloads:
+//  1. No resource is over its capacity (modulo the inelastic floor).
+//  2. Allocation is maximal: every group is pinned by some saturated
+//     resource or by its rate limit.
+TEST_P(MaxMinPropertyTest, AllocationIsFeasibleAndMaximal) {
+  Rng rng(GetParam());
+  SingleSwitchParams params = GigabitCluster(8);
+  const Topology topo = MakeSingleSwitch(params);
+  FluidSimulation sim(&topo, /*min_available_fraction=*/0.0);
+  const int num_hosts = static_cast<int>(topo.hosts().size());
+
+  std::vector<GroupId> ids;
+  const int num_flows = static_cast<int>(rng.UniformInt(2, 12));
+  for (int i = 0; i < num_flows; ++i) {
+    const NodeId src = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    }
+    GroupSpec spec = NetworkTransfer(sim, src, dst, 1250 * kMB);
+    if (rng.Bernoulli(0.3)) {
+      spec.rate_limit = rng.Uniform(50, 900) * kMbps;
+    }
+    ids.push_back(sim.AddGroup(std::move(spec)));
+  }
+  sim.RunUntil(1e-3);
+
+  // Feasibility.
+  for (ResourceId r = 0; r < sim.resources().num_resources(); ++r) {
+    EXPECT_LE(sim.Usage(r), sim.Capacity(r) * (1 + 1e-6))
+        << "resource " << r << " over capacity";
+  }
+  // Maximality: each active group is limited by a saturated resource or by
+  // its own rate cap.
+  for (GroupId id : ids) {
+    if (!sim.GroupActive(id)) {
+      continue;
+    }
+    const Bps rate = sim.GroupRate(id);
+    EXPECT_GT(rate, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, MaxMinPropertyTest, ::testing::Range(1, 21));
+
+class ConservationPropertyTest : public ::testing::TestWithParam<int> {};
+
+// All bytes eventually arrive: sum of transferred equals sum of sizes.
+TEST_P(ConservationPropertyTest, EveryByteDelivered) {
+  Rng rng(GetParam() * 977);
+  const Topology topo = MakeSingleSwitch(GigabitCluster(6));
+  FluidSimulation sim(&topo);
+  const int num_hosts = static_cast<int>(topo.hosts().size());
+  struct Expect {
+    GroupId id;
+    Bytes size;
+  };
+  std::vector<Expect> expects;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId src = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    }
+    const Bytes size = rng.Uniform(1, 64) * kMB;
+    GroupSpec spec = NetworkTransfer(sim, src, dst, size);
+    spec.start_time = rng.Uniform(0, 2);
+    expects.push_back({sim.AddGroup(std::move(spec)), size});
+  }
+  ASSERT_TRUE(sim.RunUntilIdle());
+  for (const Expect& e : expects) {
+    EXPECT_FALSE(sim.GroupActive(e.id));
+    EXPECT_NEAR(sim.GroupTransferred(e.id, 0), e.size, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, ConservationPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cloudtalk

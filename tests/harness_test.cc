@@ -1,0 +1,136 @@
+// Tests for the cluster harness: wiring, status sweeps, background load,
+// CloudTalk-over-fluid end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+
+namespace cloudtalk {
+namespace {
+
+TEST(ProfilesTest, ShapesMatchPaperTestbeds) {
+  const Topology local = LocalGigabitCluster();
+  EXPECT_EQ(local.hosts().size(), 20u);
+  EXPECT_DOUBLE_EQ(local.host_caps(local.hosts()[0]).nic_up, 1e9);
+
+  const Topology tengig = LocalTenGigCluster();
+  EXPECT_DOUBLE_EQ(tengig.host_caps(tengig.hosts()[0]).nic_up, 1e10);
+  // "the 10Gbps interconnect can be used to overwhelm any of our disks".
+  EXPECT_GT(tengig.host_caps(tengig.hosts()[0]).nic_up,
+            tengig.host_caps(tengig.hosts()[0]).disk_write);
+
+  const Topology ec2 = Ec2Cluster(101);
+  EXPECT_EQ(ec2.hosts().size(), 101u);
+  EXPECT_DOUBLE_EQ(ec2.host_caps(ec2.hosts()[0]).nic_up, 5e8);
+}
+
+TEST(ProfilesTest, HddDowngrade) {
+  Topology topo = LocalGigabitCluster();
+  const Bps before = topo.host_caps(topo.hosts()[0]).disk_read;
+  DowngradeDisksToHdd(topo, 4, 8.0);
+  EXPECT_DOUBLE_EQ(topo.host_caps(topo.hosts()[0]).disk_read, before / 8.0);
+  EXPECT_DOUBLE_EQ(topo.host_caps(topo.hosts()[3]).disk_read, before / 8.0);
+  EXPECT_DOUBLE_EQ(topo.host_caps(topo.hosts()[4]).disk_read, before);
+}
+
+TEST(ClusterTest, StatusReflectsFluidLoadAfterMeasure) {
+  Cluster cluster(LocalGigabitCluster(4));
+  const NodeId a = cluster.host(0);
+  const NodeId b = cluster.host(1);
+  cluster.AddBackgroundPair(a, b, 700 * kMbps);
+  cluster.MeasureNow();
+  auto reply = cluster.transport().Probe({a, b}, 0.01);
+  ASSERT_EQ(reply.reports.size(), 2u);
+  EXPECT_NEAR(reply.reports.at(a).nic_tx_use, 700e6, 1e3);
+  EXPECT_NEAR(reply.reports.at(b).nic_rx_use, 700e6, 1e3);
+}
+
+TEST(ClusterTest, StatusIsStaleBetweenSweeps) {
+  ClusterOptions options;
+  options.status_period = 0.1;
+  Cluster cluster(LocalGigabitCluster(4), options);
+  cluster.StartStatusSweep();
+  const NodeId a = cluster.host(0);
+  const NodeId b = cluster.host(1);
+  cluster.RunUntil(0.35);
+  cluster.AddBackgroundPair(a, b, 700 * kMbps);  // Added between ticks.
+  auto stale = cluster.transport().Probe({a}, 0.01);
+  EXPECT_NEAR(stale.reports.at(a).nic_tx_use, 0.0, 1.0);  // Not yet seen.
+  cluster.RunUntil(0.55);  // Next sweep happened.
+  auto fresh = cluster.transport().Probe({a}, 0.01);
+  EXPECT_NEAR(fresh.reports.at(a).nic_tx_use, 700e6, 1e3);
+}
+
+TEST(ClusterTest, BackgroundPairRemovable) {
+  Cluster cluster(LocalGigabitCluster(4));
+  const int handle = cluster.AddBackgroundPair(cluster.host(0), cluster.host(1), 500 * kMbps);
+  cluster.RemoveBackgroundPair(handle);
+  cluster.MeasureNow();
+  auto reply = cluster.transport().Probe({cluster.host(0)}, 0.01);
+  EXPECT_NEAR(reply.reports.at(cluster.host(0)).nic_tx_use, 0.0, 1.0);
+  cluster.RemoveBackgroundPair(handle);  // Idempotent.
+}
+
+TEST(ClusterTest, DiskLoadAffectsDiskUsageOnly) {
+  Cluster cluster(LocalGigabitCluster(4));
+  const NodeId a = cluster.host(0);
+  cluster.AddDiskLoad(a, 2 * kGbps, 1 * kGbps);
+  cluster.MeasureNow();
+  auto reply = cluster.transport().Probe({a}, 0.01);
+  EXPECT_NEAR(reply.reports.at(a).disk_read_use, 2e9, 1e3);
+  EXPECT_NEAR(reply.reports.at(a).disk_write_use, 1e9, 1e3);
+  EXPECT_NEAR(reply.reports.at(a).nic_tx_use, 0.0, 1.0);
+}
+
+TEST(ClusterTest, CloudTalkPicksIdleHostEndToEnd) {
+  // Full pipeline: fluid load -> status sweep -> probe -> heuristic.
+  Cluster cluster(LocalGigabitCluster(6));
+  cluster.StartStatusSweep();
+  // Load host 1's downlink and host 2's uplink.
+  cluster.AddBackgroundPair(cluster.host(3), cluster.host(1), 900 * kMbps);
+  cluster.AddBackgroundPair(cluster.host(2), cluster.host(4), 900 * kMbps);
+  cluster.RunUntil(0.25);
+  // Who should client host 0 read a replica from? Host 5 (idle) over
+  // host 2 (busy uplink).
+  auto reply = cluster.cloudtalk().Answer(
+      "src = (" + cluster.ip(2) + " " + cluster.ip(5) + ")\n"
+      "f1 disk -> src size 256M rate r(f2)\n"
+      "f2 src -> " + cluster.ip(0) + " size 256M rate r(f1)\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("src").name, cluster.ip(5));
+}
+
+TEST(ClusterTest, PerHostServersHaveIndependentReservations) {
+  Cluster cluster(LocalGigabitCluster(6));
+  const std::string query = "src = (" + cluster.ip(1) + " " + cluster.ip(2) + ")\n" +
+                            "f1 src -> " + cluster.ip(0) + " size 256M\n";
+  auto a = cluster.cloudtalk_at(cluster.host(3)).Answer(query);
+  auto b = cluster.cloudtalk_at(cluster.host(4)).Answer(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different servers do not see each other's reservations, so both may
+  // recommend the same endpoint (the distributed-reads regime of §5.5).
+  EXPECT_EQ(a.value().binding.at("src").name, b.value().binding.at("src").name);
+  // The same server, however, avoids its own reservation.
+  auto c = cluster.cloudtalk_at(cluster.host(3)).Answer(query);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c.value().binding.at("src").name, a.value().binding.at("src").name);
+}
+
+
+TEST(ClusterTest, ScalarRequirementsSteerPlacement) {
+  // Section 7 extension: a CPU-starved host loses a reduce-style placement
+  // even though its I/O is idle.
+  Cluster cluster(LocalGigabitCluster(4));
+  cluster.SetScalarUse(cluster.host(1), /*cpu_cores_used=*/7.5, /*mem_used=*/0);
+  cluster.MeasureNow();
+  auto reply = cluster.cloudtalk().Answer(
+      "X = (" + cluster.ip(1) + " " + cluster.ip(2) + ")\n" +
+      "X requires cpu 4\n" +
+      "f1 0.0.0.0 -> X size 1G\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("X").name, cluster.ip(2));
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -1,0 +1,160 @@
+// Tests for the mini-HDFS substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/hdfs/mini_hdfs.h"
+
+namespace cloudtalk {
+namespace {
+
+TEST(MiniHdfsTest, WriteCreatesReplicatedBlocks) {
+  Cluster cluster(LocalGigabitCluster(8));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 768 * kMB, [&](Seconds, Seconds t) {
+    end = t;
+  }));
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  EXPECT_GT(end, 0);
+  const MiniHdfs::FileInfo* file = hdfs.GetFile("f");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(file->block_replicas.size(), 3u);  // 768 MB / 256 MB.
+  for (const auto& replicas : file->block_replicas) {
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], cluster.host(0));  // First replica local.
+    std::set<NodeId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+  EXPECT_EQ(hdfs.blocks_written(), 3);
+}
+
+TEST(MiniHdfsTest, WriteTimeMatchesPipelineBottleneck) {
+  // Idle cluster: a 256 MB block daisy chain moves at the slowest coupled
+  // resource. With 1 Gbps NICs and ~3 Gbps disks, the network dominates:
+  // t ~ size * 8 / 1 Gbps per block.
+  Cluster cluster(LocalGigabitCluster(8));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  Seconds start = -1;
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 256 * kMB, [&](Seconds s, Seconds t) {
+    start = s;
+    end = t;
+  }));
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  const Seconds expected = 256 * kMB * 8 / 1e9;
+  EXPECT_NEAR(end - start, expected, expected * 0.05);
+}
+
+TEST(MiniHdfsTest, ReadFromInstalledFile) {
+  Cluster cluster(LocalGigabitCluster(8));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  hdfs.InstallFile("data", 512 * kMB,
+                   {{cluster.host(1), cluster.host(2), cluster.host(3)},
+                    {cluster.host(2), cluster.host(4), cluster.host(5)}});
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.ReadFile(cluster.host(0), "data", [&](Seconds, Seconds t) { end = t; }));
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  EXPECT_GT(end, 0);
+  EXPECT_EQ(hdfs.blocks_read(), 2);
+  // Two sequential 256 MB blocks at ~1 Gbps.
+  EXPECT_NEAR(end, 2 * 256 * kMB * 8 / 1e9, 0.5);
+}
+
+TEST(MiniHdfsTest, DuplicateWriteRejected) {
+  Cluster cluster(LocalGigabitCluster(4));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 1 * kMB, nullptr));
+  EXPECT_FALSE(hdfs.WriteFile(cluster.host(0), "f", 1 * kMB, nullptr));
+  EXPECT_FALSE(hdfs.ReadFile(cluster.host(0), "missing", nullptr));
+}
+
+TEST(MiniHdfsTest, CloudTalkWriteAvoidsBusyNode) {
+  ClusterOptions options;
+  options.seed = 7;
+  Cluster cluster(LocalGigabitCluster(5), options);
+  cluster.StartStatusSweep();
+  // Hosts 1 and 2 saturate each other (both directions busy); 3 and 4 are
+  // idle. A CloudTalk write from host 0 must pick {3, 4} as remote replicas.
+  cluster.AddBackgroundPair(cluster.host(1), cluster.host(2), 950 * kMbps);
+  cluster.AddBackgroundPair(cluster.host(2), cluster.host(1), 950 * kMbps);
+  cluster.RunUntil(0.25);
+  HdfsOptions hdfs_options;
+  hdfs_options.cloudtalk_writes = true;
+  MiniHdfs hdfs(&cluster, hdfs_options);
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 256 * kMB, nullptr));
+  cluster.sim().RunUntil(cluster.now() + 30);
+  const MiniHdfs::FileInfo* file = hdfs.GetFile("f");
+  ASSERT_NE(file, nullptr);
+  const auto& replicas = file->block_replicas[0];
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0], cluster.host(0));
+  std::set<NodeId> remote(replicas.begin() + 1, replicas.end());
+  EXPECT_TRUE(remote.count(cluster.host(3)) == 1);
+  EXPECT_TRUE(remote.count(cluster.host(4)) == 1);
+}
+
+TEST(MiniHdfsTest, CloudTalkReadPicksIdleReplica) {
+  Cluster cluster(LocalGigabitCluster(6));
+  cluster.StartStatusSweep();
+  cluster.AddBackgroundPair(cluster.host(1), cluster.host(5), 900 * kMbps);  // 1 tx-busy.
+  cluster.RunUntil(0.25);
+  HdfsOptions options;
+  options.cloudtalk_reads = true;
+  MiniHdfs hdfs(&cluster, options);
+  hdfs.InstallFile("data", 256 * kMB, {{cluster.host(1), cluster.host(2)}});
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.ReadFile(cluster.host(0), "data", [&](Seconds, Seconds t) { end = t; }));
+  cluster.sim().RunUntil(cluster.now() + 30);
+  // Reading from the idle host 2 at ~1 Gbps (the busy replica would be ~10x
+  // slower against inelastic background).
+  EXPECT_GT(end, 0);
+  EXPECT_NEAR(end - 0.25, 256 * kMB * 8 / 1e9, 1.0);
+}
+
+
+TEST(MiniHdfsTest, ReadRateCapModelsCpuBoundClient) {
+  Cluster cluster(LocalTenGigCluster(4));
+  HdfsOptions options;
+  options.read_rate_cap = 2 * kGbps;  // CPU-bound below the 4 Gbps disk.
+  MiniHdfs hdfs(&cluster, options);
+  hdfs.InstallFile("data", 256 * kMB, {{cluster.host(1), cluster.host(2)}});
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.ReadFile(cluster.host(0), "data", [&](Seconds, Seconds t) { end = t; }));
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  EXPECT_NEAR(end, 256 * kMB * 8 / 2e9, 1e-3);  // Paced at the cap.
+}
+
+TEST(MiniHdfsTest, DatanodeRestrictionHonoured) {
+  Cluster cluster(LocalGigabitCluster(8));
+  HdfsOptions options;
+  options.datanodes = {cluster.host(0), cluster.host(1), cluster.host(2), cluster.host(3)};
+  MiniHdfs hdfs(&cluster, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f" + std::to_string(i), 64 * kMB, nullptr));
+  }
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  for (int i = 0; i < 5; ++i) {
+    for (NodeId replica : hdfs.GetFile("f" + std::to_string(i))->block_replicas[0]) {
+      EXPECT_LE(replica, cluster.host(3));  // Never outside the datanode set.
+    }
+  }
+}
+
+TEST(MiniHdfsTest, SequentialBlocksDoNotOverlap) {
+  Cluster cluster(LocalGigabitCluster(8));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  Seconds end = -1;
+  ASSERT_TRUE(hdfs.WriteFile(cluster.host(0), "f", 512 * kMB, [&](Seconds, Seconds t) {
+    end = t;
+  }));
+  ASSERT_TRUE(cluster.sim().RunUntilIdle());
+  // Two blocks in sequence take ~2x one block.
+  const Seconds one_block = 256 * kMB * 8 / 1e9;
+  EXPECT_GT(end, 1.9 * one_block);
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -1,0 +1,203 @@
+// End-to-end integration tests: scaled-down versions of the paper's
+// headline experiments, asserting the *orderings* the figures show. These
+// guard the repository's claims — if a change flips who wins, these fail.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/hdfs/mini_hdfs.h"
+#include "src/mapred/mini_mapreduce.h"
+
+namespace cloudtalk {
+namespace {
+
+// Mini Figure 6(b): concurrent HDFS writes on a half-busy cluster.
+std::vector<double> RunWriteExperiment(bool use_cloudtalk, uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  Cluster cluster(LocalGigabitCluster(12), options);
+  cluster.StartStatusSweep();
+  for (int i = 6; i < 12; i += 2) {
+    cluster.AddBackgroundPair(cluster.host(i), cluster.host(i + 1), 900 * kMbps);
+    cluster.AddBackgroundPair(cluster.host(i + 1), cluster.host(i), 900 * kMbps);
+  }
+  cluster.RunUntil(0.3);
+  HdfsOptions hdfs_options;
+  hdfs_options.cloudtalk_writes = use_cloudtalk;
+  MiniHdfs hdfs(&cluster, hdfs_options);
+  std::vector<double> durations;
+  for (int client = 0; client < 6; ++client) {
+    hdfs.WriteFile(cluster.host(client), "f" + std::to_string(client), 512 * kMB,
+                   [&durations](Seconds start, Seconds end) {
+                     durations.push_back(end - start);
+                   });
+  }
+  cluster.RunUntil(cluster.now() + 600);
+  return durations;
+}
+
+TEST(IntegrationTest, CloudTalkSpeedsUpLoadedWrites) {
+  std::vector<double> baseline;
+  std::vector<double> cloudtalk;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (double d : RunWriteExperiment(false, seed)) {
+      baseline.push_back(d);
+    }
+    for (double d : RunWriteExperiment(true, seed)) {
+      cloudtalk.push_back(d);
+    }
+  }
+  ASSERT_EQ(baseline.size(), 18u);
+  ASSERT_EQ(cloudtalk.size(), 18u);
+  // Figure 6 shape: 1.5x+ better average, better tail.
+  EXPECT_GT(Mean(baseline), Mean(cloudtalk) * 1.3);
+  EXPECT_GE(Percentile(baseline, 95), Percentile(cloudtalk, 95));
+}
+
+// Mini Figure 12: reservations tame the tail of centralized writes.
+TEST(IntegrationTest, ReservationsCutTheTail) {
+  auto run = [&](Seconds hold) {
+    ClusterOptions options;
+    options.seed = 5;
+    options.status_period = 0.5;
+    options.server.reservation_hold = hold;
+    Cluster cluster(Ec2Cluster(40), options);
+    cluster.StartStatusSweep();
+    HdfsOptions hdfs_options;
+    hdfs_options.cloudtalk_writes = true;
+    MiniHdfs hdfs(&cluster, hdfs_options);
+    std::vector<double> durations;
+    int counter = 0;
+    for (int client = 0; client < 24; ++client) {
+      hdfs.WriteFile(cluster.host(client), "w" + std::to_string(counter++), 256 * kMB,
+                     [&durations](Seconds start, Seconds end) {
+                       durations.push_back(end - start);
+                     });
+    }
+    cluster.RunUntil(cluster.now() + 600);
+    return durations;
+  };
+  const std::vector<double> osc = run(0.0);
+  const std::vector<double> reserved = run(0.3);
+  ASSERT_EQ(osc.size(), 24u);
+  ASSERT_EQ(reserved.size(), 24u);
+  EXPECT_GT(Percentile(osc, 95), Percentile(reserved, 95));
+}
+
+// Mini Figure 7: reduce placement avoids UDP-blasted receivers.
+TEST(IntegrationTest, ReducePlacementAvoidsBlastedNodes) {
+  auto run = [&](bool use_cloudtalk, uint64_t seed) {
+    ClusterOptions options;
+    options.seed = seed;
+    Cluster cluster(LocalGigabitCluster(14), options);
+    cluster.StartStatusSweep();
+    std::vector<NodeId> workers;
+    for (int i = 0; i < 12; ++i) {
+      workers.push_back(cluster.host(i));
+    }
+    cluster.AddBackgroundPair(cluster.host(12), cluster.host(2), 950 * kMbps);
+    cluster.AddBackgroundPair(cluster.host(13), cluster.host(3), 950 * kMbps);
+    cluster.RunUntil(0.3);
+    HdfsOptions hdfs_options;
+    hdfs_options.block_size = 64 * kMB;
+    hdfs_options.datanodes = workers;
+    MiniHdfs hdfs(&cluster, hdfs_options);
+    std::vector<std::vector<NodeId>> replicas(24);
+    for (int b = 0; b < 24; ++b) {
+      for (int r = 0; r < 3; ++r) {
+        replicas[b].push_back(workers[(b + r * 5) % 12]);
+      }
+    }
+    hdfs.InstallFile("input", 24.0 * 64 * kMB, std::move(replicas));
+    MapRedOptions mr_options;
+    mr_options.cloudtalk_reduce = use_cloudtalk;
+    mr_options.nodes = workers;
+    mr_options.write_output = false;
+    MiniMapReduce mr(&cluster, &hdfs, mr_options);
+    int on_blasted = -1;
+    const NodeId blasted_a = cluster.host(2);
+    const NodeId blasted_b = cluster.host(3);
+    mr.RunJob("input", 6, [&](const JobStats& stats) {
+      on_blasted = 0;
+      for (NodeId node : stats.reduce_nodes) {
+        if (node == blasted_a || node == blasted_b) {
+          ++on_blasted;
+        }
+      }
+    });
+    cluster.RunUntil(cluster.now() + 1200);
+    return on_blasted;
+  };
+  int baseline = 0;
+  int cloudtalk = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const int b = run(false, seed);
+    const int c = run(true, seed);
+    ASSERT_GE(b, 0);
+    ASSERT_GE(c, 0);
+    baseline += b;
+    cloudtalk += c;
+  }
+  // Blind spreading lands reduces on the blasted receivers regularly;
+  // CloudTalk's recommended sets mostly exclude them.
+  EXPECT_LT(cloudtalk, baseline);
+}
+
+// Mini Section 5.2: sampling matches full knowledge.
+TEST(IntegrationTest, SamplingMatchesFullProbing) {
+  auto run = [&](int sample_override) {
+    ClusterOptions options;
+    options.seed = 3;
+    if (sample_override > 0) {
+      options.server.sample_override = sample_override;
+      options.server.sample_threshold = sample_override;
+    }
+    Cluster cluster(Ec2Cluster(120), options);
+    cluster.StartStatusSweep();
+    Rng rng(17);
+    std::vector<int> others;
+    for (int i = 1; i < 120; ++i) {
+      others.push_back(i);
+    }
+    rng.Shuffle(others);
+    for (int i = 0; i + 1 < 84; i += 2) {  // 70% of 119 busy.
+      cluster.AddBackgroundPair(cluster.host(others[i]), cluster.host(others[i + 1]),
+                                500 * kMbps);
+      cluster.AddBackgroundPair(cluster.host(others[i + 1]), cluster.host(others[i]),
+                                500 * kMbps);
+    }
+    cluster.RunUntil(0.3);
+    HdfsOptions hdfs_options;
+    hdfs_options.cloudtalk_writes = true;
+    MiniHdfs hdfs(&cluster, hdfs_options);
+    std::vector<double> durations;
+    int counter = 0;
+    std::function<void()> next = [&] {
+      if (counter >= 12) {
+        return;
+      }
+      hdfs.WriteFile(cluster.host(0), "w" + std::to_string(counter++), 256 * kMB,
+                     [&](Seconds start, Seconds end) {
+                       durations.push_back(end - start);
+                       next();
+                     });
+    };
+    next();
+    cluster.RunUntil(cluster.now() + 1200);
+    return Mean(durations);
+  };
+  const double sampled = run(19);
+  const double full = run(0);
+  const double idle_write = TransferTime(256 * kMB, 500 * kMbps);
+  // Both land near the idle-cluster write time.
+  EXPECT_LT(sampled, idle_write * 1.6);
+  EXPECT_LT(full, idle_write * 1.6);
+}
+
+}  // namespace
+}  // namespace cloudtalk

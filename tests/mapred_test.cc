@@ -1,0 +1,170 @@
+// Tests for the mini-MapReduce substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/harness/profiles.h"
+#include "src/hdfs/mini_hdfs.h"
+#include "src/mapred/mini_mapreduce.h"
+
+namespace cloudtalk {
+namespace {
+
+// Installs an input file with `blocks` splits of `block` bytes, replicas
+// spread round-robin.
+void InstallInput(Cluster& cluster, MiniHdfs& hdfs, const std::string& name, int blocks,
+                  Bytes block) {
+  std::vector<std::vector<NodeId>> replicas(blocks);
+  const int n = cluster.num_hosts();
+  for (int b = 0; b < blocks; ++b) {
+    for (int r = 0; r < 3; ++r) {
+      replicas[b].push_back(cluster.host((b + r) % n));
+    }
+  }
+  hdfs.InstallFile(name, static_cast<Bytes>(blocks) * block, std::move(replicas));
+}
+
+TEST(MiniMapReduceTest, SortJobCompletes) {
+  Cluster cluster(LocalGigabitCluster(8));
+  cluster.StartStatusSweep();
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  InstallInput(cluster, hdfs, "input", 8, 64 * kMB);
+  MapRedOptions options;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  JobStats stats;
+  bool done = false;
+  ASSERT_TRUE(mr.RunJob("input", 4, [&](const JobStats& s) {
+    stats = s;
+    done = true;
+  }));
+  cluster.sim().RunUntil(600);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(stats.maps_total, 8);
+  EXPECT_EQ(stats.shuffle_durations.size(), 4u);
+  EXPECT_GT(stats.finished, stats.started);
+  EXPECT_GE(stats.synced, stats.finished);
+}
+
+TEST(MiniMapReduceTest, RejectsBadInputs) {
+  Cluster cluster(LocalGigabitCluster(4));
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  MiniMapReduce mr(&cluster, &hdfs, MapRedOptions{});
+  EXPECT_FALSE(mr.RunJob("missing", 4, nullptr));
+  InstallInput(cluster, hdfs, "input", 2, 64 * kMB);
+  EXPECT_FALSE(mr.RunJob("input", 0, nullptr));
+  ASSERT_TRUE(mr.RunJob("input", 2, nullptr));
+  EXPECT_FALSE(mr.RunJob("input", 2, nullptr));  // One job at a time.
+}
+
+TEST(MiniMapReduceTest, DataLocalityPreferred) {
+  Cluster cluster(LocalGigabitCluster(8));
+  cluster.StartStatusSweep();
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  // Every host holds a replica of some split: all maps can run local.
+  InstallInput(cluster, hdfs, "input", 8, 64 * kMB);
+  MapRedOptions options;
+  options.write_output = false;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  JobStats stats;
+  bool done = false;
+  ASSERT_TRUE(mr.RunJob("input", 2, [&](const JobStats& s) {
+    stats = s;
+    done = true;
+  }));
+  cluster.sim().RunUntil(600);
+  ASSERT_TRUE(done);
+  // Locality is best-effort: with randomized heartbeat phases a tracker can
+  // arrive after its local splits were taken. Most maps must still be local.
+  EXPECT_LE(stats.non_local_maps, stats.maps_total / 4);
+}
+
+TEST(MiniMapReduceTest, CloudTalkReducePlacementAvoidsBlastedNodes) {
+  // UDP-blasted receivers should not get reduce tasks under CloudTalk.
+  ClusterOptions copts;
+  copts.seed = 3;
+  Cluster cluster(LocalGigabitCluster(10), copts);
+  cluster.StartStatusSweep();
+  // Hosts 6..9 receive iperf UDP at line rate (from outside the job's
+  // perspective: sources are hosts 1..4, whose uplinks get busy too).
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddBackgroundPair(cluster.host(1 + i), cluster.host(6 + i), 950 * kMbps);
+  }
+  cluster.RunUntil(0.25);
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  InstallInput(cluster, hdfs, "input", 10, 64 * kMB);
+  MapRedOptions options;
+  options.cloudtalk_reduce = true;
+  options.write_output = false;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  bool done = false;
+  JobStats stats;
+  ASSERT_TRUE(mr.RunJob("input", 3, [&](const JobStats& s) {
+    stats = s;
+    done = true;
+  }));
+  cluster.sim().RunUntil(900);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(stats.shuffle_durations.size(), 3u);
+}
+
+TEST(MiniMapReduceTest, MoreReducersThanNodesStillFinishes) {
+  Cluster cluster(LocalGigabitCluster(4));
+  cluster.StartStatusSweep();
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  InstallInput(cluster, hdfs, "input", 4, 32 * kMB);
+  MapRedOptions options;
+  options.reduce_slots = 4;
+  options.write_output = false;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  bool done = false;
+  ASSERT_TRUE(mr.RunJob("input", 10, [&](const JobStats&) { done = true; }));
+  cluster.sim().RunUntil(900);
+  EXPECT_TRUE(done);
+}
+
+TEST(MiniMapReduceTest, SpeculationRescuesStragglers) {
+  // One node's disk is pathologically slow; with speculation the job still
+  // finishes in bounded time and records a speculative launch.
+  Topology topo = LocalGigabitCluster(6);
+  topo.mutable_host_caps(topo.hosts()[5]).disk_write = 10 * kMbps;
+  topo.mutable_host_caps(topo.hosts()[5]).disk_read = 10 * kMbps;
+  Cluster cluster(std::move(topo));
+  cluster.StartStatusSweep();
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  // Keep replicas off the slow node so maps are fast; reduces may still
+  // land there.
+  std::vector<std::vector<NodeId>> replicas;
+  for (int b = 0; b < 5; ++b) {
+    replicas.push_back({cluster.host(b % 5), cluster.host((b + 1) % 5),
+                        cluster.host((b + 2) % 5)});
+  }
+  hdfs.InstallFile("input", 5 * 64 * kMB, std::move(replicas));
+  MapRedOptions options;
+  options.write_output = false;
+  options.speculative_reduces = true;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  bool done = false;
+  ASSERT_TRUE(mr.RunJob("input", 5, [&](const JobStats&) { done = true; }));
+  cluster.sim().RunUntil(1800);
+  EXPECT_TRUE(done);
+}
+
+TEST(MiniMapReduceTest, OutputWritesLandInHdfs) {
+  Cluster cluster(LocalGigabitCluster(6));
+  cluster.StartStatusSweep();
+  MiniHdfs hdfs(&cluster, HdfsOptions{});
+  InstallInput(cluster, hdfs, "input", 4, 32 * kMB);
+  MapRedOptions options;
+  options.write_output = true;
+  MiniMapReduce mr(&cluster, &hdfs, options);
+  bool done = false;
+  ASSERT_TRUE(mr.RunJob("input", 2, [&](const JobStats&) { done = true; }));
+  cluster.sim().RunUntil(900);
+  ASSERT_TRUE(done);
+  EXPECT_NE(hdfs.GetFile("_job1_out0"), nullptr);
+  EXPECT_NE(hdfs.GetFile("_job1_out1"), nullptr);
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -1,0 +1,125 @@
+// Tests for the Section 3 probing module: traceroute/ping inference and
+// iperf-style capacity probing (including multi-tenant interference).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/probing/prober.h"
+
+namespace cloudtalk {
+namespace probing {
+namespace {
+
+Topology SmallVl2(int racks = 4, int per_rack = 5) {
+  Vl2Params params;
+  params.num_racks = racks;
+  params.hosts_per_rack = per_rack;
+  params.link_delay = 10 * kMicrosecond;
+  return MakeVl2(params);
+}
+
+TEST(ProberTest, HopCountsDistinguishRackLocality) {
+  const Topology topo = SmallVl2();
+  NetworkProber prober(&topo);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];  // Same rack.
+  const NodeId c = topo.hosts()[5];  // Next rack.
+  EXPECT_EQ(prober.Ping(a, a).hops, 0);
+  const int same_rack = prober.Ping(a, b).hops;
+  const int cross_rack = prober.Ping(a, c).hops;
+  EXPECT_LT(same_rack, cross_rack);
+  EXPECT_EQ(same_rack, 1);   // Via the ToR.
+  EXPECT_EQ(cross_rack, 3);  // ToR - Agg - ToR.
+}
+
+TEST(ProberTest, RttCorrelatesWithHops) {
+  // "ping times are correlated with the number of traceroute hops" (§3.1).
+  const Topology topo = SmallVl2();
+  NetworkProber prober(&topo, /*seed=*/3, /*rtt_jitter=*/1 * kMicrosecond);
+  const PingResult near = prober.Ping(topo.hosts()[0], topo.hosts()[1]);
+  const PingResult far = prober.Ping(topo.hosts()[0], topo.hosts()[6]);
+  EXPECT_LT(near.rtt, far.rtt);
+}
+
+TEST(ProberTest, RackInferenceIsPerfectOnCleanData) {
+  const Topology topo = SmallVl2(5, 6);
+  NetworkProber prober(&topo);
+  const std::vector<NodeId> hosts = topo.hosts();
+  const auto hops = prober.HopMatrix(hosts);
+  const std::vector<int> inferred = InferRacks(hops);
+  EXPECT_DOUBLE_EQ(RackInferenceAccuracy(topo, hosts, inferred), 1.0);
+  // Five distinct rack labels.
+  std::set<int> labels(inferred.begin(), inferred.end());
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(ProberTest, InferenceHandlesSingleRack) {
+  SingleSwitchParams params;
+  params.num_hosts = 6;
+  const Topology topo = MakeSingleSwitch(params);
+  NetworkProber prober(&topo);
+  const auto hops = prober.HopMatrix(topo.hosts());
+  const std::vector<int> inferred = InferRacks(hops);
+  std::set<int> labels(inferred.begin(), inferred.end());
+  EXPECT_EQ(labels.size(), 1u);  // Everybody together.
+}
+
+TEST(CapacityProbeTest, IdleLinkMeasuresLineRate) {
+  SingleSwitchParams params;
+  params.num_hosts = 4;
+  const Topology topo = MakeSingleSwitch(params);
+  FluidSimulation sim(&topo);
+  Bps measured = 0;
+  StartCapacityProbe(&sim, topo.hosts()[0], topo.hosts()[1], 10 * kMB,
+                     [&](Bps bw) { measured = bw; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_NEAR(measured, 1e9, 1e6);
+}
+
+TEST(CapacityProbeTest, ConcurrentProbesUnderestimate) {
+  // Two tenants probing the same destination each measure roughly half the
+  // capacity — "probes from different tenants could overlap in time leading
+  // to incorrect inferences about the available capacity" (§3.1).
+  SingleSwitchParams params;
+  params.num_hosts = 4;
+  const Topology topo = MakeSingleSwitch(params);
+  FluidSimulation sim(&topo);
+  Bps tenant1 = 0;
+  Bps tenant2 = 0;
+  StartCapacityProbe(&sim, topo.hosts()[0], topo.hosts()[2], 10 * kMB,
+                     [&](Bps bw) { tenant1 = bw; });
+  StartCapacityProbe(&sim, topo.hosts()[1], topo.hosts()[2], 10 * kMB,
+                     [&](Bps bw) { tenant2 = bw; });
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_LT(tenant1, 0.7e9);
+  EXPECT_LT(tenant2, 0.7e9);
+}
+
+TEST(CapacityProbeTest, ProbeDisturbsForegroundTraffic) {
+  // Probing is "pure overhead from the cloud provider's viewpoint, and can
+  // negatively influence the performance of tenants not doing probing".
+  SingleSwitchParams params;
+  params.num_hosts = 4;
+  const Topology topo = MakeSingleSwitch(params);
+
+  auto victim_time = [&](bool with_probe) {
+    FluidSimulation sim(&topo);
+    Seconds done = -1;
+    GroupSpec victim;
+    FluidFlow flow;
+    flow.resources = sim.resources().NetworkPath(topo, topo.hosts()[0], topo.hosts()[1]);
+    flow.size = 50 * kMB;
+    victim.flows.push_back(std::move(flow));
+    sim.AddGroup(std::move(victim), [&](GroupId, Seconds t) { done = t; });
+    if (with_probe) {
+      StartCapacityProbe(&sim, topo.hosts()[2], topo.hosts()[1], 50 * kMB, nullptr);
+    }
+    EXPECT_TRUE(sim.RunUntilIdle());
+    return done;
+  };
+  EXPECT_GT(victim_time(true), victim_time(false) * 1.5);
+}
+
+}  // namespace
+}  // namespace probing
+}  // namespace cloudtalk

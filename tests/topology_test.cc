@@ -1,0 +1,119 @@
+// Unit tests for the datacenter topology model and builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace {
+
+TEST(TopologyTest, SingleSwitchShape) {
+  SingleSwitchParams params;
+  params.num_hosts = 20;
+  const Topology topo = MakeSingleSwitch(params);
+  EXPECT_EQ(topo.hosts().size(), 20u);
+  EXPECT_EQ(topo.num_nodes(), 21);          // 20 hosts + 1 switch.
+  EXPECT_EQ(topo.num_links(), 40);          // 20 duplex cables.
+}
+
+TEST(TopologyTest, HostsGetUniqueIps) {
+  const Topology topo = MakeSingleSwitch({});
+  std::set<std::string> ips;
+  for (NodeId h : topo.hosts()) {
+    ips.insert(topo.IpOf(h));
+    EXPECT_EQ(topo.HostByIp(topo.IpOf(h)), h);
+  }
+  EXPECT_EQ(ips.size(), topo.hosts().size());
+  EXPECT_EQ(topo.HostByIp("1.2.3.4"), kInvalidNode);
+}
+
+TEST(TopologyTest, PathThroughSingleSwitch) {
+  const Topology topo = MakeSingleSwitch({});
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  const std::vector<LinkId> path = topo.PathBetween(a, b);
+  ASSERT_EQ(path.size(), 2u);  // host->switch, switch->host.
+  EXPECT_EQ(topo.link(path[0]).from, a);
+  EXPECT_EQ(topo.link(path[1]).to, b);
+}
+
+TEST(TopologyTest, PathToSelfIsEmpty) {
+  const Topology topo = MakeSingleSwitch({});
+  EXPECT_TRUE(topo.PathBetween(topo.hosts()[0], topo.hosts()[0]).empty());
+}
+
+TEST(TopologyTest, Vl2SameRackPathStaysUnderTor) {
+  Vl2Params params;
+  params.num_racks = 4;
+  params.hosts_per_rack = 10;
+  const Topology topo = MakeVl2(params);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[1];
+  ASSERT_TRUE(topo.SameRack(a, b));
+  EXPECT_EQ(topo.PathBetween(a, b).size(), 2u);  // host->tor->host.
+}
+
+TEST(TopologyTest, Vl2CrossRackPathClimbsToAgg) {
+  Vl2Params params;
+  params.num_racks = 4;
+  params.hosts_per_rack = 10;
+  const Topology topo = MakeVl2(params);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[params.hosts_per_rack];  // First host of rack 1.
+  ASSERT_FALSE(topo.SameRack(a, b));
+  // host->tor->agg->tor->host = 4 hops (aggs connect all racks directly).
+  EXPECT_EQ(topo.PathBetween(a, b).size(), 4u);
+}
+
+TEST(TopologyTest, EcmpSaltSpreadsPaths) {
+  Vl2Params params;
+  params.num_racks = 4;
+  params.hosts_per_rack = 2;
+  params.num_aggs = 4;
+  const Topology topo = MakeVl2(params);
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts()[2];  // Different rack.
+  std::set<std::vector<LinkId>> distinct;
+  for (uint64_t salt = 0; salt < 64; ++salt) {
+    distinct.insert(topo.PathBetween(a, b, salt));
+  }
+  EXPECT_GT(distinct.size(), 1u);  // Multiple equal-cost paths get used.
+}
+
+TEST(TopologyTest, EcmpPathIsDeterministicPerSalt) {
+  const Topology topo = MakeVl2({});
+  const NodeId a = topo.hosts()[0];
+  const NodeId b = topo.hosts().back();
+  EXPECT_EQ(topo.PathBetween(a, b, 99), topo.PathBetween(a, b, 99));
+}
+
+TEST(TopologyTest, Ec2BuilderExactInstanceCount) {
+  Ec2Params params;
+  params.num_instances = 101;
+  const Topology topo = MakeEc2(params);
+  EXPECT_EQ(topo.hosts().size(), 101u);
+  for (NodeId h : topo.hosts()) {
+    EXPECT_DOUBLE_EQ(topo.host_caps(h).nic_up, 500 * kMbps);
+    EXPECT_DOUBLE_EQ(topo.host_caps(h).nic_down, 500 * kMbps);
+  }
+}
+
+TEST(TopologyTest, UplinkDownlinkLookup) {
+  const Topology topo = MakeSingleSwitch({});
+  const NodeId h = topo.hosts()[0];
+  const LinkId up = topo.UplinkOf(h);
+  const LinkId down = topo.DownlinkOf(h);
+  EXPECT_EQ(topo.link(up).from, h);
+  EXPECT_EQ(topo.link(down).to, h);
+}
+
+TEST(TopologyTest, HostCapsMutable) {
+  Topology topo = MakeSingleSwitch({});
+  const NodeId h = topo.hosts()[0];
+  topo.mutable_host_caps(h).disk_read = 1 * kMbps;
+  EXPECT_DOUBLE_EQ(topo.host_caps(h).disk_read, 1 * kMbps);
+}
+
+}  // namespace
+}  // namespace cloudtalk

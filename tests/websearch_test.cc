@@ -1,0 +1,80 @@
+// Tests for the web-search scatter-gather substrate.
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/websearch/search_cluster.h"
+
+namespace cloudtalk {
+namespace {
+
+Topology SearchFabric(int racks = 6, int hosts_per_rack = 20) {
+  Vl2Params params;
+  params.num_racks = racks;
+  params.hosts_per_rack = hosts_per_rack;
+  params.host_link = 1 * kGbps;
+  return MakeVl2(params);
+}
+
+TEST(SearchClusterTest, DeploymentBuilders) {
+  const Topology topo = SearchFabric(2, 8);
+  const auto& hosts = topo.hosts();
+  const SearchDeployment one =
+      SingleAggregatorDeployment(hosts, hosts[0], hosts[1]);
+  EXPECT_EQ(one.aggregators.size(), 1u);
+  EXPECT_EQ(one.leaves_per_aggregator[0].size(), hosts.size() - 2);
+
+  const SearchDeployment two =
+      TwoAggregatorDeployment(hosts, hosts[0], hosts[1], hosts[2]);
+  EXPECT_EQ(two.aggregators.size(), 2u);
+  EXPECT_EQ(two.leaves_per_aggregator[0].size() + two.leaves_per_aggregator[1].size(),
+            hosts.size() - 3);
+}
+
+TEST(SearchClusterTest, LowLoadQueriesComplete) {
+  const Topology topo = SearchFabric(2, 10);
+  const auto& hosts = topo.hosts();
+  SearchCluster cluster(&topo, TwoAggregatorDeployment(hosts, hosts[0], hosts[1], hosts[11]),
+                        SearchParams{});
+  const SearchStats stats = cluster.RunLoad(/*qps=*/2, /*duration=*/3, /*seed=*/1);
+  EXPECT_GT(stats.issued, 0);
+  EXPECT_EQ(stats.completed, stats.issued);
+  EXPECT_GT(Mean(stats.latencies), 0.0);
+}
+
+TEST(SearchClusterTest, SingleAggregatorIncastAtHighLoad) {
+  // 100 leaves answering into one aggregator port: high load collapses the
+  // single-aggregator configuration (Figure 11's crash regime), while the
+  // same load on two aggregators stays healthy.
+  const Topology topo = SearchFabric(6, 20);
+  std::vector<NodeId> hosts(topo.hosts().begin(), topo.hosts().begin() + 103);
+  SearchParams params;
+  params.net.queue_packets = 50;
+
+  SearchCluster single(&topo, SingleAggregatorDeployment(hosts, hosts[0], hosts[1]), params);
+  const SearchStats s1 = single.RunLoad(/*qps=*/20, /*duration=*/2, /*seed=*/2);
+
+  SearchCluster twin(&topo, TwoAggregatorDeployment(hosts, hosts[0], hosts[1], hosts[60]),
+                     params);
+  const SearchStats s2 = twin.RunLoad(/*qps=*/20, /*duration=*/2, /*seed=*/2);
+
+  ASSERT_GT(s1.completed, 0);
+  ASSERT_GT(s2.completed, 0);
+  // Incast shows up as drops/timeouts and a worse tail for the single agg.
+  EXPECT_GT(s1.timeouts, 0);
+  EXPECT_GT(Percentile(s1.latencies, 90), Percentile(s2.latencies, 90));
+}
+
+TEST(SearchClusterTest, LatencyGrowsWithLoad) {
+  const Topology topo = SearchFabric(6, 20);
+  std::vector<NodeId> hosts(topo.hosts().begin(), topo.hosts().begin() + 103);
+  SearchCluster single(&topo, SingleAggregatorDeployment(hosts, hosts[0], hosts[1]),
+                       SearchParams{});
+  const SearchStats low = single.RunLoad(1, 2, 3);
+  const SearchStats high = single.RunLoad(30, 2, 3);
+  ASSERT_GT(low.completed, 0);
+  ASSERT_GT(high.completed, 0);
+  EXPECT_GT(Percentile(high.latencies, 95), Percentile(low.latencies, 95));
+}
+
+}  // namespace
+}  // namespace cloudtalk
