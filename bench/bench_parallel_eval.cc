@@ -1,0 +1,167 @@
+// ISSUE 1 acceptance: serial-vs-parallel exhaustive evaluation on the
+// Table 2 daisy-chain workload.
+//
+// Three engine configurations are timed over the identical binding space:
+//   seed      — the original path: one thread, a throwaway star topology and
+//               FluidSimulation rebuilt for every binding, no memo.
+//   serial    — one thread, prepared scratch + signature memo.
+//   parallel  — N shards (default 4, CLOUDTALK_EVAL_THREADS overrides),
+//               thread-local estimators, scratch + memo.
+// All three must return byte-identical bindings and makespans (the engine's
+// deterministic merge); the bench exits non-zero if they do not.
+//
+// Output ends with one machine-readable JSON line; pass a path argument to
+// also write that line to a file (CI stores it as BENCH_eval.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "bench/experiments.h"
+#include "src/common/rng.h"
+#include "src/core/estimator.h"
+#include "src/core/exhaustive.h"
+#include "src/lang/analysis.h"
+#include "src/lang/parser.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+// The Section 5.1 daisy chain: x1 = ... = xd = (s1 ... sn); f_i: x_i -> x_{i+1}.
+std::string DaisyChainQuery(int n, int d) {
+  std::ostringstream query;
+  for (int i = 1; i <= d; ++i) {
+    query << "x" << i << " = ";
+  }
+  query << "(";
+  for (int i = 1; i <= n; ++i) {
+    query << "s" << i << " ";
+  }
+  query << ")\n";
+  for (int i = 1; i + 1 <= d; ++i) {
+    query << "f" << i << " x" << i << " -> x" << (i + 1) << " size 100M";
+    if (i > 1) {
+      query << " transfer t(f" << (i - 1) << ")";
+    }
+    query << "\n";
+  }
+  return query.str();
+}
+
+StatusByAddress RandomStatus(int n, uint64_t seed) {
+  Rng rng(seed);
+  StatusByAddress status;
+  for (int i = 1; i <= n; ++i) {
+    StatusReport report;
+    report.nic_tx_cap = report.nic_rx_cap = 1e9;
+    report.nic_tx_use = rng.Uniform(0, 0.9) * 1e9;
+    report.nic_rx_use = rng.Uniform(0, 0.9) * 1e9;
+    report.disk_read_cap = report.disk_write_cap = 4e9;
+    status["s" + std::to_string(i)] = report;
+  }
+  return status;
+}
+
+struct TimedRun {
+  double us = 0;  // Best of `iters` runs.
+  ExhaustiveResult result;
+};
+
+TimedRun TimeEval(const lang::CompiledQuery& compiled, const StatusByAddress& status,
+                  int threads, bool seed_path, int iters) {
+  TimedRun out;
+  out.us = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    FlowLevelEstimator estimator(0.1, /*reuse_scratch=*/!seed_path);
+    ExhaustiveParams params;
+    params.threads = threads;
+    params.memoize = !seed_path;
+    const auto begin = std::chrono::steady_clock::now();
+    Result<ExhaustiveResult> result = EvaluateExhaustive(compiled, status, estimator, params);
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n", result.error().ToString().c_str());
+      std::exit(1);
+    }
+    out.us = std::min(out.us, std::chrono::duration<double, std::micro>(end - begin).count());
+    out.result = std::move(result.value());
+  }
+  return out;
+}
+
+bool Identical(const ExhaustiveResult& a, const ExhaustiveResult& b) {
+  // Byte-identical makespan (no tolerance) and the same binding.
+  if (std::memcmp(&a.estimate.makespan, &b.estimate.makespan, sizeof(double)) != 0) {
+    return false;
+  }
+  if (a.binding.size() != b.binding.size()) {
+    return false;
+  }
+  for (const auto& [var, endpoint] : a.binding) {
+    const auto it = b.binding.find(var);
+    if (it == b.binding.end() || !(it->second == endpoint)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = 20;
+  const int d = 3;
+  int threads = 4;
+  if (const char* env = std::getenv("CLOUDTALK_EVAL_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  const int iters = bench::QuickMode() ? 3 : 10;
+
+  bench::PrintHeader("Parallel exhaustive evaluation (daisy chain, n=20 d=3)");
+
+  auto parsed = lang::Parse(DaisyChainQuery(n, d));
+  auto compiled = lang::CompiledQuery::Compile(parsed.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.error().ToString().c_str());
+    return 1;
+  }
+  const StatusByAddress status = RandomStatus(n, 42);
+
+  const TimedRun seed = TimeEval(compiled.value(), status, 1, /*seed_path=*/true, iters);
+  const TimedRun serial = TimeEval(compiled.value(), status, 1, /*seed_path=*/false, iters);
+  const TimedRun parallel =
+      TimeEval(compiled.value(), status, threads, /*seed_path=*/false, iters);
+
+  const bool identical =
+      Identical(seed.result, serial.result) && Identical(seed.result, parallel.result);
+
+  std::printf("bindings tried: %lld (memo hits parallel: %lld)\n",
+              static_cast<long long>(seed.result.bindings_tried),
+              static_cast<long long>(parallel.result.memo_hits));
+  std::printf("%-28s %12.0f us\n", "seed path (1 thread)", seed.us);
+  std::printf("%-28s %12.0f us  (%.2fx)\n", "scratch+memo (1 thread)", serial.us,
+              seed.us / serial.us);
+  std::printf("%-28s %12.0f us  (%.2fx, %d shards)\n", "scratch+memo (parallel)", parallel.us,
+              seed.us / parallel.us, parallel.result.threads_used);
+  std::printf("results byte-identical: %s\n", identical ? "yes" : "NO");
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"parallel_eval\",\"n\":%d,\"d\":%d,\"serial_us\":%.1f,"
+                "\"parallel_us\":%.1f,\"threads\":%d,\"speedup\":%.2f,\"identical\":%s}",
+                n, d, seed.us, parallel.us, threads, seed.us / parallel.us,
+                identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return identical ? 0 : 1;
+}

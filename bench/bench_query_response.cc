@@ -101,7 +101,24 @@ void BM_FullAnswerParseAndEval(benchmark::State& state) {
 BENCHMARK(BM_FullAnswerParseAndEval)->Unit(benchmark::kMicrosecond);
 
 // The paper's 130 ms comparison point: exhaustive evaluation of the same
-// query via the flow-level estimator (20*19*18 = 6840 bindings).
+// query via the flow-level estimator (20*19*18 = 6840 bindings), on the
+// original engine path (per-binding topology rebuild, no memo, one thread).
+void BM_BruteForceEvalSeedPath(benchmark::State& state) {
+  auto query = lang::Parse(WriteQuery(20));
+  auto compiled = lang::CompiledQuery::Compile(query.value());
+  const StatusByAddress status = RandomStatus(20, 1);
+  FlowLevelEstimator estimator(0.1, /*reuse_scratch=*/false);
+  ExhaustiveParams params;
+  params.memoize = false;
+  for (auto _ : state) {
+    auto result = EvaluateExhaustive(compiled.value(), status, estimator, params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BruteForceEvalSeedPath)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// Same space on the ISSUE 1 engine: prepared scratch + signature memo,
+// serial (defaults).
 void BM_BruteForceEval(benchmark::State& state) {
   auto query = lang::Parse(WriteQuery(20));
   auto compiled = lang::CompiledQuery::Compile(query.value());
@@ -113,6 +130,21 @@ void BM_BruteForceEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BruteForceEval)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// And sharded over the worker pool (0 = hardware concurrency).
+void BM_BruteForceEvalParallel(benchmark::State& state) {
+  auto query = lang::Parse(WriteQuery(20));
+  auto compiled = lang::CompiledQuery::Compile(query.value());
+  const StatusByAddress status = RandomStatus(20, 1);
+  FlowLevelEstimator estimator;
+  ExhaustiveParams params;
+  params.threads = 0;
+  for (auto _ : state) {
+    auto result = EvaluateExhaustive(compiled.value(), status, estimator, params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BruteForceEvalParallel)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_HeuristicEvalLargePool(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

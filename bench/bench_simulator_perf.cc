@@ -62,6 +62,52 @@ void BM_PacketSimEventsPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSimEventsPerSecond)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// The estimator hot loop (ISSUE 1): run a 3-hop transfer chain, Reset(),
+// repeat on the same simulation — vs constructing a fresh simulation per
+// iteration. The delta is the per-binding saving of the prepared scratch.
+void BM_FluidRunAndReset(benchmark::State& state) {
+  SingleSwitchParams params;
+  params.num_hosts = 20;
+  const Topology topo = MakeSingleSwitch(params);
+  FluidSimulation sim(&topo);
+  for (auto _ : state) {
+    GroupSpec spec;
+    for (int i = 0; i < 3; ++i) {
+      FluidFlow flow;
+      flow.resources =
+          sim.resources().NetworkPath(topo, topo.hosts()[i], topo.hosts()[i + 1]);
+      flow.size = 100 * kMB;
+      spec.flows.push_back(std::move(flow));
+    }
+    sim.AddGroup(std::move(spec));
+    sim.RunUntilIdle();
+    sim.Reset();
+    benchmark::DoNotOptimize(sim.recompute_count());
+  }
+}
+BENCHMARK(BM_FluidRunAndReset)->Unit(benchmark::kMicrosecond);
+
+void BM_FluidRunFreshSim(benchmark::State& state) {
+  SingleSwitchParams params;
+  params.num_hosts = 20;
+  const Topology topo = MakeSingleSwitch(params);
+  for (auto _ : state) {
+    FluidSimulation sim(&topo);
+    GroupSpec spec;
+    for (int i = 0; i < 3; ++i) {
+      FluidFlow flow;
+      flow.resources =
+          sim.resources().NetworkPath(topo, topo.hosts()[i], topo.hosts()[i + 1]);
+      flow.size = 100 * kMB;
+      spec.flows.push_back(std::move(flow));
+    }
+    sim.AddGroup(std::move(spec));
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_FluidRunFreshSim)->Unit(benchmark::kMicrosecond);
+
 void BM_HdfsWriteSimulated(benchmark::State& state) {
   // End-to-end cost of simulating one 3-replica 256 MB pipelined write.
   for (auto _ : state) {

@@ -5,14 +5,18 @@
 // reports 231 us (n=100, d=3) up to ~19.4 ms (n=2000, d=30); absolute
 // numbers differ on other hardware, but times must stay in the same
 // magnitude band and scale roughly linearly in n*d.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/experiments.h"
 #include "src/common/rng.h"
+#include "src/core/estimator.h"
+#include "src/core/exhaustive.h"
 #include "src/core/heuristic.h"
 #include "src/lang/analysis.h"
 #include "src/lang/parser.h"
@@ -105,5 +109,35 @@ int main() {
     std::printf("\n");
   }
   std::printf("\nShape check: time grows ~linearly with n*d (O(max(m, n*d)) algorithm).\n");
+
+  // Exhaustive-evaluator companion numbers (ISSUE 1): the same daisy-chain
+  // workload through EvaluateExhaustive, original path vs the scratch+memo
+  // engine, serial and sharded (CLOUDTALK_EVAL_THREADS, default 4).
+  int threads = 4;
+  if (const char* env = std::getenv("CLOUDTALK_EVAL_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  std::printf("\nExhaustive evaluator (us per full evaluation, d=3):\n");
+  std::printf("%8s %12s %12s %12s\n", "n", "seed path", "engine x1", "engine xN");
+  for (int n : {10, 20}) {
+    auto parsed = lang::Parse(DaisyChainQuery(n, 3));
+    auto compiled = lang::CompiledQuery::Compile(parsed.value());
+    const StatusByAddress status = RandomStatus(n, rng);
+    auto time_one = [&](bool seed_path, int shards) {
+      FlowLevelEstimator estimator(0.1, /*reuse_scratch=*/!seed_path);
+      ExhaustiveParams params;
+      params.memoize = !seed_path;
+      params.threads = shards;
+      const auto begin = std::chrono::steady_clock::now();
+      auto result = EvaluateExhaustive(compiled.value(), status, estimator, params);
+      const auto end = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        return -1.0;
+      }
+      return std::chrono::duration<double, std::micro>(end - begin).count();
+    };
+    std::printf("%8d %12.0f %12.0f %12.0f\n", n, time_one(true, 1), time_one(false, 1),
+                time_one(false, threads));
+  }
   return 0;
 }

@@ -1,0 +1,103 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace cloudtalk {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(0, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+int ThreadPool::ResolveThreadCount(int threads) {
+  if (threads > 0) {
+    return threads;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunShards(Batch& batch) {
+  int finished = 0;
+  while (true) {
+    const int shard = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= batch.shards) {
+      break;
+    }
+    (*batch.fn)(shard);
+    ++finished;
+  }
+  if (finished > 0 &&
+      batch.done.fetch_add(finished, std::memory_order_acq_rel) + finished == batch.shards) {
+    // Last shard: wake the caller. The lock pairs with the caller's wait so
+    // the notify cannot be lost between its predicate check and sleep.
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    batch.all_done.notify_all();
+  }
+}
+
+void ThreadPool::Run(int shards, const std::function<void(int)>& fn) {
+  if (shards <= 0) {
+    return;
+  }
+  // The batch is shared with helper tasks that may outlive this frame's
+  // useful work (a helper can be dequeued after all shards are claimed), so
+  // it must be heap-allocated and reference-counted.
+  auto batch = std::make_shared<Batch>();
+  batch->shards = shards;
+  batch->fn = &fn;
+  const int helpers = std::min(worker_count(), shards - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (int i = 0; i < helpers; ++i) {
+        queue_.push_back([batch] { RunShards(*batch); });
+      }
+    }
+    queue_cv_.notify_all();
+  }
+  RunShards(*batch);  // The caller is always one of the lanes.
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->all_done.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->shards;
+  });
+  // `fn` may now be destroyed: every shard has run; late helpers see
+  // next >= shards and never touch fn.
+}
+
+}  // namespace cloudtalk

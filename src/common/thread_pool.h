@@ -1,0 +1,78 @@
+// A small fixed-size worker pool for data-parallel evaluation work.
+//
+// The CloudTalk evaluation engine partitions a query's binding space into
+// shards and runs them concurrently (ISSUE 1 / paper Table 2: answers must
+// stay in the hundreds-of-microseconds band even for 2000-server pools).
+// The pool is deliberately minimal: a fixed set of workers, a FIFO task
+// queue, and a blocking `Run(shards, fn)` fan-out in which the calling
+// thread participates, so `Run` never deadlocks even when every worker is
+// busy with other batches (concurrent queries share one process-wide pool).
+//
+// Determinism is the caller's job: shards must not communicate, and the
+// caller merges shard results with an order-independent rule (the
+// exhaustive evaluator uses (makespan, lowest binding index)).
+#ifndef CLOUDTALK_SRC_COMMON_THREAD_POOL_H_
+#define CLOUDTALK_SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudtalk {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 0). A pool with zero
+  // workers is valid: Run() then executes every shard on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Process-wide pool sized to the hardware (hardware_concurrency - 1
+  // workers, the caller thread being the remaining lane). Created on first
+  // use; lives for the life of the process.
+  static ThreadPool& Shared();
+
+  // Executes fn(0) .. fn(shards - 1), distributing shards over the workers
+  // and the calling thread, and returns when all shards have finished.
+  // Shards are claimed dynamically (an atomic cursor), so uneven shard
+  // costs balance automatically. Safe to call from multiple threads at
+  // once; batches interleave on the same workers.
+  void Run(int shards, const std::function<void(int)>& fn);
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // threads == 1 -> 1 (serial); threads <= 0 -> hardware concurrency
+  // (minimum 1); otherwise the requested count.
+  static int ResolveThreadCount(int threads);
+
+ private:
+  struct Batch {
+    std::atomic<int> next{0};   // Next unclaimed shard.
+    std::atomic<int> done{0};   // Completed shards.
+    int shards = 0;
+    const std::function<void(int)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+
+  void WorkerLoop();
+  static void RunShards(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_COMMON_THREAD_POOL_H_

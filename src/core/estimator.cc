@@ -1,12 +1,29 @@
 #include "src/core/estimator.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/fluidsim/fluid_simulation.h"
 #include "src/topology/topology.h"
 
 namespace cloudtalk {
+
+namespace {
+// Unknown (0.0.0.0) and unreported endpoints are modelled as idle hosts with
+// very large capacity so they never dominate the estimate.
+constexpr Bps kHugeCapacity = 1e15;
+
+StatusReport ReportFor(const StatusByAddress& status, const std::string& address) {
+  const auto it = status.find(address);
+  if (it != status.end()) {
+    return it->second;
+  }
+  HostCaps big;
+  big.nic_up = big.nic_down = big.disk_read = big.disk_write = kHugeCapacity;
+  return StatusReport::Idle(kInvalidNode, big);
+}
+}  // namespace
 
 std::optional<lang::Endpoint> ResolveEndpoint(const lang::Endpoint& endpoint,
                                               const Binding& binding) {
@@ -20,9 +37,262 @@ std::optional<lang::Endpoint> ResolveEndpoint(const lang::Endpoint& endpoint,
   return it->second;
 }
 
+// Per-query scratch: the star topology, the fluid simulation and the flow
+// plans are built once in BeginQuery and reused (via FluidSimulation::Reset)
+// for every binding of the query. The host universe is every pool address,
+// every literal flow endpoint, and one pre-interned abstract host per
+// 0.0.0.0 occurrence (fixed per query, so repeated estimates cannot leak
+// fresh "_unknownN" hosts — the counter effectively resets per estimate).
+struct FlowLevelEstimator::Scratch {
+  const lang::CompiledQuery* query = nullptr;
+  const StatusByAddress* status = nullptr;
+
+  Topology star;
+  NodeId hub = kInvalidNode;
+  std::unique_ptr<FluidSimulation> sim;
+
+  std::unordered_map<std::string, int> host_index;
+  std::vector<NodeId> host_node;
+  // Per host-slot resources of the star: NIC up/down, disk read/write, and
+  // the two directed hub links. A src->dst transfer consumes
+  // {nic_up[src], link_up[src], link_down[dst], nic_down[dst]} — exactly
+  // what ResourceRegistry::NetworkPath returns on this topology, without
+  // the per-binding path lookup.
+  std::vector<ResourceId> nic_up, nic_down, disk_read, disk_write, link_up, link_down;
+
+  struct Ep {
+    enum Kind { kHost, kVar, kDisk };
+    Kind kind = kHost;
+    int index = 0;  // Host slot for kHost, variable index for kVar.
+  };
+  struct FlowPlan {
+    Ep src, dst;
+    Bytes size = 0;
+    int group = 0;
+  };
+  std::vector<FlowPlan> flows;
+
+  // Reused per estimate.
+  std::vector<int> var_slot;        // variable index -> host slot (-1 unbound).
+  std::vector<GroupSpec> specs;
+
+  int InternHost(const std::string& address, const StatusByAddress& st) {
+    const auto it = host_index.find(address);
+    if (it != host_index.end()) {
+      return it->second;
+    }
+    const int slot = static_cast<int>(host_node.size());
+    host_index.emplace(address, slot);
+    const StatusReport report = ReportFor(st, address);
+    HostCaps caps;
+    caps.nic_up = report.nic_tx_cap;
+    caps.nic_down = report.nic_rx_cap;
+    caps.disk_read = report.disk_read_cap;
+    caps.disk_write = report.disk_write_cap;
+    const NodeId node = star.AddHost(address, caps, 0);
+    const LinkId up = star.AddDuplexLink(node, hub, kHugeCapacity);
+    host_node.push_back(node);
+    pending_reports.push_back(report);
+    pending_links.push_back(up);
+    return slot;
+  }
+
+  // Reports/links staged during interning; consumed once the simulation is
+  // constructed (resource ids only exist after the registry is built).
+  std::vector<StatusReport> pending_reports;
+  std::vector<LinkId> pending_links;
+};
+
+FlowLevelEstimator::FlowLevelEstimator(double min_available_fraction, bool reuse_scratch)
+    : min_available_fraction_(min_available_fraction), reuse_scratch_(reuse_scratch) {}
+
+FlowLevelEstimator::~FlowLevelEstimator() = default;
+
+void FlowLevelEstimator::BeginQuery(const lang::CompiledQuery& query,
+                                    const StatusByAddress& status) {
+  if (!reuse_scratch_) {
+    return;
+  }
+  scratch_ = std::make_unique<Scratch>();
+  Scratch& s = *scratch_;
+  s.query = &query;
+  s.status = &status;
+  s.hub = s.star.AddNode(NodeKind::kTor, "hub");
+
+  // Host universe: pool addresses first (variable order), then literal flow
+  // endpoints (flow order), then one abstract host per 0.0.0.0 occurrence.
+  for (const lang::VarComm& var : query.variables()) {
+    for (const lang::Endpoint& e : var.pool) {
+      if (e.kind == lang::Endpoint::Kind::kAddress) {
+        s.InternHost(e.name, status);
+      }
+    }
+  }
+  int unknown_counter = 0;
+  s.flows.reserve(query.flows().size());
+  for (const lang::CompiledFlow& flow : query.flows()) {
+    Scratch::FlowPlan plan;
+    plan.size = flow.size;
+    plan.group = flow.group;
+    auto classify = [&](const lang::Endpoint& e) -> Scratch::Ep {
+      switch (e.kind) {
+        case lang::Endpoint::Kind::kAddress:
+          return {Scratch::Ep::kHost, s.InternHost(e.name, status)};
+        case lang::Endpoint::Kind::kVariable:
+          return {Scratch::Ep::kVar, query.VariableIndex(e.name)};
+        case lang::Endpoint::Kind::kDisk:
+          return {Scratch::Ep::kDisk, 0};
+        case lang::Endpoint::Kind::kUnknown:
+        default:
+          // Each 0.0.0.0 is a distinct infinitely-provisioned external
+          // sender, exactly as the cold path's per-call counter models it.
+          return {Scratch::Ep::kHost,
+                  s.InternHost("_unknown" + std::to_string(unknown_counter++), status)};
+      }
+    };
+    plan.src = classify(flow.src);
+    plan.dst = classify(flow.dst);
+    s.flows.push_back(plan);
+  }
+
+  s.sim = std::make_unique<FluidSimulation>(&s.star, min_available_fraction_);
+  const ResourceRegistry& registry = s.sim->resources();
+  const int hosts = static_cast<int>(s.host_node.size());
+  s.nic_up.resize(hosts);
+  s.nic_down.resize(hosts);
+  s.disk_read.resize(hosts);
+  s.disk_write.resize(hosts);
+  s.link_up.resize(hosts);
+  s.link_down.resize(hosts);
+  for (int i = 0; i < hosts; ++i) {
+    const NodeId node = s.host_node[i];
+    s.nic_up[i] = registry.NicUp(node);
+    s.nic_down[i] = registry.NicDown(node);
+    s.disk_read[i] = registry.DiskRead(node);
+    s.disk_write[i] = registry.DiskWrite(node);
+    // AddDuplexLink allocates (forward, reverse) consecutively.
+    s.link_up[i] = registry.LinkResource(s.pending_links[i]);
+    s.link_down[i] = registry.LinkResource(s.pending_links[i] + 1);
+    const StatusReport& report = s.pending_reports[i];
+    s.sim->SetBackground(s.nic_up[i], report.nic_tx_use);
+    s.sim->SetBackground(s.nic_down[i], report.nic_rx_use);
+    s.sim->SetBackground(s.disk_read[i], report.disk_read_use);
+    s.sim->SetBackground(s.disk_write[i], report.disk_write_use);
+  }
+  s.var_slot.assign(query.variables().size(), -1);
+}
+
+void FlowLevelEstimator::EndQuery() { scratch_.reset(); }
+
+std::unique_ptr<CompletionEstimator> FlowLevelEstimator::CloneForThread() const {
+  return std::make_unique<FlowLevelEstimator>(min_available_fraction_, reuse_scratch_);
+}
+
 Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& query,
                                               const Binding& binding,
                                               const StatusByAddress& status) {
+  if (scratch_ != nullptr && scratch_->query == &query && scratch_->status == &status) {
+    // Bindings outside the interned universe (possible only on direct calls
+    // with out-of-pool addresses) fall through to the cold path.
+    bool miss = false;
+    Scratch& s = *scratch_;
+    const auto& variables = query.variables();
+    for (size_t v = 0; v < variables.size(); ++v) {
+      const auto it = binding.find(variables[v].name);
+      if (it == binding.end()) {
+        s.var_slot[v] = -1;  // Flows referencing it fail, as in the cold path.
+        continue;
+      }
+      if (it->second.kind != lang::Endpoint::Kind::kAddress) {
+        miss = true;
+        break;
+      }
+      const auto host_it = s.host_index.find(it->second.name);
+      if (host_it == s.host_index.end()) {
+        miss = true;
+        break;
+      }
+      s.var_slot[v] = host_it->second;
+    }
+    if (!miss) {
+      return EstimateWithScratch(query, binding);
+    }
+  }
+  return EstimateCold(query, binding, status);
+}
+
+Result<Estimate> FlowLevelEstimator::EstimateWithScratch(const lang::CompiledQuery& query,
+                                                         const Binding& binding) {
+  (void)binding;
+  Scratch& s = *scratch_;
+  s.sim->Reset();
+  FluidSimulation& sim = *s.sim;
+
+  s.specs.clear();
+  s.specs.resize(query.groups().size());
+  for (size_t g = 0; g < query.groups().size(); ++g) {
+    s.specs[g].rate_limit = query.groups()[g].rate_limit;
+    s.specs[g].start_time = std::max<Seconds>(0, query.groups()[g].start);
+  }
+
+  Bytes total_bytes = 0;
+  for (size_t i = 0; i < s.flows.size(); ++i) {
+    const Scratch::FlowPlan& plan = s.flows[i];
+    auto slot_of = [&](const Scratch::Ep& ep) -> int {
+      return ep.kind == Scratch::Ep::kHost ? ep.index
+                                           : (ep.index >= 0 ? s.var_slot[ep.index] : -1);
+    };
+    FluidFlow flow;
+    flow.size = plan.size;
+    total_bytes += plan.size;
+    if (plan.src.kind == Scratch::Ep::kDisk) {
+      const int dst = slot_of(plan.dst);
+      if (dst < 0) {
+        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+      }
+      flow.resources = {s.disk_read[dst]};
+    } else if (plan.dst.kind == Scratch::Ep::kDisk) {
+      const int src = slot_of(plan.src);
+      if (src < 0) {
+        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+      }
+      flow.resources = {s.disk_write[src]};
+    } else {
+      const int src = slot_of(plan.src);
+      const int dst = slot_of(plan.dst);
+      if (src < 0 || dst < 0) {
+        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+      }
+      if (src != dst) {
+        // Same resource set and order as ResourceRegistry::NetworkPath on
+        // the star; loopback transfers consume nothing (empty set).
+        flow.resources = {s.nic_up[src], s.link_up[src], s.link_down[dst], s.nic_down[dst]};
+      }
+    }
+    s.specs[plan.group].flows.push_back(std::move(flow));
+  }
+
+  Seconds makespan = 0;
+  for (GroupSpec& spec : s.specs) {
+    if (spec.flows.empty()) {
+      continue;
+    }
+    sim.AddGroup(std::move(spec), [&makespan](GroupId, Seconds t) {
+      makespan = std::max(makespan, t);
+    });
+  }
+  if (!sim.RunUntilIdle(/*hard_deadline=*/1e9)) {
+    return Error{"flow-level estimate did not converge (zero-rate flows)"};
+  }
+  cloudtalk::Estimate estimate;
+  estimate.makespan = makespan;
+  estimate.aggregate_throughput = makespan > 0 ? total_bytes * 8.0 / makespan : 0;
+  return estimate;
+}
+
+Result<Estimate> FlowLevelEstimator::EstimateCold(const lang::CompiledQuery& query,
+                                                  const Binding& binding,
+                                                  const StatusByAddress& status) const {
   // Build a throwaway star topology: one abstract host per distinct address
   // in the bound query, all hanging off an uncontended switch. Endpoint
   // capacities and background load come from the status snapshot; unknown
@@ -35,21 +305,14 @@ Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& qu
   };
   std::vector<AbstractHost> hosts;
   std::unordered_map<std::string, int> host_index;
-  auto intern = [&](const std::string& address) -> Result<int> {
+  auto intern = [&](const std::string& address) -> int {
     const auto it = host_index.find(address);
     if (it != host_index.end()) {
       return it->second;
     }
     AbstractHost host;
     host.address = address;
-    const auto status_it = status.find(address);
-    if (status_it != status.end()) {
-      host.report = status_it->second;
-    } else {
-      HostCaps big;
-      big.nic_up = big.nic_down = big.disk_read = big.disk_write = 1e15;
-      host.report = StatusReport::Idle(kInvalidNode, big);
-    }
+    host.report = ReportFor(status, address);
     const int index = static_cast<int>(hosts.size());
     hosts.push_back(std::move(host));
     host_index.emplace(address, index);
@@ -86,10 +349,7 @@ Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& qu
     }
     for (const lang::Endpoint* e : {&rf.src, &rf.dst}) {
       if (e->kind == lang::Endpoint::Kind::kAddress) {
-        Result<int> idx = intern(e->name);
-        if (!idx.ok()) {
-          return idx.error();
-        }
+        intern(e->name);
       }
     }
     resolved.push_back(std::move(rf));
@@ -105,7 +365,7 @@ Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& qu
     caps.disk_read = host.report.disk_read_cap;
     caps.disk_write = host.report.disk_write_cap;
     host.node = star.AddHost(host.address, caps, 0);
-    star.AddDuplexLink(host.node, hub, 1e15);
+    star.AddDuplexLink(host.node, hub, kHugeCapacity);
   }
   FluidSimulation sim(&star, min_available_fraction_);
   for (const AbstractHost& host : hosts) {

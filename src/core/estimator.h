@@ -9,11 +9,28 @@
 //  * A packet-level estimator (PacketLevelEstimator, src/core/
 //    packet_estimator.h) plugs in behind the same interface for
 //    incast-sensitive queries such as web search.
+//
+// Hot-path contract (ISSUE 1): an exhaustive evaluation calls EstimateQuery
+// once per binding — thousands to millions of times per query. Estimators
+// therefore support a prepared-scratch protocol:
+//
+//   estimator.BeginQuery(query, status);     // intern hosts, build buffers
+//   for (each binding) estimator.EstimateQuery(query, binding, status);
+//   estimator.EndQuery();
+//
+// Between BeginQuery and EndQuery the estimator may reuse per-query state
+// (star topology, FluidSimulation buffers) instead of reconstructing it per
+// binding. EstimateQuery called without (or outside) a matching BeginQuery
+// must still work and must not mutate shared state — CloudTalkServer calls
+// it concurrently from Quote(). CloneForThread() hands the parallel engine
+// an independent estimator per worker.
 #ifndef CLOUDTALK_SRC_CORE_ESTIMATOR_H_
 #define CLOUDTALK_SRC_CORE_ESTIMATOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/units.h"
@@ -38,20 +55,65 @@ class CompletionEstimator {
   virtual ~CompletionEstimator() = default;
   virtual Result<Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
                                     const StatusByAddress& status) = 0;
+
+  // Prepared-scratch protocol (see file comment). Default: no-op — a
+  // stateless estimator ignores it. `query` and `status` must outlive the
+  // matching EndQuery().
+  virtual void BeginQuery(const lang::CompiledQuery& query, const StatusByAddress& status) {
+    (void)query;
+    (void)status;
+  }
+  virtual void EndQuery() {}
+
+  // An independent estimator for a parallel worker, or nullptr when the
+  // estimator cannot be replicated (the evaluation then stays serial).
+  virtual std::unique_ptr<CompletionEstimator> CloneForThread() const { return nullptr; }
+
+  // True when the estimate depends only on the multiset of (src, dst, size)
+  // transfers per chain group — i.e., it is invariant under permuting flows
+  // within a group. Gates the exhaustive engine's signature memo-cache.
+  // False by default: e.g. the packet simulator's transfer references tie
+  // behaviour to specific flow indices.
+  virtual bool EstimatesArePermutationInvariant() const { return false; }
 };
 
 class FlowLevelEstimator : public CompletionEstimator {
  public:
   // `min_available_fraction` as in FluidSimulation: elastic flows always get
-  // at least this fraction of a busy resource.
-  explicit FlowLevelEstimator(double min_available_fraction = 0.1)
-      : min_available_fraction_(min_available_fraction) {}
+  // at least this fraction of a busy resource. `reuse_scratch` enables the
+  // per-query prepared scratch (BeginQuery); disabling it reproduces the
+  // original build-everything-per-binding behaviour (benchmark baseline).
+  explicit FlowLevelEstimator(double min_available_fraction = 0.1, bool reuse_scratch = true);
+  ~FlowLevelEstimator() override;
 
   Result<cloudtalk::Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
                                        const StatusByAddress& status) override;
 
+  void BeginQuery(const lang::CompiledQuery& query, const StatusByAddress& status) override;
+  void EndQuery() override;
+  std::unique_ptr<CompletionEstimator> CloneForThread() const override;
+  // The fluid model folds a chain group into one shared rate; flow order
+  // within a group cannot matter.
+  bool EstimatesArePermutationInvariant() const override { return true; }
+
+  bool scratch_prepared() const { return scratch_ != nullptr; }
+
  private:
+  struct Scratch;
+
+  // The original one-shot path: builds a throwaway star topology per call.
+  // Also the fallback whenever a binding refers to an address the scratch
+  // has not interned (e.g. a direct EstimateQuery call with an out-of-pool
+  // binding).
+  Result<cloudtalk::Estimate> EstimateCold(const lang::CompiledQuery& query,
+                                           const Binding& binding,
+                                           const StatusByAddress& status) const;
+  Result<cloudtalk::Estimate> EstimateWithScratch(const lang::CompiledQuery& query,
+                                                  const Binding& binding);
+
   double min_available_fraction_;
+  bool reuse_scratch_;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 // Substitutes variables in `endpoint` according to `binding`. Returns the

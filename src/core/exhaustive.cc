@@ -1,109 +1,356 @@
 #include "src/core/exhaustive.h"
 
+#include <algorithm>
+#include <cstring>
+#include <memory>
 #include <optional>
-#include <unordered_set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+
 namespace cloudtalk {
+namespace {
+
+// Endpoint id in memo signatures: interned addresses are >= 0, disk is -1,
+// each 0.0.0.0 occurrence gets its own id below -1 (distinct external hosts,
+// matching the estimator's per-occurrence "_unknownN" modelling).
+constexpr int32_t kDiskId = -1;
+
+// A flow with variables resolved to either a fixed endpoint id or a
+// variable index, so a binding's signature is computed without touching the
+// AST or any strings.
+struct FlowSpec {
+  bool src_is_var = false, dst_is_var = false;
+  int32_t src = 0, dst = 0;  // Fixed id, or index into variables().
+  double size = 0;
+  int group = 0;
+};
+
+struct Tuple {
+  int32_t src, dst;
+  double size;
+  bool operator<(const Tuple& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return size < o.size;
+  }
+};
+
+// Everything a worker needs, read-only during the walk.
+struct EvalContext {
+  const lang::CompiledQuery* query = nullptr;
+  const StatusByAddress* status = nullptr;
+  std::vector<std::vector<int32_t>> pool_ids;       // Per variable.
+  std::vector<std::vector<std::string>> pool_names;
+  std::vector<int64_t> rank_weight;  // Mixed-radix weights: rank = sum c[d]*w[d].
+  std::vector<FlowSpec> flow_specs;
+  int num_ids = 0;
+  int num_groups = 0;
+  bool distinct = false;
+  bool memoize = false;
+};
+
+struct ShardResult {
+  bool have_best = false;
+  Estimate best_estimate;
+  int64_t best_rank = 0;              // Odometer rank of the best binding.
+  std::vector<size_t> best_choice;
+  int64_t tried = 0;
+  int64_t memo_hits = 0;
+  std::optional<Error> last_error;
+};
+
+// Walks the slice of the binding space where the first variable's candidate
+// index is congruent to `offset` modulo `stride` (remaining variables full
+// range), scoring each legal binding with `est`. Enumeration order within a
+// shard is lexicographic, so ranks are strictly increasing and "first
+// strictly better wins" reproduces the serial engine's tie-break.
+ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offset, int stride) {
+  const auto& variables = ctx.query->variables();
+  const size_t n = variables.size();
+  ShardResult out;
+  est.BeginQuery(*ctx.query, *ctx.status);
+
+  // One persistent Binding: enumeration only rewrites the address strings
+  // in place (unordered_map nodes are stable).
+  Binding binding;
+  for (size_t i = 0; i < n; ++i) {
+    binding[variables[i].name] = lang::Endpoint::Address("");
+  }
+  std::vector<lang::Endpoint*> slot(n);
+  for (size_t i = 0; i < n; ++i) {
+    slot[i] = &binding[variables[i].name];
+  }
+
+  std::vector<size_t> choice(n, 0);
+  choice[0] = static_cast<size_t>(offset);
+  std::vector<int32_t> var_id(n, 0);
+  std::vector<char> used(ctx.distinct ? ctx.num_ids : 0, 0);
+
+  std::unordered_map<std::string, Estimate> memo;
+  std::vector<std::vector<Tuple>> group_tuples(ctx.num_groups);
+  std::string key;
+
+  const auto step = [&](size_t d) { choice[d] += d == 0 ? static_cast<size_t>(stride) : 1; };
+
+  size_t depth = 0;
+  while (true) {
+    if (depth == n) {
+      ++out.tried;
+      int64_t rank = 0;
+      for (size_t d = 0; d < n; ++d) {
+        rank += static_cast<int64_t>(choice[d]) * ctx.rank_weight[d];
+      }
+
+      Estimate estimate;
+      bool have = false;
+      if (ctx.memoize) {
+        for (auto& tuples : group_tuples) {
+          tuples.clear();
+        }
+        for (const FlowSpec& f : ctx.flow_specs) {
+          Tuple t;
+          t.src = f.src_is_var ? var_id[f.src] : f.src;
+          t.dst = f.dst_is_var ? var_id[f.dst] : f.dst;
+          t.size = f.size;
+          group_tuples[f.group].push_back(t);
+        }
+        key.clear();
+        for (auto& tuples : group_tuples) {
+          std::sort(tuples.begin(), tuples.end());
+          for (const Tuple& t : tuples) {
+            char buf[16];
+            std::memcpy(buf, &t.src, 4);
+            std::memcpy(buf + 4, &t.dst, 4);
+            std::memcpy(buf + 8, &t.size, 8);
+            key.append(buf, sizeof(buf));
+          }
+        }
+        const auto it = memo.find(key);
+        if (it != memo.end()) {
+          estimate = it->second;
+          have = true;
+          ++out.memo_hits;
+        }
+      }
+      if (!have) {
+        Result<Estimate> result = est.EstimateQuery(*ctx.query, binding, *ctx.status);
+        if (result.ok()) {
+          estimate = result.value();
+          have = true;
+          if (ctx.memoize) {
+            memo.emplace(key, estimate);
+          }
+        } else {
+          out.last_error = result.error();
+        }
+      }
+      if (have &&
+          (!out.have_best || estimate.makespan < out.best_estimate.makespan ||
+           (estimate.makespan == out.best_estimate.makespan && rank < out.best_rank))) {
+        out.have_best = true;
+        out.best_estimate = estimate;
+        out.best_rank = rank;
+        out.best_choice = choice;
+      }
+      // Backtrack.
+      --depth;
+      if (ctx.distinct) {
+        used[ctx.pool_ids[depth][choice[depth]]] = 0;
+      }
+      step(depth);
+      continue;
+    }
+    if (choice[depth] >= ctx.pool_ids[depth].size()) {
+      if (depth == 0) {
+        break;
+      }
+      choice[depth] = 0;
+      --depth;
+      if (ctx.distinct) {
+        used[ctx.pool_ids[depth][choice[depth]]] = 0;
+      }
+      step(depth);
+      continue;
+    }
+    const int32_t id = ctx.pool_ids[depth][choice[depth]];
+    if (ctx.distinct && used[id] != 0) {
+      step(depth);
+      continue;
+    }
+    slot[depth]->name = ctx.pool_names[depth][choice[depth]];
+    var_id[depth] = id;
+    if (ctx.distinct) {
+      used[id] = 1;
+    }
+    ++depth;
+  }
+
+  est.EndQuery();
+  return out;
+}
+
+}  // namespace
 
 Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
                                             const StatusByAddress& status,
                                             CompletionEstimator& estimator,
                                             const ExhaustiveParams& params) {
   const auto& variables = query.variables();
-  const bool distinct =
-      params.distinct_bindings && !query.query().options.allow_same_binding;
+  const size_t n = variables.size();
 
-  // Candidate lists (addresses only).
-  std::vector<std::vector<std::string>> pools(variables.size());
-  for (size_t i = 0; i < variables.size(); ++i) {
+  if (n == 0) {
+    Binding binding;
+    Result<Estimate> estimate = estimator.EstimateQuery(query, binding, status);
+    if (!estimate.ok()) {
+      return estimate.error();
+    }
+    ExhaustiveResult best;
+    best.estimate = estimate.value();
+    best.bindings_tried = 1;
+    return best;
+  }
+
+  EvalContext ctx;
+  ctx.query = &query;
+  ctx.status = &status;
+  ctx.distinct = params.distinct_bindings && !query.query().options.allow_same_binding;
+  ctx.num_groups = static_cast<int>(query.groups().size());
+
+  // Intern candidate addresses (and literal flow endpoints, for signatures).
+  std::unordered_map<std::string, int32_t> intern;
+  const auto intern_id = [&intern](const std::string& address) {
+    return intern.emplace(address, static_cast<int32_t>(intern.size())).first->second;
+  };
+  ctx.pool_ids.resize(n);
+  ctx.pool_names.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.pool_ids[i].reserve(variables[i].pool.size());
+    ctx.pool_names[i].reserve(variables[i].pool.size());
     for (const lang::Endpoint& value : variables[i].pool) {
       if (value.kind == lang::Endpoint::Kind::kAddress) {
-        pools[i].push_back(value.name);
+        ctx.pool_ids[i].push_back(intern_id(value.name));
+        ctx.pool_names[i].push_back(value.name);
       }
     }
-    if (pools[i].empty()) {
+    if (ctx.pool_ids[i].empty()) {
       return Error{"variable '" + variables[i].name + "' has no address candidates"};
     }
   }
 
   // Size guard.
   double space = 1;
-  for (const auto& pool : pools) {
+  for (const auto& pool : ctx.pool_ids) {
     space *= static_cast<double>(pool.size());
     if (space > static_cast<double>(params.max_bindings)) {
       return Error{"binding space exceeds max_bindings"};
     }
   }
-
-  ExhaustiveResult best;
-  bool have_best = false;
-  std::optional<Error> last_error;
-
-  std::vector<size_t> choice(variables.size(), 0);
-  Binding binding;
-  std::unordered_set<std::string> used;
-
-  // Iterative odometer over the cartesian product.
-  int64_t tried = 0;
-  const size_t n = variables.size();
-  if (n == 0) {
-    Result<Estimate> estimate = estimator.EstimateQuery(query, binding, status);
-    if (!estimate.ok()) {
-      return estimate.error();
-    }
-    best.estimate = estimate.value();
-    best.bindings_tried = 1;
-    return best;
+  ctx.rank_weight.assign(n, 1);
+  for (size_t d = n - 1; d > 0; --d) {
+    ctx.rank_weight[d - 1] = ctx.rank_weight[d] * static_cast<int64_t>(ctx.pool_ids[d].size());
   }
-  std::vector<size_t> depth_reset(n, 0);
-  size_t depth = 0;
-  while (true) {
-    if (depth == n) {
-      ++tried;
-      Result<Estimate> estimate = estimator.EstimateQuery(query, binding, status);
-      if (estimate.ok()) {
-        if (!have_best || estimate.value().makespan < best.estimate.makespan) {
-          best.binding = binding;
-          best.estimate = estimate.value();
-          have_best = true;
+
+  bool can_memo = estimator.EstimatesArePermutationInvariant();
+  int32_t next_unknown = kDiskId - 1;
+  ctx.flow_specs.reserve(query.flows().size());
+  for (const lang::CompiledFlow& flow : query.flows()) {
+    FlowSpec fs;
+    fs.size = flow.size;
+    fs.group = flow.group;
+    const auto fill = [&](const lang::Endpoint& e, bool& is_var, int32_t& id) {
+      switch (e.kind) {
+        case lang::Endpoint::Kind::kAddress:
+          id = intern_id(e.name);
+          break;
+        case lang::Endpoint::Kind::kVariable: {
+          const int v = query.VariableIndex(e.name);
+          if (v < 0) {
+            can_memo = false;  // Unbindable; the estimator reports the error.
+          }
+          is_var = true;
+          id = v;
+          break;
         }
-      } else {
-        last_error = estimate.error();
+        case lang::Endpoint::Kind::kDisk:
+          id = kDiskId;
+          break;
+        case lang::Endpoint::Kind::kUnknown:
+        default:
+          id = next_unknown--;
+          break;
       }
-      // Backtrack.
-      --depth;
-      used.erase(binding[variables[depth].name].name);
-      ++choice[depth];
-      continue;
-    }
-    if (choice[depth] >= pools[depth].size()) {
-      if (depth == 0) {
+    };
+    fill(flow.src, fs.src_is_var, fs.src);
+    fill(flow.dst, fs.dst_is_var, fs.dst);
+    ctx.flow_specs.push_back(fs);
+  }
+  ctx.num_ids = static_cast<int>(intern.size());
+  ctx.memoize = params.memoize && can_memo;
+
+  // Shard the first variable's candidates across workers. Every shard needs
+  // an independent estimator; if the estimator cannot be cloned, stay serial.
+  int shards = std::min<int64_t>(ThreadPool::ResolveThreadCount(params.threads),
+                                 static_cast<int64_t>(ctx.pool_ids[0].size()));
+  shards = std::max(shards, 1);
+  std::vector<std::unique_ptr<CompletionEstimator>> clones;
+  if (shards > 1) {
+    clones.reserve(shards);
+    for (int w = 0; w < shards; ++w) {
+      std::unique_ptr<CompletionEstimator> clone = estimator.CloneForThread();
+      if (clone == nullptr) {
+        shards = 1;
+        clones.clear();
         break;
       }
-      choice[depth] = 0;
-      --depth;
-      used.erase(binding[variables[depth].name].name);
-      ++choice[depth];
-      continue;
+      clones.push_back(std::move(clone));
     }
-    const std::string& candidate = pools[depth][choice[depth]];
-    if (distinct && used.count(candidate) > 0) {
-      ++choice[depth];
-      continue;
-    }
-    binding[variables[depth].name] = lang::Endpoint::Address(candidate);
-    used.insert(candidate);
-    ++depth;
   }
 
+  std::vector<ShardResult> results(shards);
+  if (shards == 1) {
+    results[0] = RunShard(ctx, estimator, /*offset=*/0, /*stride=*/1);
+  } else {
+    ThreadPool::Shared().Run(shards, [&](int w) {
+      results[w] = RunShard(ctx, *clones[w], /*offset=*/w, /*stride=*/shards);
+    });
+  }
+
+  // Deterministic merge: lowest makespan, ties to the lexicographically
+  // first binding in odometer order — exactly what a serial walk keeps.
+  ExhaustiveResult best;
+  best.threads_used = shards;
+  bool have_best = false;
+  int64_t best_rank = 0;
+  std::optional<Error> last_error;
+  const ShardResult* winner = nullptr;
+  for (const ShardResult& r : results) {
+    best.bindings_tried += r.tried;
+    best.memo_hits += r.memo_hits;
+    if (r.last_error.has_value() && !last_error.has_value()) {
+      last_error = r.last_error;
+    }
+    if (r.have_best &&
+        (!have_best || r.best_estimate.makespan < best.estimate.makespan ||
+         (r.best_estimate.makespan == best.estimate.makespan && r.best_rank < best_rank))) {
+      have_best = true;
+      best.estimate = r.best_estimate;
+      best_rank = r.best_rank;
+      winner = &r;
+    }
+  }
   if (!have_best) {
     if (last_error.has_value()) {
       return *last_error;
     }
     return Error{"no legal binding exists (distinctness unsatisfiable?)"};
   }
-  best.bindings_tried = tried;
+  for (size_t i = 0; i < n; ++i) {
+    best.binding[variables[i].name] =
+        lang::Endpoint::Address(ctx.pool_names[i][winner->best_choice[i]]);
+  }
   return best;
 }
 

@@ -3,6 +3,15 @@
 // paper measures 130 ms for a query the heuristic answers in 0.13 ms, and
 // uses exhaustive search as the optimality baseline in Figure 3 and for the
 // packet-level web-search placement (Section 5.4, 100 placements).
+//
+// The engine partitions the binding space over a fixed worker pool (ISSUE 1):
+// the first variable's candidates are striped across shards, each worker
+// evaluates its slice with a thread-local estimator clone, and shard results
+// are merged with a deterministic tie-break — lowest makespan, then the
+// lexicographically-first binding in odometer order — so parallel and serial
+// runs return byte-identical answers. A per-worker memo keyed by the
+// canonical binding signature (the multiset of (src, dst, size) transfers
+// per chain group) evaluates each distinct traffic pattern once.
 #ifndef CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 #define CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 
@@ -17,12 +26,21 @@ namespace cloudtalk {
 struct ExhaustiveResult {
   Binding binding;
   Estimate estimate;       // Of the winning binding.
-  int64_t bindings_tried = 0;
+  int64_t bindings_tried = 0;  // Legal bindings scored (memo hits included).
+  int64_t memo_hits = 0;       // Of which, served from the signature cache.
+  int threads_used = 1;        // Shards the space was actually split into.
 };
 
 struct ExhaustiveParams {
   bool distinct_bindings = true;      // Overridden by `option allow_same`.
   int64_t max_bindings = 10'000'000;  // Enumeration safety valve.
+  // Worker shards: 1 = serial (the original behaviour), 0 = hardware
+  // concurrency, N = at most N (capped by the first pool's size, and forced
+  // to 1 when the estimator cannot be cloned per thread).
+  int threads = 1;
+  // Memoize estimates by canonical binding signature. Symmetric bindings
+  // (same multiset of endpoint pairs per flow role) are evaluated once.
+  bool memoize = true;
 };
 
 // Minimizes estimated makespan over all bindings. Fails when the space

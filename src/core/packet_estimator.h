@@ -33,6 +33,12 @@ class PacketLevelEstimator : public CompletionEstimator {
   Result<Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
                                  const StatusByAddress& status) override;
 
+  // Stateless per call (topology/directory are shared read-only), so a copy
+  // is an independent per-worker estimator.
+  std::unique_ptr<CompletionEstimator> CloneForThread() const override {
+    return std::make_unique<PacketLevelEstimator>(*this);
+  }
+
  private:
   const Topology* topo_;
   const Directory* directory_;

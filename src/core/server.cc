@@ -151,6 +151,8 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
     }
     ExhaustiveParams params;
     params.distinct_bindings = config_.heuristic.distinct_bindings;
+    params.threads =
+        query.options.eval_threads > 0 ? query.options.eval_threads : config_.eval_threads;
     Result<ExhaustiveResult> best =
         EvaluateExhaustive(compiled.value(), status, *packet_estimator_, params);
     if (!best.ok()) {

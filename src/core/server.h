@@ -50,6 +50,10 @@ struct ServerConfig {
   // instead of loaded.
   bool assume_loaded_on_missing = true;
   uint64_t seed = 1;
+  // Worker shards for exhaustive/packet-level evaluation (ISSUE 1):
+  // 0 = hardware concurrency, 1 = serial. A query's `option threads N`
+  // overrides this per query.
+  int eval_threads = 0;
 };
 
 struct QueryReply {

@@ -170,17 +170,26 @@ void FluidSimulation::RecomputeRates() {
 
   // Per-resource available capacity for elastic traffic. The floor models a
   // transport that still progresses against inelastic line-rate blasts.
-  struct ResourceState {
-    double avail = 0;
-    double weight_unfrozen = 0;
-  };
-  // Sparse: touch only resources some active member uses.
-  std::vector<ResourceId> used_resources;
-  std::vector<int> resource_slot(registry_.num_resources(), -1);
-  std::vector<ResourceState> state;
+  // Sparse: touch only resources some active member uses. All scratch lives
+  // in members (cleared, not reallocated) so that a simulation reused across
+  // thousands of estimator bindings stays allocation-free in steady state.
+  if (slot_of_resource_.size() != static_cast<size_t>(registry_.num_resources())) {
+    slot_of_resource_.assign(registry_.num_resources(), -1);
+  }
+  std::vector<ResourceId>& used_resources = scratch_used_resources_;
+  std::vector<int>& resource_slot = slot_of_resource_;
+  std::vector<ResourceState>& state = scratch_state_;
+  used_resources.clear();
+  state.clear();
 
   // weights[i][slot] -> count of traversals of that resource by group i.
-  std::vector<std::vector<std::pair<int, double>>> weights(n);
+  if (static_cast<int>(scratch_weights_.size()) < n) {
+    scratch_weights_.resize(n);
+  }
+  std::vector<std::vector<std::pair<int, double>>>& weights = scratch_weights_;
+  for (int i = 0; i < n; ++i) {
+    weights[i].clear();
+  }
   for (int i = 0; i < n; ++i) {
     const Group& group = groups_[active_groups_[i]];
     for (const Member& member : group.members) {
@@ -219,8 +228,10 @@ void FluidSimulation::RecomputeRates() {
   }
 
   // Progressive filling with weighted consumption and per-group rate caps.
-  std::vector<bool> frozen(n, false);
-  std::vector<Bps> rate(n, 0.0);
+  scratch_frozen_.assign(n, 0);
+  scratch_rate_.assign(n, 0.0);
+  std::vector<char>& frozen = scratch_frozen_;
+  std::vector<Bps>& rate = scratch_rate_;
   int remaining = n;
   while (remaining > 0) {
     // The next constraint is either a bottleneck resource's fair share or a
@@ -287,7 +298,23 @@ void FluidSimulation::RecomputeRates() {
   for (int i = 0; i < n; ++i) {
     groups_[active_groups_[i]].rate = rate[i];
   }
-  // Reset slots for next call (resource_slot is function-local, nothing to do).
+  // Sparse reset: clear only the slots this recompute touched.
+  for (ResourceId r : used_resources) {
+    resource_slot[r] = -1;
+  }
+}
+
+void FluidSimulation::Reset() {
+  groups_.clear();
+  active_groups_.clear();
+  while (!events_.empty()) {
+    events_.pop();
+  }
+  now_ = 0;
+  next_seq_ = 0;
+  rates_dirty_ = true;
+  // background_, registry_ (capacities) and recompute_count_ survive; the
+  // estimator sets background once per query and Reset()s per binding.
 }
 
 Seconds FluidSimulation::NextCompletionTime() const {

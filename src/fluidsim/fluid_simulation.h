@@ -109,6 +109,14 @@ class FluidSimulation {
   // Number of max-min recomputations performed (for perf tests).
   int64_t recompute_count() const { return recompute_count_; }
 
+  // Rewinds the simulation to t = 0 with no groups and no pending events,
+  // keeping the topology, the resource registry (including capacity edits)
+  // and the registered background load. This is the reuse path of the
+  // flow-level estimator: one star topology + simulation is built per query
+  // and Reset() between bindings instead of reconstructing everything
+  // (ISSUE 1 — per-binding allocations dominated evaluation cost).
+  void Reset();
+
  private:
   struct Member {
     std::vector<ResourceId> resources;
@@ -156,6 +164,21 @@ class FluidSimulation {
   int64_t next_seq_ = 0;
   int64_t recompute_count_ = 0;
   std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<TimedEvent>> events_;
+
+  // Scratch for RecomputeRates(), kept as members so repeated recomputes
+  // (and repeated Reset()/re-run cycles) do not reallocate. slot_of_resource_
+  // is dense over all resources but reset sparsely: only slots touched by
+  // the previous recompute are cleared at its end.
+  struct ResourceState {
+    double avail = 0;
+    double weight_unfrozen = 0;
+  };
+  std::vector<int> slot_of_resource_;
+  std::vector<ResourceId> scratch_used_resources_;
+  std::vector<ResourceState> scratch_state_;
+  std::vector<std::vector<std::pair<int, double>>> scratch_weights_;
+  std::vector<char> scratch_frozen_;
+  std::vector<Bps> scratch_rate_;
 };
 
 }  // namespace cloudtalk

@@ -148,6 +148,9 @@ std::string Query::ToString() const {
   if (options.reserve != defaults.reserve) {
     os << "option noreserve\n";
   }
+  if (options.eval_threads != defaults.eval_threads) {
+    os << "option threads " << options.eval_threads << "\n";
+  }
   for (const VarDecl& decl : variables) {
     for (const std::string& n : decl.names) {
       os << n << " = ";

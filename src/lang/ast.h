@@ -147,6 +147,9 @@ struct QueryOptions {
   // scheduler polling every heartbeat), so the server must not hold the
   // recommended endpoints. Reservations of other queries are still honoured.
   bool reserve = true;
+  // option threads N: worker shards for exhaustive/packet evaluation.
+  // 0 = not specified (the server's configured default applies).
+  int eval_threads = 0;
 };
 
 struct Query {

@@ -135,6 +135,16 @@ class Parser {
       query_.options.allow_same_binding = true;
     } else if (opt == "noreserve") {
       query_.options.reserve = false;
+    } else if (opt == "threads") {
+      Advance();
+      if (!Check(TokenKind::kNumber)) {
+        return MakeError("option threads expects a count");
+      }
+      const double count = Cur().number;
+      if (count < 1 || count > 1024 || count != static_cast<int>(count)) {
+        return MakeError("option threads expects an integer between 1 and 1024");
+      }
+      query_.options.eval_threads = static_cast<int>(count);
     } else {
       return MakeError("unknown option '" + opt + "'");
     }

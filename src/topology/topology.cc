@@ -76,10 +76,15 @@ LinkId Topology::DownlinkOf(NodeId host) const {
 }
 
 const std::vector<int>& Topology::DistanceTo(NodeId dst) const {
+  // Concurrent path lookups (parallel query evaluation) race on the lazily
+  // filled cache; serialize fills. The returned reference stays valid while
+  // other threads insert other destinations (node-based map, no erases).
+  std::unique_lock<std::mutex> lock(dist_mutex_.m);
   auto it = dist_cache_.find(dst);
   if (it != dist_cache_.end()) {
     return it->second;
   }
+  lock.unlock();  // BFS without the lock; re-acquired to publish.
   std::vector<int> dist(nodes_.size(), std::numeric_limits<int>::max());
   std::deque<NodeId> queue;
   dist[dst] = 0;
@@ -96,6 +101,7 @@ const std::vector<int>& Topology::DistanceTo(NodeId dst) const {
       }
     }
   }
+  lock.lock();
   return dist_cache_.emplace(dst, std::move(dist)).first->second;
 }
 

@@ -11,6 +11,7 @@
 #define CLOUDTALK_SRC_TOPOLOGY_TOPOLOGY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -110,7 +111,21 @@ class Topology {
   std::unordered_map<NodeId, std::string> host_ips_;
   std::unordered_map<std::string, NodeId> ip_to_host_;
   // Distance tables, lazily computed per destination (BFS hop counts).
+  // Guarded by dist_mutex_: PathBetween() is called concurrently by the
+  // parallel evaluation engine (thread-local estimators share one fabric
+  // topology). References into the map stay valid across inserts
+  // (node-based container); nothing is ever erased, only cleared while the
+  // topology is still being built single-threaded.
   mutable std::unordered_map<NodeId, std::vector<int>> dist_cache_;
+  // std::mutex is neither copyable nor movable, but Topology must stay a
+  // value type (clusters and tests copy it); copies get a fresh mutex.
+  struct CopyableMutex {
+    CopyableMutex() = default;
+    CopyableMutex(const CopyableMutex&) {}
+    CopyableMutex& operator=(const CopyableMutex&) { return *this; }
+    std::mutex m;
+  };
+  mutable CopyableMutex dist_mutex_;
 };
 
 // ---------- Builders ----------

@@ -1,12 +1,15 @@
-// Unit tests for src/common: units, stats, rng, result.
+// Unit tests for src/common: units, stats, rng, result, thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 
 namespace cloudtalk {
@@ -104,6 +107,35 @@ TEST(ResultTest, ValueAndError) {
 TEST(ResultTest, ErrorWithoutPosition) {
   Error e{"plain"};
   EXPECT_EQ(e.ToString(), "plain");
+}
+
+TEST(ThreadPoolTest, RunsEveryShardExactlyOnce) {
+  for (int workers : {0, 1, 3}) {
+    ThreadPool pool(workers);
+    for (int shards : {1, 2, 7, 64}) {
+      std::vector<std::atomic<int>> hits(shards);
+      pool.Run(shards, [&](int shard) { hits[shard].fetch_add(1); });
+      for (int s = 0; s < shards; ++s) {
+        EXPECT_EQ(hits[s].load(), 1) << "workers=" << workers << " shard=" << s;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunIsReentrantSequentially) {
+  // Back-to-back batches on the shared pool must not deadlock or leak work.
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool::Shared().Run(4, [&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(6), 6);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);   // Hardware concurrency.
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-3), 1);
 }
 
 }  // namespace

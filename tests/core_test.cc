@@ -481,6 +481,214 @@ TEST(ExhaustiveTest, SpaceGuard) {
   EXPECT_FALSE(EvaluateExhaustive(compiled, {}, estimator, params).ok());
 }
 
+// ---- Parallel exhaustive engine (ISSUE 1) ----
+
+namespace exhaustive_parallel {
+
+// Daisy chain over six hosts where s1/s2, s3/s4, s5/s6 are pairwise
+// identical, so many bindings tie on makespan. The engine's tie-break
+// (lowest makespan, then lexicographically-first odometer index) must make
+// every thread count return byte-identical results.
+CompiledQuery TieLadenDaisyChain(Query* storage, StatusByAddress* status) {
+  *storage = MustParse(
+      "x1 = x2 = x3 = (s1 s2 s3 s4 s5 s6)\n"
+      "f1 x1 -> x2 size 100M\n"
+      "f2 x2 -> x3 size 100M transfer t(f1)\n");
+  status->clear();
+  for (int i = 1; i <= 6; ++i) {
+    // Pair index (i+1)/2 determines the load: identical within a pair.
+    const double load = 100e6 * ((i + 1) / 2);
+    (*status)["s" + std::to_string(i)] = MakeReport(1e9, load, load / 2);
+  }
+  return MustCompile(*storage);
+}
+
+ExhaustiveResult MustEvaluate(const CompiledQuery& compiled, const StatusByAddress& status,
+                              const ExhaustiveParams& params) {
+  FlowLevelEstimator estimator;
+  auto result = EvaluateExhaustive(compiled, status, estimator, params);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace exhaustive_parallel
+
+TEST(ExhaustiveParallelTest, ThreadCountsAgreeByteIdentically) {
+  Query storage;
+  StatusByAddress status;
+  const CompiledQuery compiled = exhaustive_parallel::TieLadenDaisyChain(&storage, &status);
+  ExhaustiveParams params;
+  const ExhaustiveResult serial = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  for (int threads : {2, 4, 8}) {
+    params.threads = threads;
+    const ExhaustiveResult parallel =
+        exhaustive_parallel::MustEvaluate(compiled, status, params);
+    // EXPECT_EQ on doubles is exact: bit-identical makespans, not "close".
+    EXPECT_EQ(parallel.estimate.makespan, serial.estimate.makespan) << threads;
+    EXPECT_EQ(parallel.estimate.aggregate_throughput, serial.estimate.aggregate_throughput);
+    EXPECT_EQ(parallel.bindings_tried, serial.bindings_tried);
+    for (const auto& [var, endpoint] : serial.binding) {
+      EXPECT_EQ(parallel.binding.at(var).name, endpoint.name) << var << " @" << threads;
+    }
+    EXPECT_GT(parallel.threads_used, 1);
+  }
+}
+
+TEST(ExhaustiveParallelTest, DistinctBacktrackingAgreesAcrossThreadCounts) {
+  // Shared pool with distinctness: the odometer prunes subtrees whose prefix
+  // reuses a host (x1=x2 never reaches the x3 level). 6*5*4 = 120 legal
+  // bindings out of 216.
+  const Query query = MustParse(
+      "x1 = x2 = x3 = (s1 s2 s3 s4 s5 s6)\n"
+      "f1 x1 -> x2 size 50M\n"
+      "f2 x2 -> x3 size 100M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  for (int i = 1; i <= 6; ++i) {
+    status["s" + std::to_string(i)] = MakeReport(1e9, 120e6 * i, 40e6 * i);
+  }
+  ExhaustiveParams params;
+  const ExhaustiveResult serial = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  EXPECT_EQ(serial.bindings_tried, 120);
+  for (int threads : {2, 4, 8}) {
+    params.threads = threads;
+    const ExhaustiveResult parallel =
+        exhaustive_parallel::MustEvaluate(compiled, status, params);
+    EXPECT_EQ(parallel.bindings_tried, 120);
+    EXPECT_EQ(parallel.estimate.makespan, serial.estimate.makespan);
+    for (const auto& [var, endpoint] : serial.binding) {
+      EXPECT_EQ(parallel.binding.at(var).name, endpoint.name) << var << " @" << threads;
+    }
+  }
+}
+
+TEST(ExhaustiveParallelTest, MemoHitsSymmetricBindings) {
+  // f1 and f2 share a chain group (rate reference) and have equal sizes, so
+  // bindings (A=a,B=b) and (A=b,B=a) have the same canonical signature: 6
+  // ordered pairs, 3 distinct signatures, 3 memo hits. Hits still count as
+  // bindings tried.
+  const Query query = MustParse(
+      "A = B = (x y z)\n"
+      "f1 A -> c size 10M rate r(f2)\n"
+      "f2 B -> c size 10M rate r(f1)\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  for (const char* s : {"x", "y", "z", "c"}) {
+    status[s] = MakeReport(1e9, 0, 0);
+  }
+  ExhaustiveParams params;
+  const ExhaustiveResult memoized = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  EXPECT_EQ(memoized.bindings_tried, 6);
+  EXPECT_EQ(memoized.memo_hits, 3);
+  params.memoize = false;
+  const ExhaustiveResult direct = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  EXPECT_EQ(direct.memo_hits, 0);
+  EXPECT_EQ(direct.bindings_tried, 6);
+  EXPECT_EQ(direct.estimate.makespan, memoized.estimate.makespan);
+  EXPECT_EQ(direct.binding.at("A").name, memoized.binding.at("A").name);
+  EXPECT_EQ(direct.binding.at("B").name, memoized.binding.at("B").name);
+}
+
+TEST(ExhaustiveParallelTest, ThreadsZeroUsesHardwareConcurrency) {
+  Query storage;
+  StatusByAddress status;
+  const CompiledQuery compiled = exhaustive_parallel::TieLadenDaisyChain(&storage, &status);
+  ExhaustiveParams params;
+  const ExhaustiveResult serial = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  params.threads = 0;  // Hardware concurrency, whatever this machine has.
+  const ExhaustiveResult automatic = exhaustive_parallel::MustEvaluate(compiled, status, params);
+  EXPECT_GE(automatic.threads_used, 1);
+  EXPECT_EQ(automatic.estimate.makespan, serial.estimate.makespan);
+  EXPECT_EQ(automatic.bindings_tried, serial.bindings_tried);
+}
+
+// ---- Estimator prepared scratch (ISSUE 1) ----
+
+TEST(EstimatorScratchTest, ScratchMatchesColdPathBitExactly) {
+  // Exercise every endpoint kind: unknown source, disk sink, loopback.
+  const Query query = MustParse(
+      "A = B = (x y z)\n"
+      "f1 0.0.0.0 -> A size 64M\n"
+      "f2 A -> disk size 32M\n"
+      "f3 A -> B size 16M\n"
+      "f4 A -> A size 8M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 300e6, 100e6, 3e9, 0, 500e6);
+  status["y"] = MakeReport(1e9, 100e6, 600e6);
+  status["z"] = MakeReport(2e9, 0, 0);
+  FlowLevelEstimator scratch(0.1, /*reuse_scratch=*/true);
+  FlowLevelEstimator cold(0.1, /*reuse_scratch=*/false);
+  scratch.BeginQuery(compiled, status);
+  EXPECT_TRUE(scratch.scratch_prepared());
+  for (const char* a : {"x", "y", "z"}) {
+    for (const char* b : {"x", "y", "z"}) {
+      Binding binding;
+      binding["A"] = Endpoint::Address(a);
+      binding["B"] = Endpoint::Address(b);
+      auto fast = scratch.EstimateQuery(compiled, binding, status);
+      auto slow = cold.EstimateQuery(compiled, binding, status);
+      ASSERT_TRUE(fast.ok()) << fast.error().ToString();
+      ASSERT_TRUE(slow.ok()) << slow.error().ToString();
+      EXPECT_EQ(fast.value().makespan, slow.value().makespan) << a << "," << b;
+      EXPECT_EQ(fast.value().aggregate_throughput, slow.value().aggregate_throughput);
+    }
+  }
+  scratch.EndQuery();
+  EXPECT_FALSE(scratch.scratch_prepared());
+}
+
+TEST(EstimatorScratchTest, RepeatedUnknownEstimatesAreStable) {
+  // Each 0.0.0.0 occurrence is a distinct abstract host; repeating the
+  // estimate must not mint new ones (the per-query counter does not leak
+  // across estimates).
+  const Query query = MustParse(
+      "A = (x y)\n"
+      "f1 0.0.0.0 -> A size 64M\n"
+      "f2 0.0.0.0 -> A size 64M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 0, 400e6);
+  status["y"] = MakeReport(1e9, 0, 0);
+  Binding binding;
+  binding["A"] = Endpoint::Address("x");
+  for (bool reuse : {true, false}) {
+    FlowLevelEstimator estimator(0.1, reuse);
+    estimator.BeginQuery(compiled, status);
+    auto first = estimator.EstimateQuery(compiled, binding, status);
+    ASSERT_TRUE(first.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto again = estimator.EstimateQuery(compiled, binding, status);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again.value().makespan, first.value().makespan) << "reuse=" << reuse;
+    }
+    estimator.EndQuery();
+  }
+}
+
+TEST(EstimatorScratchTest, OutOfPoolBindingFallsBackToColdPath) {
+  const Query query = MustParse(
+      "A = (x y)\n"
+      "f1 A -> c size 64M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 500e6, 0);
+  status["y"] = MakeReport(1e9, 100e6, 0);
+  status["c"] = MakeReport(1e9, 0, 0);
+  status["w"] = MakeReport(1e9, 0, 0);  // Not in the pool.
+  FlowLevelEstimator estimator;
+  estimator.BeginQuery(compiled, status);
+  Binding binding;
+  binding["A"] = Endpoint::Address("w");
+  auto with_scratch = estimator.EstimateQuery(compiled, binding, status);
+  estimator.EndQuery();
+  FlowLevelEstimator cold(0.1, /*reuse_scratch=*/false);
+  auto reference = cold.EstimateQuery(compiled, binding, status);
+  ASSERT_TRUE(with_scratch.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(with_scratch.value().makespan, reference.value().makespan);
+}
+
 // ---- Heuristic optimality properties (paper Section 5.1 claims) ----
 
 class SingleVariableOptimalityTest : public ::testing::TestWithParam<int> {};

@@ -376,5 +376,46 @@ TEST_P(ConservationPropertyTest, EveryByteDelivered) {
 
 INSTANTIATE_TEST_SUITE_P(RandomWorkloads, ConservationPropertyTest, ::testing::Range(1, 11));
 
+// ---- Reset() reuse path (ISSUE 1) ----
+
+TEST(FluidSimTest, ResetReplaysIdentically) {
+  // The estimator reuses one simulation across thousands of bindings via
+  // Reset(): a replay after Reset must be byte-identical to the first run,
+  // and background load must survive (it is set once per query).
+  const Topology topo = MakeSingleSwitch(GigabitCluster(4));
+  FluidSimulation sim(&topo);
+  sim.SetBackground(sim.resources().NicUp(topo.hosts()[0]), 400e6);
+
+  auto run_once = [&] {
+    Seconds makespan = 0;
+    GroupSpec first = NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[1], 64 * kMB);
+    GroupSpec second = NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[2], 32 * kMB);
+    second.start_time = 0.1;
+    sim.AddGroup(std::move(first),
+                 [&makespan](GroupId, Seconds t) { makespan = std::max(makespan, t); });
+    sim.AddGroup(std::move(second),
+                 [&makespan](GroupId, Seconds t) { makespan = std::max(makespan, t); });
+    EXPECT_TRUE(sim.RunUntilIdle());
+    return makespan;
+  };
+
+  const Seconds original = run_once();
+  EXPECT_GT(original, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    sim.Reset();
+    EXPECT_EQ(sim.now(), 0.0);
+    EXPECT_EQ(run_once(), original) << "replay " << i;  // Exact, no tolerance.
+  }
+
+  // Reset drops pending groups and events: a fresh run is unaffected by a
+  // group scheduled but never started before the Reset.
+  GroupSpec pending = NetworkTransfer(sim, topo.hosts()[1], topo.hosts()[3], 8 * kMB);
+  pending.start_time = 100.0;
+  sim.Reset();
+  sim.AddGroup(std::move(pending));
+  sim.Reset();
+  EXPECT_EQ(run_once(), original);
+}
+
 }  // namespace
 }  // namespace cloudtalk

@@ -225,6 +225,30 @@ TEST(ParserTest, Options) {
   EXPECT_TRUE(query.value().options.use_packet_simulator);
   EXPECT_FALSE(query.value().options.use_dynamic_load);
   EXPECT_TRUE(query.value().options.allow_same_binding);
+  EXPECT_EQ(query.value().options.eval_threads, 0);  // Unset: server default.
+}
+
+TEST(ParserTest, OptionThreads) {
+  auto query = Parse("option threads 4\na -> b size 1M");
+  ASSERT_TRUE(query.ok()) << query.error().ToString();
+  EXPECT_EQ(query.value().options.eval_threads, 4);
+}
+
+TEST(ParserTest, OptionThreadsErrors) {
+  EXPECT_FALSE(Parse("option threads\na -> b size 1M").ok());       // Missing count.
+  EXPECT_FALSE(Parse("option threads 0\na -> b size 1M").ok());     // Not positive.
+  EXPECT_FALSE(Parse("option threads 1.5\na -> b size 1M").ok());   // Not integral.
+  EXPECT_FALSE(Parse("option threads 4096\na -> b size 1M").ok());  // Above cap.
+}
+
+TEST(PrinterTest, RoundTripOptionThreads) {
+  auto query = Parse("option threads 8\nf1 a -> b size 1M\n");
+  ASSERT_TRUE(query.ok());
+  const std::string printed = query.value().ToString();
+  EXPECT_NE(printed.find("option threads 8"), std::string::npos) << printed;
+  auto reparsed = Parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(reparsed.value().options.eval_threads, 8);
 }
 
 TEST(ParserTest, ExpressionArithmetic) {
