@@ -148,6 +148,10 @@ int main(int argc, char** argv) {
       if (!reply.ok()) {
         std::printf("error: %s\n", reply.error().ToString().c_str());
       } else {
+        for (const auto& warning : reply.value().warnings) {
+          std::printf("  %d:%d: warning: %s [%s]\n", warning.span.line, warning.span.column,
+                      warning.message.c_str(), warning.code.c_str());
+        }
         for (const auto& [var, endpoint] : reply.value().binding) {
           std::printf("  %s -> %s\n", var.c_str(), endpoint.name.c_str());
         }

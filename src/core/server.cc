@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/lang/lint.h"
 #include "src/lang/parser.h"
 
 namespace cloudtalk {
@@ -21,11 +22,19 @@ CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory
       rng_(config.seed) {}
 
 Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
-  Result<lang::Query> query = lang::Parse(query_text);
-  if (!query.ok()) {
-    return query.error();
+  lang::DiagnosticSink sink;
+  const lang::Query query = lang::ParseWithDiagnostics(query_text, &sink);
+  lang::RunLint(query, &sink);
+  if (sink.has_errors()) {
+    return sink.ToLegacyError();
   }
-  return AnswerParsed(query.value());
+  Result<QueryReply> reply = AnswerParsed(query);
+  if (reply.ok() && !sink.empty()) {
+    // Warning-only queries are answered, but the findings travel with the
+    // reply so clients can see what looked suspect.
+    reply.value().warnings = sink.diagnostics();
+  }
+  return reply;
 }
 
 StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compiled,

@@ -64,6 +64,10 @@ struct QueryReply {
   // Filled only for exhaustive / packet-level evaluation.
   Estimate estimate;
   bool used_exhaustive = false;
+  // Lint findings (never errors — those reject the query). A client seeing
+  // e.g. W050 contradictory-rate-chain here got an answer, but probably not
+  // the one it meant to ask for.
+  std::vector<lang::Diagnostic> warnings;
 };
 
 // Pricing knobs for Quote() (Section 7: "Clients could also use CloudTalk
@@ -97,9 +101,13 @@ class CloudTalkServer {
                   std::function<Seconds()> clock,
                   CompletionEstimator* packet_estimator = nullptr);
 
-  // Parses and answers. The paper's 0.45 ms figure splits into parse
-  // (0.32 ms) and evaluation (0.13 ms); callers wanting that split can use
-  // lang::Parse + AnswerParsed directly.
+  // Parses, lints, and answers. Queries with errors (syntax, semantic, or
+  // error-severity lint findings such as E030 size cycles) are rejected
+  // with the first diagnostic's position and rule code; warning-only
+  // queries are answered and the warnings returned in QueryReply::warnings.
+  // The paper's 0.45 ms figure splits into parse (0.32 ms) and evaluation
+  // (0.13 ms); callers wanting that split can use lang::Parse +
+  // AnswerParsed directly (which skips lint).
   Result<QueryReply> Answer(const std::string& query_text);
   Result<QueryReply> AnswerParsed(const lang::Query& query);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 
 #include "src/fluidsim/fluid_simulation.h"
@@ -32,80 +33,32 @@ class DisjointSets {
   std::vector<int> parent_;
 };
 
-// Collects the flows referenced anywhere inside an expression.
-void CollectRefs(const Expr& expr, std::vector<std::pair<Attr, std::string>>* out) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return;
-    case Expr::Kind::kRef:
-      out->emplace_back(expr.ref_attr, expr.ref_flow);
-      return;
-    case Expr::Kind::kBinary:
-      CollectRefs(*expr.lhs, out);
-      CollectRefs(*expr.rhs, out);
-      return;
-  }
-}
-
-bool IsPureLiteral(const Expr& expr) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return true;
-    case Expr::Kind::kRef:
-      return false;
-    case Expr::Kind::kBinary:
-      return IsPureLiteral(*expr.lhs) && IsPureLiteral(*expr.rhs);
-  }
-  return false;
-}
-
-double EvalLiteral(const Expr& expr) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return expr.literal;
-    case Expr::Kind::kRef:
-      return 0;  // Caller guarantees IsPureLiteral.
-    case Expr::Kind::kBinary: {
-      const double l = EvalLiteral(*expr.lhs);
-      const double r = EvalLiteral(*expr.rhs);
-      switch (expr.op) {
-        case '+':
-          return l + r;
-        case '-':
-          return l - r;
-        case '*':
-          return l * r;
-        case '/':
-          return r != 0 ? l / r : 0;
-      }
-      return 0;
-    }
-  }
-  return 0;
-}
-
-// Resolves a flow's size, following sz() references (cycle => error) and
+// Resolves a flow's size, following sz() references (cycle => E030) and
 // falling back to the transfer-referenced flow's size for chained flows.
+// All failures are reported into the sink with source spans.
 class SizeResolver {
  public:
-  SizeResolver(const Query& query, std::unordered_map<std::string, int> name_to_index)
-      : query_(query), name_to_index_(std::move(name_to_index)) {
+  SizeResolver(const Query& query, std::unordered_map<std::string, int> name_to_index,
+               DiagnosticSink* sink)
+      : query_(query), name_to_index_(std::move(name_to_index)), sink_(sink) {
     states_.assign(query.flows.size(), State::kUnresolved);
     sizes_.assign(query.flows.size(), 0);
   }
 
-  Result<Bytes> Resolve(int flow_index) {
+  std::optional<Bytes> Resolve(int flow_index) {
     if (states_[flow_index] == State::kDone) {
       return sizes_[flow_index];
     }
+    const FlowDef& flow = query_.flows[flow_index];
     if (states_[flow_index] == State::kInProgress) {
-      return Error{"cyclic size reference involving flow '" +
-                   query_.flows[flow_index].name + "'"};
+      sink_->AddError("E030", flow.AttrSpan(Attr::kSize),
+                      "cyclic size reference involving flow '" + flow.name + "'",
+                      "break the cycle by giving one flow a literal size");
+      return std::nullopt;
     }
     states_[flow_index] = State::kInProgress;
-    const FlowDef& flow = query_.flows[flow_index];
     const Expr* size_expr = flow.FindAttr(Attr::kSize);
-    Result<Bytes> result = [&]() -> Result<Bytes> {
+    std::optional<Bytes> result = [&]() -> std::optional<Bytes> {
       if (size_expr != nullptr) {
         return Eval(*size_expr, flow);
       }
@@ -114,7 +67,7 @@ class SizeResolver {
       const Expr* transfer = flow.FindAttr(Attr::kTransfer);
       if (transfer != nullptr) {
         std::vector<std::pair<Attr, std::string>> refs;
-        CollectRefs(*transfer, &refs);
+        CollectFlowRefs(*transfer, &refs);
         if (!refs.empty()) {
           const auto it = name_to_index_.find(refs.front().second);
           if (it != name_to_index_.end()) {
@@ -122,60 +75,71 @@ class SizeResolver {
           }
         }
       }
-      return Error{"flow '" + flow.name + "' has no resolvable size"};
+      sink_->AddError("E032", flow.span, "flow '" + flow.name + "' has no resolvable size",
+                      "add a size attribute or a transfer reference to a sized flow");
+      return std::nullopt;
     }();
-    if (!result.ok()) {
-      return result;
+    if (!result.has_value()) {
+      return std::nullopt;
     }
     states_[flow_index] = State::kDone;
-    sizes_[flow_index] = result.value();
+    sizes_[flow_index] = *result;
     return result;
   }
 
  private:
-  Result<Bytes> Eval(const Expr& expr, const FlowDef& owner) {
+  std::optional<Bytes> Eval(const Expr& expr, const FlowDef& owner) {
     switch (expr.kind) {
       case Expr::Kind::kLiteral:
         return Bytes{expr.literal};
       case Expr::Kind::kRef: {
         if (expr.ref_attr != Attr::kSize && expr.ref_attr != Attr::kTransfer) {
-          return Error{"flow '" + owner.name +
-                       "': only sz()/t() references are usable inside size expressions"};
+          sink_->AddError(
+              "E031", expr.span.valid() ? expr.span : owner.AttrSpan(Attr::kSize),
+              "flow '" + owner.name +
+                  "': only sz()/t() references are usable inside size expressions",
+              "start, end, and rate are not known until evaluation time");
+          return std::nullopt;
         }
         const auto it = name_to_index_.find(expr.ref_flow);
         if (it == name_to_index_.end()) {
-          return Error{"undefined flow '" + expr.ref_flow + "'"};
+          sink_->AddError("E003", expr.span.valid() ? expr.span : owner.span,
+                          "undefined flow '" + expr.ref_flow + "'");
+          return std::nullopt;
         }
         return Resolve(it->second);
       }
       case Expr::Kind::kBinary: {
-        Result<Bytes> l = Eval(*expr.lhs, owner);
-        if (!l.ok()) {
-          return l;
+        const std::optional<Bytes> l = Eval(*expr.lhs, owner);
+        if (!l.has_value()) {
+          return std::nullopt;
         }
-        Result<Bytes> r = Eval(*expr.rhs, owner);
-        if (!r.ok()) {
-          return r;
+        const std::optional<Bytes> r = Eval(*expr.rhs, owner);
+        if (!r.has_value()) {
+          return std::nullopt;
         }
         switch (expr.op) {
           case '+':
-            return l.value() + r.value();
+            return *l + *r;
           case '-':
-            return l.value() - r.value();
+            return *l - *r;
           case '*':
-            return l.value() * r.value();
+            return *l * *r;
           case '/':
-            return r.value() != 0 ? l.value() / r.value() : 0;
+            return *r != 0 ? *l / *r : 0;
         }
-        return Error{"unknown operator"};
+        sink_->AddError("E001", expr.span, "unknown operator");
+        return std::nullopt;
       }
     }
-    return Error{"bad expression"};
+    sink_->AddError("E001", expr.span, "bad expression");
+    return std::nullopt;
   }
 
   enum class State { kUnresolved, kInProgress, kDone };
   const Query& query_;
   std::unordered_map<std::string, int> name_to_index_;
+  DiagnosticSink* sink_;
   std::vector<State> states_;
   std::vector<Bytes> sizes_;
 };
@@ -188,7 +152,8 @@ void AddUnique(std::vector<Endpoint>* endpoints, const Endpoint& e) {
 
 }  // namespace
 
-Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
+std::optional<CompiledQuery> CompiledQuery::Compile(const Query& query,
+                                                    DiagnosticSink* sink) {
   CompiledQuery compiled;
   compiled.query_ = &query;
 
@@ -210,7 +175,9 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
   for (const Requirement& req : query.requirements) {
     const int index = compiled.VariableIndex(req.var);
     if (index < 0) {
-      return Error{"requirement references undeclared variable '" + req.var + "'"};
+      sink->AddError("E003", req.span,
+                     "requirement references undeclared variable '" + req.var + "'");
+      return std::nullopt;
     }
     compiled.variables_[index].cpu_required = req.cpu_cores;
     compiled.variables_[index].mem_required = req.memory;
@@ -240,8 +207,9 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
   }
 
   // ---- Sizes ----
-  SizeResolver resolver(query, name_to_index);
+  SizeResolver resolver(query, name_to_index, sink);
   compiled.flows_.reserve(num_flows);
+  bool sizes_ok = true;
   for (int i = 0; i < num_flows; ++i) {
     const FlowDef& def = query.flows[i];
     CompiledFlow flow;
@@ -249,19 +217,19 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
     flow.name = def.name;
     flow.src = def.src;
     flow.dst = def.dst;
-    Result<Bytes> size = resolver.Resolve(i);
-    if (!size.ok()) {
-      return size.error();
+    const std::optional<Bytes> size = resolver.Resolve(i);
+    if (!size.has_value()) {
+      sizes_ok = false;  // Keep going: report every unresolvable flow.
     }
-    flow.size = size.value();
+    flow.size = size.value_or(0);
     const Expr* start = def.FindAttr(Attr::kStart);
-    if (start != nullptr && IsPureLiteral(*start)) {
-      flow.start = EvalLiteral(*start);
+    if (start != nullptr && IsConstantExpr(*start)) {
+      flow.start = EvalConstant(*start);
     }
     const Expr* transfer = def.FindAttr(Attr::kTransfer);
     if (transfer != nullptr) {
       std::vector<std::pair<Attr, std::string>> refs;
-      CollectRefs(*transfer, &refs);
+      CollectFlowRefs(*transfer, &refs);
       for (const auto& [attr, flow_name] : refs) {
         (void)attr;
         const auto it = name_to_index.find(flow_name);
@@ -272,6 +240,9 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
     }
     compiled.flows_.push_back(std::move(flow));
   }
+  if (!sizes_ok) {
+    return std::nullopt;
+  }
 
   // ---- Chain groups: union flows joined by rate/transfer references ----
   DisjointSets sets(num_flows);
@@ -281,7 +252,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
         continue;
       }
       std::vector<std::pair<Attr, std::string>> refs;
-      CollectRefs(*av.value, &refs);
+      CollectFlowRefs(*av.value, &refs);
       for (const auto& [attr, flow_name] : refs) {
         (void)attr;
         const auto it = name_to_index.find(flow_name);
@@ -309,17 +280,17 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
     group.flow_indices.push_back(i);
     group.start = std::min(group.start, compiled.flows_[i].start);
     const Expr* end = query.flows[i].FindAttr(Attr::kEnd);
-    if (end != nullptr && IsPureLiteral(*end)) {
-      const Seconds deadline = EvalLiteral(*end);
+    if (end != nullptr && IsConstantExpr(*end)) {
+      const Seconds deadline = EvalConstant(*end);
       if (deadline > 0) {
         group.deadline = std::min(group.deadline, deadline);
       }
     }
     const Expr* rate = query.flows[i].FindAttr(Attr::kRate);
-    if (rate != nullptr && IsPureLiteral(*rate)) {
+    if (rate != nullptr && IsConstantExpr(*rate)) {
       // Literal rates are bytes/second in the language (Table 1); the
       // engine wants bits/second.
-      const double limit_bps = EvalLiteral(*rate) * 8.0;
+      const double limit_bps = EvalConstant(*rate) * 8.0;
       if (limit_bps > 0) {
         group.rate_limit = std::min(group.rate_limit, limit_bps);
       }
@@ -331,6 +302,15 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
     }
   }
   return compiled;
+}
+
+Result<CompiledQuery> CompiledQuery::Compile(const Query& query) {
+  DiagnosticSink sink;
+  std::optional<CompiledQuery> compiled = Compile(query, &sink);
+  if (!compiled.has_value()) {
+    return sink.ToLegacyError();
+  }
+  return *std::move(compiled);
 }
 
 int CompiledQuery::VariableIndex(const std::string& name) const {

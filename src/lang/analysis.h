@@ -14,12 +14,14 @@
 #ifndef CLOUDTALK_SRC_LANG_ANALYSIS_H_
 #define CLOUDTALK_SRC_LANG_ANALYSIS_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/units.h"
 #include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
 
 namespace cloudtalk {
 namespace lang {
@@ -63,8 +65,14 @@ struct CompiledGroup {
 
 class CompiledQuery {
  public:
-  // Compiles `query`; the Query must outlive the CompiledQuery.
+  // Compiles `query`; the Query must outlive the CompiledQuery. On failure
+  // the Error is the first diagnostic (message, rule code, line/column).
   static Result<CompiledQuery> Compile(const Query& query);
+
+  // Like Compile, but reports every problem (cyclic size references E030,
+  // unusable references E031, unresolvable sizes E032, ...) into `sink`
+  // with source spans. Returns nullopt when any error was recorded.
+  static std::optional<CompiledQuery> Compile(const Query& query, DiagnosticSink* sink);
 
   const Query& query() const { return *query_; }
   const std::vector<CompiledFlow>& flows() const { return flows_; }

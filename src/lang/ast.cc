@@ -44,16 +44,73 @@ ExprPtr Expr::Binary(char op, ExprPtr lhs, ExprPtr rhs) {
 }
 
 ExprPtr Expr::Clone() const {
+  ExprPtr clone;
   switch (kind) {
     case Kind::kLiteral:
-      return Literal(literal);
-    case Kind::kRef: {
-      return Ref(ref_attr, ref_flow);
-    }
+      clone = Literal(literal);
+      break;
+    case Kind::kRef:
+      clone = Ref(ref_attr, ref_flow);
+      break;
     case Kind::kBinary:
-      return Binary(op, lhs->Clone(), rhs->Clone());
+      clone = Binary(op, lhs->Clone(), rhs->Clone());
+      break;
   }
-  return nullptr;
+  if (clone != nullptr) {
+    clone->span = span;
+  }
+  return clone;
+}
+
+bool IsConstantExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return true;
+    case Expr::Kind::kRef:
+      return false;
+    case Expr::Kind::kBinary:
+      return IsConstantExpr(*expr.lhs) && IsConstantExpr(*expr.rhs);
+  }
+  return false;
+}
+
+double EvalConstant(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kRef:
+      return 0;  // Caller guarantees IsConstantExpr.
+    case Expr::Kind::kBinary: {
+      const double l = EvalConstant(*expr.lhs);
+      const double r = EvalConstant(*expr.rhs);
+      switch (expr.op) {
+        case '+':
+          return l + r;
+        case '-':
+          return l - r;
+        case '*':
+          return l * r;
+        case '/':
+          return r != 0 ? l / r : 0;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void CollectFlowRefs(const Expr& expr, std::vector<std::pair<Attr, std::string>>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kRef:
+      out->emplace_back(expr.ref_attr, expr.ref_flow);
+      return;
+    case Expr::Kind::kBinary:
+      CollectFlowRefs(*expr.lhs, out);
+      CollectFlowRefs(*expr.rhs, out);
+      return;
+  }
 }
 
 namespace {
@@ -99,6 +156,15 @@ const Expr* FlowDef::FindAttr(Attr attr) const {
     }
   }
   return nullptr;
+}
+
+Span FlowDef::AttrSpan(Attr attr) const {
+  for (const AttrValue& av : attrs) {
+    if (av.attr == attr) {
+      return av.span;
+    }
+  }
+  return span;
 }
 
 std::string FlowDef::ToString() const {

@@ -13,9 +13,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/lang/span.h"
 
 namespace cloudtalk {
 namespace lang {
@@ -97,6 +99,11 @@ struct Expr {
   ExprPtr lhs;
   ExprPtr rhs;
 
+  // Source range of the token that introduced this node (the literal, the
+  // reference selector, or the operator). Invalid for programmatically
+  // constructed expressions.
+  Span span;
+
   static ExprPtr Literal(double value);
   static ExprPtr Ref(Attr attr, std::string flow);
   static ExprPtr Binary(char op, ExprPtr lhs, ExprPtr rhs);
@@ -104,9 +111,19 @@ struct Expr {
   std::string ToString() const;
 };
 
+// True when `expr` contains no flow references (literals and arithmetic
+// only); such expressions fold to a constant with EvalConstant().
+bool IsConstantExpr(const Expr& expr);
+double EvalConstant(const Expr& expr);
+
+// Appends every (attribute, flow-name) reference inside `expr`, in source
+// order.
+void CollectFlowRefs(const Expr& expr, std::vector<std::pair<Attr, std::string>>* out);
+
 struct AttrValue {
   Attr attr;
   ExprPtr value;
+  Span span;  // Position of the attribute keyword.
 };
 
 struct FlowDef {
@@ -115,14 +132,23 @@ struct FlowDef {
   Endpoint src;
   Endpoint dst;
   std::vector<AttrValue> attrs;
+  Span span;      // First token of the definition (the name or the source).
+  Span src_span;  // Source endpoint token.
+  Span dst_span;  // Destination endpoint token.
 
   const Expr* FindAttr(Attr attr) const;
+  // Span of the given attribute's keyword; falls back to the flow span when
+  // the attribute is absent.
+  Span AttrSpan(Attr attr) const;
   std::string ToString() const;
 };
 
 struct VarDecl {
   std::vector<std::string> names;   // A = B = C = (...) declares three.
   std::vector<Endpoint> values;     // Pool of possible bindings.
+  Span span;                        // First declared name.
+  std::vector<Span> name_spans;     // One per entry of `names`.
+  std::vector<Span> value_spans;    // One per entry of `values`.
 };
 
 // Scalar endpoint requirements (paper Section 7: "an endpoint may require
@@ -133,6 +159,7 @@ struct Requirement {
   std::string var;
   double cpu_cores = 0;  // 0 = no constraint.
   Bytes memory = 0;      // 0 = no constraint.
+  Span span;             // The variable name token.
 };
 
 // Evaluation options. The paper says clients choose the estimator and

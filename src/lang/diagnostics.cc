@@ -1,0 +1,229 @@
+#include "src/lang/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+// Extracts 1-based line `line` from `source` (without the trailing newline).
+std::string_view SourceLine(std::string_view source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    const size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) {
+      return {};
+    }
+    start = nl + 1;
+  }
+  const size_t end = source.find('\n', start);
+  return source.substr(start, end == std::string_view::npos ? end : end - start);
+}
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticSink::Add(Diagnostic diagnostic) {
+  for (const Diagnostic& existing : diagnostics_) {
+    if (existing.code == diagnostic.code && existing.span.line == diagnostic.span.line &&
+        existing.span.column == diagnostic.span.column) {
+      return;
+    }
+  }
+  if (diagnostic.severity == Severity::kError) {
+    ++error_count_;
+  } else if (diagnostic.severity == Severity::kWarning) {
+    ++warning_count_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::AddError(std::string code, Span span, std::string message,
+                              std::string hint) {
+  Add(Diagnostic{Severity::kError, std::move(code), span, std::move(message),
+                 std::move(hint)});
+}
+
+void DiagnosticSink::AddWarning(std::string code, Span span, std::string message,
+                                std::string hint) {
+  Add(Diagnostic{Severity::kWarning, std::move(code), span, std::move(message),
+                 std::move(hint)});
+}
+
+Severity DiagnosticSink::max_severity() const {
+  Severity max = Severity::kNote;
+  for (const Diagnostic& d : diagnostics_) {
+    if (static_cast<int>(d.severity) > static_cast<int>(max)) {
+      max = d.severity;
+    }
+  }
+  return max;
+}
+
+void DiagnosticSink::SortByPosition() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     return a.span.column < b.span.column;
+                   });
+}
+
+void DiagnosticSink::PromoteWarnings() {
+  for (Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kWarning) {
+      d.severity = Severity::kError;
+      --warning_count_;
+      ++error_count_;
+    }
+  }
+}
+
+cloudtalk::Error DiagnosticSink::ToLegacyError() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) {
+      return cloudtalk::Error{d.message + " [" + d.code + "]", d.span.line, d.span.column};
+    }
+  }
+  return cloudtalk::Error{"no error recorded"};
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic, std::string_view source,
+                             std::string_view filename) {
+  std::ostringstream os;
+  os << filename;
+  if (diagnostic.span.valid()) {
+    os << ":" << diagnostic.span.line << ":" << diagnostic.span.column;
+  }
+  os << ": " << SeverityName(diagnostic.severity) << ": " << diagnostic.message << " ["
+     << diagnostic.code << "]\n";
+  if (diagnostic.span.valid()) {
+    const std::string_view line = SourceLine(source, diagnostic.span.line);
+    if (!line.empty()) {
+      os << "  " << line << "\n  ";
+      const int caret_col = diagnostic.span.column;
+      for (int i = 1; i < caret_col && static_cast<size_t>(i) <= line.size(); ++i) {
+        os << (line[i - 1] == '\t' ? '\t' : ' ');
+      }
+      os << '^';
+      const int underline = std::min(diagnostic.span.length - 1,
+                                     static_cast<int>(line.size()) - caret_col);
+      for (int i = 0; i < underline; ++i) {
+        os << '~';
+      }
+      os << "\n";
+    }
+  }
+  if (!diagnostic.hint.empty()) {
+    os << "  hint: " << diagnostic.hint << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source, std::string_view filename) {
+  std::string out;
+  int errors = 0;
+  int warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d, source, filename);
+    if (d.severity == Severity::kError) {
+      ++errors;
+    } else if (d.severity == Severity::kWarning) {
+      ++warnings;
+    }
+  }
+  out += std::to_string(errors) + " error" + (errors == 1 ? "" : "s") + ", " +
+         std::to_string(warnings) + " warning" + (warnings == 1 ? "" : "s") + "\n";
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view filename) {
+  std::string out = "{\"file\": ";
+  AppendJsonString(&out, filename);
+  int errors = 0;
+  int warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) {
+      ++errors;
+    } else if (d.severity == Severity::kWarning) {
+      ++warnings;
+    }
+  }
+  out += ", \"errors\": " + std::to_string(errors);
+  out += ", \"warnings\": " + std::to_string(warnings);
+  out += ", \"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "{\"severity\": ";
+    AppendJsonString(&out, SeverityName(d.severity));
+    out += ", \"code\": ";
+    AppendJsonString(&out, d.code);
+    out += ", \"line\": " + std::to_string(d.span.line);
+    out += ", \"column\": " + std::to_string(d.span.column);
+    out += ", \"length\": " + std::to_string(d.span.length);
+    out += ", \"message\": ";
+    AppendJsonString(&out, d.message);
+    if (!d.hint.empty()) {
+      out += ", \"hint\": ";
+      AppendJsonString(&out, d.hint);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

@@ -14,9 +14,9 @@ bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
 class Scanner {
  public:
-  explicit Scanner(std::string_view input) : input_(input) {}
+  Scanner(std::string_view input, DiagnosticSink* sink) : input_(input), sink_(sink) {}
 
-  Result<std::vector<Token>> Run() {
+  std::vector<Token> Run() {
     std::vector<Token> tokens;
     while (!AtEnd()) {
       SkipSpacesAndComments();
@@ -64,15 +64,14 @@ class Scanner {
         if (!AtEnd() && Peek() == '>') {
           Advance();
           token.kind = TokenKind::kArrow;
+          token.length = 2;
         } else {
           token.kind = TokenKind::kMinus;
         }
       } else if (IsDigit(c)) {
-        Result<Token> num = ScanNumberOrAddress(line, column);
-        if (!num.ok()) {
-          return num.error();
+        if (!ScanNumberOrAddress(line, column, &token)) {
+          continue;  // Diagnostic recorded; offending characters skipped.
         }
-        token = num.value();
       } else if (IsIdentStart(c)) {
         std::string text;
         while (!AtEnd() && IsIdentChar(Peek())) {
@@ -80,9 +79,13 @@ class Scanner {
           Advance();
         }
         token.kind = TokenKind::kIdent;
+        token.length = static_cast<int>(text.size());
         token.text = std::move(text);
       } else {
-        return Error{std::string("unexpected character '") + c + "'", line, column};
+        sink_->AddError("E001", Span{line, column, 1},
+                        std::string("unexpected character '") + c + "'");
+        Advance();
+        continue;
       }
       tokens.push_back(std::move(token));
     }
@@ -131,7 +134,9 @@ class Scanner {
 
   // A token starting with a digit is either a dotted-quad address
   // (1.2.3.4) or a number with an optional K/M/G (and optional B) suffix.
-  Result<Token> ScanNumberOrAddress(int line, int column) {
+  // Returns false (with a diagnostic recorded and the characters consumed)
+  // on a malformed literal.
+  bool ScanNumberOrAddress(int line, int column, Token* token) {
     std::string text;
     int dots = 0;
     size_t probe = 0;
@@ -146,26 +151,33 @@ class Scanner {
         break;
       }
     }
-    Token token;
-    token.line = line;
-    token.column = column;
+    token->line = line;
+    token->column = column;
     if (dots == 3) {
       for (size_t i = 0; i < probe; ++i) {
         text.push_back(Peek());
         Advance();
       }
-      token.kind = TokenKind::kAddress;
-      token.text = std::move(text);
-      return token;
+      token->kind = TokenKind::kAddress;
+      token->length = static_cast<int>(text.size());
+      token->text = std::move(text);
+      return true;
     }
     if (dots > 1) {
-      return Error{"malformed numeric literal", line, column};
+      sink_->AddError("E001", Span{line, column, static_cast<int>(probe)},
+                      "malformed numeric literal",
+                      "numbers take one decimal point; addresses are dotted quads");
+      for (size_t i = 0; i < probe; ++i) {
+        Advance();
+      }
+      return false;
     }
     for (size_t i = 0; i < probe; ++i) {
       text.push_back(Peek());
       Advance();
     }
     double value = std::strtod(text.c_str(), nullptr);
+    int length = static_cast<int>(probe);
     // Optional binary magnitude suffix, optionally followed by B: 256M, 10KB.
     if (!AtEnd()) {
       const char suffix = static_cast<char>(std::toupper(static_cast<unsigned char>(Peek())));
@@ -179,18 +191,22 @@ class Scanner {
       }
       if (scale > 0) {
         Advance();
+        ++length;
         if (!AtEnd() && (Peek() == 'B' || Peek() == 'b')) {
           Advance();
+          ++length;
         }
         value *= scale;
       }
     }
-    token.kind = TokenKind::kNumber;
-    token.number = value;
-    return token;
+    token->kind = TokenKind::kNumber;
+    token->number = value;
+    token->length = length;
+    return true;
   }
 
   std::string_view input_;
+  DiagnosticSink* sink_;
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
@@ -198,7 +214,18 @@ class Scanner {
 
 }  // namespace
 
-Result<std::vector<Token>> Tokenize(std::string_view input) { return Scanner(input).Run(); }
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  DiagnosticSink sink;
+  std::vector<Token> tokens = Scanner(input, &sink).Run();
+  if (sink.has_errors()) {
+    return sink.ToLegacyError();
+  }
+  return tokens;
+}
+
+std::vector<Token> TokenizeWithDiagnostics(std::string_view input, DiagnosticSink* sink) {
+  return Scanner(input, sink).Run();
+}
 
 const char* TokenKindName(TokenKind kind) {
   switch (kind) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/span.h"
 
 namespace cloudtalk {
 namespace lang {
@@ -36,10 +38,18 @@ struct Token {
   double number = 0;   // Value for kNumber (K/M/G suffix already applied).
   int line = 1;
   int column = 1;
+  int length = 1;      // Source characters the token covers.
+
+  Span span() const { return Span{line, column, length}; }
 };
 
 // Tokenizes `input`. Consecutive separators are collapsed into one.
 Result<std::vector<Token>> Tokenize(std::string_view input);
+
+// Like Tokenize, but reports problems into `sink` (code E001) and recovers
+// by skipping the offending characters, so one pass surfaces every lexical
+// error. Always returns a token stream terminated by kEof.
+std::vector<Token> TokenizeWithDiagnostics(std::string_view input, DiagnosticSink* sink);
 
 const char* TokenKindName(TokenKind kind);
 

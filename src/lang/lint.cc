@@ -1,0 +1,445 @@
+#include "src/lang/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+std::unordered_map<std::string, int> FlowNameIndex(const Query& query) {
+  std::unordered_map<std::string, int> index;
+  for (size_t i = 0; i < query.flows.size(); ++i) {
+    index[query.flows[i].name] = static_cast<int>(i);
+  }
+  return index;
+}
+
+std::string FormatCount(double count) {
+  char buf[32];
+  if (count < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2g", count);
+  }
+  return buf;
+}
+
+// Rates render with the language's own K/M/G suffixes so the message echoes
+// what the query said (`rate 10M` comes back as "10M", not "1.04858e+07").
+std::string FormatRate(double bytes_per_sec) {
+  static constexpr struct {
+    double scale;
+    char suffix;
+  } kUnits[] = {{1024.0 * 1024.0 * 1024.0, 'G'}, {1024.0 * 1024.0, 'M'}, {1024.0, 'K'}};
+  char buf[32];
+  for (const auto& unit : kUnits) {
+    if (bytes_per_sec >= unit.scale) {
+      std::snprintf(buf, sizeof(buf), "%.4g%c", bytes_per_sec / unit.scale, unit.suffix);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%.4g", bytes_per_sec);
+  return buf;
+}
+
+// ---- W001: unused variable ----
+void CheckUnusedVariable(const Query& query, DiagnosticSink* sink) {
+  std::unordered_set<std::string> used;
+  for (const FlowDef& flow : query.flows) {
+    for (const Endpoint* e : {&flow.src, &flow.dst}) {
+      if (e->kind == Endpoint::Kind::kVariable) {
+        used.insert(e->name);
+      }
+    }
+  }
+  for (const VarDecl& decl : query.variables) {
+    for (size_t i = 0; i < decl.names.size(); ++i) {
+      if (used.count(decl.names[i]) > 0) {
+        continue;
+      }
+      const Span span = i < decl.name_spans.size() ? decl.name_spans[i] : decl.span;
+      sink->AddWarning("W001", span,
+                       "variable '" + decl.names[i] + "' is declared but never used by a flow",
+                       "remove the declaration or reference '" + decl.names[i] +
+                           "' as a flow endpoint");
+    }
+  }
+}
+
+// ---- E010: empty pool ----
+void CheckEmptyPool(const Query& query, DiagnosticSink* sink) {
+  for (const VarDecl& decl : query.variables) {
+    if (decl.values.empty() && !decl.names.empty()) {
+      sink->AddError("E010", decl.span,
+                     "variable pool of '" + decl.names.front() + "' is empty",
+                     "add at least one candidate endpoint to the pool");
+    }
+  }
+}
+
+// ---- W011: duplicate pool entry ----
+void CheckDuplicatePoolEntry(const Query& query, DiagnosticSink* sink) {
+  for (const VarDecl& decl : query.variables) {
+    for (size_t i = 0; i < decl.values.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (decl.values[i] == decl.values[j]) {
+          const Span span = i < decl.value_spans.size() ? decl.value_spans[i] : decl.span;
+          sink->AddWarning("W011", span,
+                           "duplicate pool entry '" + decl.values[i].ToString() + "'",
+                           "duplicates never add binding choices; remove the repeat");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- W020: self-flow ----
+void CheckSelfFlow(const Query& query, DiagnosticSink* sink) {
+  for (const FlowDef& flow : query.flows) {
+    if (flow.src != flow.dst) {
+      continue;
+    }
+    if (flow.src.kind == Endpoint::Kind::kAddress) {
+      sink->AddWarning("W020", flow.dst_span.valid() ? flow.dst_span : flow.span,
+                       "flow '" + flow.name + "' sends from '" + flow.src.name +
+                           "' to itself",
+                       "a flow between one endpoint never crosses the network; remove it "
+                       "or fix an endpoint");
+    } else if (flow.src.kind == Endpoint::Kind::kVariable) {
+      sink->AddWarning("W020", flow.dst_span.valid() ? flow.dst_span : flow.span,
+                       "flow '" + flow.name + "' uses variable '" + flow.src.name +
+                           "' as both source and destination",
+                       "a variable binds to a single endpoint, so this flow never crosses "
+                       "the network; use two variables");
+    }
+  }
+}
+
+// Size-resolution dependencies of a flow: the flows referenced by its size
+// expression, or (when it has no size) the first flow referenced by its
+// transfer attribute — exactly what analysis.cc's SizeResolver follows.
+std::vector<int> SizeDeps(const std::unordered_map<std::string, int>& index,
+                          const FlowDef& flow) {
+  std::vector<int> deps;
+  std::vector<std::pair<Attr, std::string>> refs;
+  const Expr* size = flow.FindAttr(Attr::kSize);
+  if (size != nullptr) {
+    CollectFlowRefs(*size, &refs);
+  } else {
+    const Expr* transfer = flow.FindAttr(Attr::kTransfer);
+    if (transfer != nullptr) {
+      CollectFlowRefs(*transfer, &refs);
+      if (!refs.empty()) {
+        refs.resize(1);  // Only the first transfer reference is followed.
+      }
+    }
+  }
+  for (const auto& [attr, name] : refs) {
+    (void)attr;
+    const auto it = index.find(name);
+    if (it != index.end()) {
+      deps.push_back(it->second);
+    }
+  }
+  return deps;
+}
+
+// ---- E030: size-reference cycle ----
+void CheckSizeReferenceCycle(const Query& query, DiagnosticSink* sink) {
+  const std::unordered_map<std::string, int> index = FlowNameIndex(query);
+  const int n = static_cast<int>(query.flows.size());
+  // Iterative three-color DFS; `on_stack` recovers the cycle for the message.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  for (int start = 0; start < n; ++start) {
+    if (color[start] != Color::kWhite) {
+      continue;
+    }
+    std::vector<int> stack = {start};
+    std::vector<int> path;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      if (color[node] == Color::kWhite) {
+        color[node] = Color::kGray;
+        path.push_back(node);
+        for (const int dep : SizeDeps(index, query.flows[node])) {
+          if (color[dep] == Color::kGray) {
+            // Found a cycle: everything in `path` from `dep` onwards.
+            std::string names;
+            const auto from = std::find(path.begin(), path.end(), dep);
+            for (auto it = from; it != path.end(); ++it) {
+              names += query.flows[*it].name + " -> ";
+            }
+            names += query.flows[dep].name;
+            const FlowDef& culprit = query.flows[dep];
+            sink->AddError("E030", culprit.AttrSpan(Attr::kSize),
+                           "cyclic size reference involving flow '" + culprit.name +
+                               "' (" + names + ")",
+                           "break the cycle by giving one flow a literal size");
+          } else if (color[dep] == Color::kWhite) {
+            stack.push_back(dep);
+          }
+        }
+      } else {
+        stack.pop_back();
+        if (color[node] == Color::kGray) {
+          color[node] = Color::kBlack;
+          path.pop_back();
+        }
+      }
+    }
+  }
+}
+
+// Transfer-chain dependencies: every t()/other reference inside the
+// transfer attribute, mirroring CompiledFlow::transfer_parents (self
+// references included here — they deadlock too).
+std::vector<int> TransferDeps(const std::unordered_map<std::string, int>& index,
+                              const FlowDef& flow) {
+  std::vector<int> deps;
+  const Expr* transfer = flow.FindAttr(Attr::kTransfer);
+  if (transfer == nullptr) {
+    return deps;
+  }
+  std::vector<std::pair<Attr, std::string>> refs;
+  CollectFlowRefs(*transfer, &refs);
+  for (const auto& [attr, name] : refs) {
+    (void)attr;
+    const auto it = index.find(name);
+    if (it != index.end()) {
+      deps.push_back(it->second);
+    }
+  }
+  return deps;
+}
+
+// ---- W040: unreachable flow (transfer chain can never start) ----
+//
+// The packet-level estimator starts a flow only when the flows its
+// `transfer` attribute references have completed (store-and-forward). A
+// cycle in that dependency graph means none of its members — nor anything
+// downstream of them — can ever start.
+void CheckUnreachableFlow(const Query& query, DiagnosticSink* sink) {
+  const std::unordered_map<std::string, int> index = FlowNameIndex(query);
+  const int n = static_cast<int>(query.flows.size());
+  std::vector<std::vector<int>> deps(n);
+  for (int i = 0; i < n; ++i) {
+    deps[i] = TransferDeps(index, query.flows[i]);
+  }
+  // A flow is startable if all its deps are startable; propagate to a fixed
+  // point (Kahn-style). Flows left unstartable sit on or behind a cycle.
+  std::vector<bool> startable(n, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      if (startable[i]) {
+        continue;
+      }
+      bool ok = true;
+      for (const int d : deps[i]) {
+        if (d == i || !startable[d]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        startable[i] = true;
+        changed = true;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (startable[i]) {
+      continue;
+    }
+    const FlowDef& flow = query.flows[i];
+    sink->AddWarning("W040", flow.AttrSpan(Attr::kTransfer),
+                     "flow '" + flow.name +
+                         "' can never start: its transfer chain waits on itself",
+                     "break the dependency cycle by removing one transfer reference");
+  }
+}
+
+// Chain groups reconstructed from rate/transfer references (the same
+// union-find the compiler uses) without requiring a successful compile.
+std::vector<int> ChainGroupOf(const Query& query) {
+  const std::unordered_map<std::string, int> index = FlowNameIndex(query);
+  const int n = static_cast<int>(query.flows.size());
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (const AttrValue& av : query.flows[i].attrs) {
+      if (av.attr != Attr::kRate && av.attr != Attr::kTransfer) {
+        continue;
+      }
+      std::vector<std::pair<Attr, std::string>> refs;
+      CollectFlowRefs(*av.value, &refs);
+      for (const auto& [attr, name] : refs) {
+        (void)attr;
+        const auto it = index.find(name);
+        if (it != index.end()) {
+          parent[find(i)] = find(it->second);
+        }
+      }
+    }
+  }
+  std::vector<int> group(n);
+  for (int i = 0; i < n; ++i) {
+    group[i] = find(i);
+  }
+  return group;
+}
+
+// ---- W050: contradictory rate chain ----
+//
+// Chained flows share a single rate; when two members carry different
+// literal `rate` attributes the tighter one silently wins (analysis takes
+// the min). Flag every looser rate.
+void CheckContradictoryRateChain(const Query& query, DiagnosticSink* sink) {
+  const std::vector<int> group = ChainGroupOf(query);
+  struct LiteralRate {
+    int flow = 0;
+    double value = 0;  // Bytes per second, as written.
+  };
+  std::unordered_map<int, std::vector<LiteralRate>> by_group;
+  for (size_t i = 0; i < query.flows.size(); ++i) {
+    const Expr* rate = query.flows[i].FindAttr(Attr::kRate);
+    if (rate == nullptr || !IsConstantExpr(*rate)) {
+      continue;
+    }
+    const double value = EvalConstant(*rate);
+    if (value > 0) {
+      by_group[group[i]].push_back({static_cast<int>(i), value});
+    }
+  }
+  for (const auto& [g, rates] : by_group) {
+    (void)g;
+    if (rates.size() < 2) {
+      continue;
+    }
+    const auto tightest = std::min_element(
+        rates.begin(), rates.end(),
+        [](const LiteralRate& a, const LiteralRate& b) { return a.value < b.value; });
+    for (const LiteralRate& rate : rates) {
+      if (rate.value == tightest->value) {
+        continue;
+      }
+      const FlowDef& flow = query.flows[rate.flow];
+      const FlowDef& winner = query.flows[tightest->flow];
+      sink->AddWarning("W050", flow.AttrSpan(Attr::kRate),
+                       "rate " + FormatRate(rate.value) + " on flow '" + flow.name +
+                           "' conflicts with tighter rate " + FormatRate(tightest->value) +
+                           " on flow '" + winner.name + "' in the same chain group",
+                       "chained flows share one rate and the tightest limit wins; keep "
+                       "only the intended limit");
+    }
+  }
+}
+
+// ---- W060: search-space explosion ----
+void CheckSearchSpaceExplosion(const Query& query, DiagnosticSink* sink) {
+  if (!query.options.use_packet_simulator) {
+    return;  // The heuristic scales linearly; only exhaustive search explodes.
+  }
+  const double bindings = EstimateBindingCount(query);
+  if (bindings <= kSearchSpaceWarnThreshold) {
+    return;
+  }
+  // Anchor at the declaration contributing the most combinations.
+  const VarDecl* largest = nullptr;
+  for (const VarDecl& decl : query.variables) {
+    if (largest == nullptr ||
+        decl.names.size() * decl.values.size() >
+            largest->names.size() * largest->values.size()) {
+      largest = &decl;
+    }
+  }
+  const Span span = largest != nullptr ? largest->span : Span{};
+  std::string hint;
+  if (query.options.eval_threads == 0) {
+    hint = "add 'option threads N' to shard the search, or drop 'option packet' to use "
+           "the linear-time heuristic";
+  } else {
+    hint = "even sharded over " + std::to_string(query.options.eval_threads) +
+           " threads this may take very long; consider the flow-level heuristic "
+           "('option flow')";
+  }
+  sink->AddWarning("W060", span,
+                   "exhaustive packet-level evaluation will enumerate about " +
+                       FormatCount(bindings) + " candidate bindings",
+                   hint);
+}
+
+}  // namespace
+
+double EstimateBindingCount(const Query& query) {
+  constexpr double kCap = 1e18;
+  double total = 1;
+  for (const VarDecl& decl : query.variables) {
+    const double p = static_cast<double>(decl.values.size());
+    const size_t d = decl.names.size();
+    if (p == 0) {
+      continue;  // Empty pool is E010's problem, not W060's.
+    }
+    if (query.options.allow_same_binding || d > decl.values.size()) {
+      // Shared bindings (or wrap-around when variables outnumber values):
+      // every variable picks independently.
+      for (size_t i = 0; i < d && total < kCap; ++i) {
+        total *= p;
+      }
+    } else {
+      // Distinct bindings: falling factorial p * (p-1) * ... * (p-d+1).
+      for (size_t i = 0; i < d && total < kCap; ++i) {
+        total *= p - static_cast<double>(i);
+      }
+    }
+  }
+  return std::min(total, kCap);
+}
+
+const std::vector<LintRule>& LintRules() {
+  static const std::vector<LintRule> kRules = {
+      {"W001", Severity::kWarning, "unused-variable",
+       "declared variable never used as a flow endpoint", CheckUnusedVariable},
+      {"E010", Severity::kError, "empty-pool", "variable pool has no candidate endpoints",
+       CheckEmptyPool},
+      {"W011", Severity::kWarning, "duplicate-pool-entry",
+       "same endpoint listed more than once in a pool", CheckDuplicatePoolEntry},
+      {"W020", Severity::kWarning, "self-flow",
+       "flow source and destination are identical", CheckSelfFlow},
+      {"E030", Severity::kError, "size-reference-cycle",
+       "sz()/t() size resolution can never settle", CheckSizeReferenceCycle},
+      {"W040", Severity::kWarning, "unreachable-flow",
+       "transfer chain waits on itself and never starts", CheckUnreachableFlow},
+      {"W050", Severity::kWarning, "contradictory-rate-chain",
+       "two literal rates in one chain group; the tighter silently wins",
+       CheckContradictoryRateChain},
+      {"W060", Severity::kWarning, "search-space-explosion",
+       "exhaustive binding count is intractably large", CheckSearchSpaceExplosion},
+  };
+  return kRules;
+}
+
+void RunLint(const Query& query, DiagnosticSink* sink) {
+  for (const LintRule& rule : LintRules()) {
+    rule.check(query, sink);
+  }
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

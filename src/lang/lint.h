@@ -1,0 +1,57 @@
+// Lint rules for the CloudTalk query language.
+//
+// A lint rule inspects a parsed Query and reports legal-but-suspect (or
+// outright unanswerable) constructs through the DiagnosticSink. Rules are
+// registered in a static table (LintRules()) so tools can enumerate them;
+// RunLint executes every rule. Rule codes are stable API, documented in
+// docs/LANGUAGE.md:
+//
+//   W001 unused-variable          declared variable never used by any flow
+//   E010 empty-pool               variable pool has no candidates
+//   W011 duplicate-pool-entry     same endpoint listed twice in one pool
+//   W020 self-flow                flow source and destination are identical
+//   E030 size-reference-cycle     sz()/t() size resolution can never settle
+//   W040 unreachable-flow         transfer chain waits on itself, never starts
+//   W050 contradictory-rate-chain two literal rates in one chain group
+//   W060 search-space-explosion   exhaustive binding count is intractable
+//
+// Rules only *read* the query; a query with parse errors can still be
+// linted (the parser produces a best-effort partial AST).
+#ifndef CLOUDTALK_SRC_LANG_LINT_H_
+#define CLOUDTALK_SRC_LANG_LINT_H_
+
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
+
+namespace cloudtalk {
+namespace lang {
+
+struct LintRule {
+  const char* code;        // "W001", "E010", ...
+  Severity severity;       // Severity diagnostics of this rule carry.
+  const char* name;        // Kebab-case slug, e.g. "unused-variable".
+  const char* summary;     // One-line description for --help / docs.
+  void (*check)(const Query& query, DiagnosticSink* sink);
+};
+
+// The registry, in rule-code order.
+const std::vector<LintRule>& LintRules();
+
+// Runs every registered rule over `query`.
+void RunLint(const Query& query, DiagnosticSink* sink);
+
+// W060 helper, exposed for tests and the server: estimated number of
+// variable bindings an exhaustive evaluation would enumerate (capped at
+// 1e18). Distinct-bindings semantics unless allow_same is set.
+double EstimateBindingCount(const Query& query);
+
+// Binding counts above this trigger W060 on exhaustive (option packet)
+// queries.
+inline constexpr double kSearchSpaceWarnThreshold = 100000.0;
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_LINT_H_

@@ -49,41 +49,40 @@ std::optional<Attr> RefKeyword(const std::string& word) {
   return std::nullopt;
 }
 
+// Recursive-descent parser reporting through a DiagnosticSink. Statement
+// methods return false after recording a diagnostic; the driver then skips
+// to the next statement separator and keeps going, so a single pass
+// surfaces every syntax error in the query.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, DiagnosticSink* sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
 
-  Result<Query> Run() {
+  Query Run() {
     while (!Check(TokenKind::kEof)) {
       if (Check(TokenKind::kSeparator)) {
         Advance();
         continue;
       }
+      bool ok;
       if (Check(TokenKind::kIdent) && Cur().text == "option") {
-        if (Error* e = ParseOption()) {
-          return *e;
-        }
+        ok = ParseOption();
       } else if (Check(TokenKind::kIdent) && CheckAt(1, TokenKind::kEquals)) {
-        if (Error* e = ParseVarDecl()) {
-          return *e;
-        }
+        ok = ParseVarDecl();
       } else if (Check(TokenKind::kIdent) && At(1).kind == TokenKind::kIdent &&
                  At(1).text == "requires") {
-        if (Error* e = ParseRequirement()) {
-          return *e;
-        }
+        ok = ParseRequirement();
       } else {
-        if (Error* e = ParseFlowDef()) {
-          return *e;
-        }
+        ok = ParseFlowDef();
       }
-      if (!Check(TokenKind::kEof) && !Check(TokenKind::kSeparator)) {
-        return *MakeError("expected end of statement");
+      if (ok && !Check(TokenKind::kEof) && !Check(TokenKind::kSeparator)) {
+        ok = Fail("E001", "expected end of statement");
+      }
+      if (!ok) {
+        Synchronize();
       }
     }
-    if (Error* e = Validate()) {
-      return *e;
-    }
+    Validate();
     return std::move(query_);
   }
 
@@ -101,26 +100,36 @@ class Parser {
     }
   }
 
-  // Error helpers: methods return nullptr on success, &error_ on failure so
-  // that `if (Error* e = ...) return *e;` reads naturally.
-  Error* MakeError(std::string message) {
-    error_ = Error{std::move(message), Cur().line, Cur().column};
-    return &error_;
+  // Skips to the next statement boundary after an error.
+  void Synchronize() {
+    while (!Check(TokenKind::kEof) && !Check(TokenKind::kSeparator)) {
+      if (pos_ + 1 >= tokens_.size()) {
+        return;
+      }
+      Advance();
+    }
   }
 
-  Error* Expect(TokenKind kind) {
+  // Records an error at the current token and returns false so that
+  // `return Fail(...)` reads naturally in the statement methods.
+  bool Fail(std::string code, std::string message, std::string hint = "") {
+    sink_->AddError(std::move(code), Cur().span(), std::move(message), std::move(hint));
+    return false;
+  }
+
+  bool Expect(TokenKind kind) {
     if (!Check(kind)) {
-      return MakeError(std::string("expected ") + TokenKindName(kind) + ", got " +
-                       TokenKindName(Cur().kind));
+      return Fail("E001", std::string("expected ") + TokenKindName(kind) + ", got " +
+                              TokenKindName(Cur().kind));
     }
     Advance();
-    return nullptr;
+    return true;
   }
 
-  Error* ParseOption() {
+  bool ParseOption() {
     Advance();  // 'option'
     if (!Check(TokenKind::kIdent)) {
-      return MakeError("expected option name");
+      return Fail("E004", "expected option name");
     }
     const std::string& opt = Cur().text;
     if (opt == "packet") {
@@ -138,31 +147,37 @@ class Parser {
     } else if (opt == "threads") {
       Advance();
       if (!Check(TokenKind::kNumber)) {
-        return MakeError("option threads expects a count");
+        return Fail("E006", "option threads expects a count");
       }
       const double count = Cur().number;
       if (count < 1 || count > 1024 || count != static_cast<int>(count)) {
-        return MakeError("option threads expects an integer between 1 and 1024");
+        return Fail("E006", "option threads expects an integer between 1 and 1024");
       }
       query_.options.eval_threads = static_cast<int>(count);
     } else {
-      return MakeError("unknown option '" + opt + "'");
+      return Fail("E004", "unknown option '" + opt + "'",
+                  "known options: packet, flow, static, dynamic, allow_same, noreserve, "
+                  "threads <n>");
     }
     Advance();
-    return nullptr;
+    return true;
   }
 
-  Error* ParseVarDecl() {
+  bool ParseVarDecl() {
     VarDecl decl;
     // IDENT ('=' IDENT)* '=' '(' values ')'
     while (true) {
       if (!Check(TokenKind::kIdent)) {
-        return MakeError("expected variable name");
+        return Fail("E001", "expected variable name");
+      }
+      if (decl.names.empty()) {
+        decl.span = Cur().span();
       }
       decl.names.push_back(Cur().text);
+      decl.name_spans.push_back(Cur().span());
       Advance();
-      if (Error* e = Expect(TokenKind::kEquals)) {
-        return e;
+      if (!Expect(TokenKind::kEquals)) {
+        return false;
       }
       if (Check(TokenKind::kLParen)) {
         break;
@@ -172,6 +187,7 @@ class Parser {
     while (!Check(TokenKind::kRParen)) {
       if (Check(TokenKind::kAddress)) {
         decl.values.push_back(Endpoint::Address(Cur().text));
+        decl.value_spans.push_back(Cur().span());
         Advance();
       } else if (Check(TokenKind::kIdent)) {
         if (Cur().text == "disk") {
@@ -179,30 +195,41 @@ class Parser {
         } else {
           decl.values.push_back(Endpoint::Address(Cur().text));
         }
+        decl.value_spans.push_back(Cur().span());
         Advance();
       } else {
-        return MakeError("expected server address in value pool");
+        return Fail("E001", "expected server address in value pool");
       }
     }
     Advance();  // ')'
     if (decl.values.empty()) {
-      return MakeError("variable pool must not be empty");
+      // E010: the query would have no candidate to bind; recorded as an
+      // error, but the declaration is kept so later uses still resolve.
+      sink_->AddError("E010", decl.span,
+                      "variable pool of '" + decl.names.front() + "' is empty",
+                      "add at least one candidate endpoint to the pool");
     }
-    for (const std::string& name : decl.names) {
-      if (!declared_vars_.insert(name).second) {
-        return MakeError("variable '" + name + "' declared twice");
+    for (size_t i = 0; i < decl.names.size(); ++i) {
+      if (!declared_vars_.insert(decl.names[i]).second) {
+        sink_->AddError("E002", decl.name_spans[i],
+                        "variable '" + decl.names[i] + "' declared twice",
+                        "merge the pools or rename one declaration");
       }
     }
     query_.variables.push_back(std::move(decl));
-    return nullptr;
+    return true;
   }
 
   // IDENT 'requires' ('cpu' NUMBER | 'mem' NUMBER)+ — Section 7 extension.
-  Error* ParseRequirement() {
+  bool ParseRequirement() {
     Requirement req;
     req.var = Cur().text;
-    if (declared_vars_.count(req.var) == 0) {
-      return MakeError("requirement for undeclared variable '" + req.var + "'");
+    req.span = Cur().span();
+    const bool declared = declared_vars_.count(req.var) > 0;
+    if (!declared) {
+      sink_->AddError("E003", req.span,
+                      "requirement for undeclared variable '" + req.var + "'",
+                      "declare the variable before constraining it");
     }
     Advance();  // var name
     Advance();  // 'requires'
@@ -211,8 +238,8 @@ class Parser {
       const bool is_cpu = Cur().text == "cpu";
       Advance();
       if (!Check(TokenKind::kNumber)) {
-        return MakeError(std::string("expected number after '") + (is_cpu ? "cpu" : "mem") +
-                         "'");
+        return Fail("E001", std::string("expected number after '") + (is_cpu ? "cpu" : "mem") +
+                                "'");
       }
       if (is_cpu) {
         req.cpu_cores = Cur().number;
@@ -223,22 +250,28 @@ class Parser {
       any = true;
     }
     if (!any) {
-      return MakeError("'requires' needs at least one of: cpu <n>, mem <bytes>");
+      return Fail("E001", "'requires' needs at least one of: cpu <n>, mem <bytes>");
     }
     for (const Requirement& existing : query_.requirements) {
       if (existing.var == req.var) {
-        return MakeError("duplicate requirement for variable '" + req.var + "'");
+        sink_->AddError("E002", req.span,
+                        "duplicate requirement for variable '" + req.var + "'",
+                        "merge the constraints into one 'requires' statement");
+        return true;
       }
     }
-    query_.requirements.push_back(std::move(req));
-    return nullptr;
+    if (declared) {
+      query_.requirements.push_back(std::move(req));
+    }
+    return true;
   }
 
-  Error* ParseEndpoint(Endpoint* out) {
+  bool ParseEndpoint(Endpoint* out, Span* span) {
+    *span = Cur().span();
     if (Check(TokenKind::kAddress)) {
       *out = Cur().text == "0.0.0.0" ? Endpoint::Unknown() : Endpoint::Address(Cur().text);
       Advance();
-      return nullptr;
+      return true;
     }
     if (Check(TokenKind::kIdent)) {
       if (Cur().text == "disk") {
@@ -249,13 +282,14 @@ class Parser {
         *out = Endpoint::Address(Cur().text);
       }
       Advance();
-      return nullptr;
+      return true;
     }
-    return MakeError("expected flow endpoint");
+    return Fail("E001", "expected flow endpoint");
   }
 
-  Error* ParseFlowDef() {
+  bool ParseFlowDef() {
     FlowDef flow;
+    flow.span = Cur().span();
     // Optional leading name: present iff the token after it is NOT an arrow
     // (i.e. "name src -> dst" vs "src -> dst").
     if (Check(TokenKind::kIdent) && !CheckAt(1, TokenKind::kArrow) &&
@@ -264,172 +298,194 @@ class Parser {
       flow.explicit_name = true;
       Advance();
     }
-    if (Error* e = ParseEndpoint(&flow.src)) {
-      return e;
+    if (!ParseEndpoint(&flow.src, &flow.src_span)) {
+      return false;
     }
-    if (Error* e = Expect(TokenKind::kArrow)) {
-      return e;
+    if (!Expect(TokenKind::kArrow)) {
+      return false;
     }
-    if (Error* e = ParseEndpoint(&flow.dst)) {
-      return e;
+    if (!ParseEndpoint(&flow.dst, &flow.dst_span)) {
+      return false;
     }
     while (Check(TokenKind::kIdent)) {
       const std::optional<Attr> attr = AttrKeyword(Cur().text);
       if (!attr.has_value()) {
-        return MakeError("unknown flow attribute '" + Cur().text + "'");
+        return Fail("E004", "unknown flow attribute '" + Cur().text + "'",
+                    "attributes: start, end, size, rate, transfer");
       }
+      const Span attr_span = Cur().span();
       Advance();
       ExprPtr value;
-      if (Error* e = ParseExpr(&value)) {
-        return e;
+      if (!ParseExpr(&value)) {
+        return false;
       }
+      bool duplicate = false;
       for (const AttrValue& existing : flow.attrs) {
         if (existing.attr == *attr) {
-          return MakeError(std::string("duplicate attribute '") + AttrName(*attr) + "'");
+          sink_->AddError("E002", attr_span,
+                          std::string("duplicate attribute '") + AttrName(*attr) + "'",
+                          "each attribute may appear at most once per flow");
+          duplicate = true;
         }
       }
-      flow.attrs.push_back(AttrValue{*attr, std::move(value)});
+      if (!duplicate) {
+        flow.attrs.push_back(AttrValue{*attr, std::move(value), attr_span});
+      }
     }
     if (!flow.explicit_name) {
       flow.name = "_f" + std::to_string(query_.flows.size() + 1);
     }
     for (const FlowDef& existing : query_.flows) {
       if (existing.name == flow.name) {
-        return MakeError("flow '" + flow.name + "' defined twice");
+        sink_->AddError("E002", flow.span, "flow '" + flow.name + "' defined twice",
+                        "rename one of the definitions");
       }
     }
     if (flow.src.kind == Endpoint::Kind::kDisk && flow.dst.kind == Endpoint::Kind::kDisk) {
-      return MakeError("flow cannot connect disk to disk");
+      sink_->AddError("E005", flow.span, "flow cannot connect disk to disk",
+                      "a disk endpoint is the local disk of the flow's other endpoint");
     }
     query_.flows.push_back(std::move(flow));
-    return nullptr;
+    return true;
   }
 
-  Error* ParseExpr(ExprPtr* out) {
-    if (Error* e = ParseMul(out)) {
-      return e;
+  bool ParseExpr(ExprPtr* out) {
+    if (!ParseMul(out)) {
+      return false;
     }
     while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
       const char op = Check(TokenKind::kPlus) ? '+' : '-';
+      const Span op_span = Cur().span();
       Advance();
       ExprPtr rhs;
-      if (Error* e = ParseMul(&rhs)) {
-        return e;
+      if (!ParseMul(&rhs)) {
+        return false;
       }
       *out = Expr::Binary(op, std::move(*out), std::move(rhs));
+      (*out)->span = op_span;
     }
-    return nullptr;
+    return true;
   }
 
-  Error* ParseMul(ExprPtr* out) {
-    if (Error* e = ParsePrimary(out)) {
-      return e;
+  bool ParseMul(ExprPtr* out) {
+    if (!ParsePrimary(out)) {
+      return false;
     }
     while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
       const char op = Check(TokenKind::kStar) ? '*' : '/';
+      const Span op_span = Cur().span();
       Advance();
       ExprPtr rhs;
-      if (Error* e = ParsePrimary(&rhs)) {
-        return e;
+      if (!ParsePrimary(&rhs)) {
+        return false;
       }
       *out = Expr::Binary(op, std::move(*out), std::move(rhs));
+      (*out)->span = op_span;
     }
-    return nullptr;
+    return true;
   }
 
-  Error* ParsePrimary(ExprPtr* out) {
+  bool ParsePrimary(ExprPtr* out) {
     if (Check(TokenKind::kNumber)) {
       *out = Expr::Literal(Cur().number);
+      (*out)->span = Cur().span();
       Advance();
-      return nullptr;
+      return true;
     }
     if (Check(TokenKind::kMinus)) {
+      const Span minus_span = Cur().span();
       Advance();
       ExprPtr operand;
-      if (Error* e = ParsePrimary(&operand)) {
-        return e;
+      if (!ParsePrimary(&operand)) {
+        return false;
       }
       *out = Expr::Binary('-', Expr::Literal(0), std::move(operand));
-      return nullptr;
+      (*out)->span = minus_span;
+      return true;
     }
     if (Check(TokenKind::kLParen)) {
       Advance();
-      if (Error* e = ParseExpr(out)) {
-        return e;
+      if (!ParseExpr(out)) {
+        return false;
       }
       return Expect(TokenKind::kRParen);
     }
     if (Check(TokenKind::kIdent)) {
       const std::optional<Attr> ref = RefKeyword(Cur().text);
       if (!ref.has_value()) {
-        return MakeError("expected value, got identifier '" + Cur().text + "'");
+        return Fail("E001", "expected value, got identifier '" + Cur().text + "'",
+                    "references are st(f), e(f), sz(f), r(f), t(f)");
       }
+      const Span ref_span = Cur().span();
       Advance();
-      if (Error* e = Expect(TokenKind::kLParen)) {
-        return e;
+      if (!Expect(TokenKind::kLParen)) {
+        return false;
       }
       if (!Check(TokenKind::kIdent)) {
-        return MakeError("expected flow name inside reference");
+        return Fail("E001", "expected flow name inside reference");
       }
       const std::string flow_name = Cur().text;
       Advance();
-      if (Error* e = Expect(TokenKind::kRParen)) {
-        return e;
+      if (!Expect(TokenKind::kRParen)) {
+        return false;
       }
       *out = Expr::Ref(*ref, flow_name);
-      return nullptr;
+      (*out)->span = ref_span;
+      return true;
     }
-    return MakeError(std::string("expected expression, got ") + TokenKindName(Cur().kind));
+    return Fail("E001", std::string("expected expression, got ") + TokenKindName(Cur().kind));
   }
 
-  // Post-parse validation that needs the whole query.
-  Error* Validate() {
-    // Every flow reference must name a defined flow.
+  // Post-parse validation that needs the whole query. Reports every
+  // undefined flow reference, not just the first.
+  void Validate() {
     for (const FlowDef& flow : query_.flows) {
       for (const AttrValue& av : flow.attrs) {
-        if (Error* e = ValidateRefs(*av.value, flow)) {
-          return e;
-        }
+        ValidateRefs(*av.value, flow);
       }
     }
-    return nullptr;
   }
 
-  Error* ValidateRefs(const Expr& expr, const FlowDef& owner) {
+  void ValidateRefs(const Expr& expr, const FlowDef& owner) {
     switch (expr.kind) {
       case Expr::Kind::kLiteral:
-        return nullptr;
+        return;
       case Expr::Kind::kRef:
         if (query_.FindFlow(expr.ref_flow) == nullptr) {
-          error_ = Error{"flow '" + owner.name + "' references undefined flow '" +
-                         expr.ref_flow + "'"};
-          return &error_;
+          sink_->AddError("E003", expr.span.valid() ? expr.span : owner.span,
+                          "flow '" + owner.name + "' references undefined flow '" +
+                              expr.ref_flow + "'",
+                          "only named flows defined in this query can be referenced");
         }
-        return nullptr;
+        return;
       case Expr::Kind::kBinary:
-        if (Error* e = ValidateRefs(*expr.lhs, owner)) {
-          return e;
-        }
-        return ValidateRefs(*expr.rhs, owner);
+        ValidateRefs(*expr.lhs, owner);
+        ValidateRefs(*expr.rhs, owner);
+        return;
     }
-    return nullptr;
   }
 
   std::vector<Token> tokens_;
+  DiagnosticSink* sink_;
   size_t pos_ = 0;
   Query query_;
   std::set<std::string> declared_vars_;
-  Error error_;
 };
 
 }  // namespace
 
+Query ParseWithDiagnostics(std::string_view input, DiagnosticSink* sink) {
+  std::vector<Token> tokens = TokenizeWithDiagnostics(input, sink);
+  return Parser(std::move(tokens), sink).Run();
+}
+
 Result<Query> Parse(std::string_view input) {
-  Result<std::vector<Token>> tokens = Tokenize(input);
-  if (!tokens.ok()) {
-    return tokens.error();
+  DiagnosticSink sink;
+  Query query = ParseWithDiagnostics(input, &sink);
+  if (sink.has_errors()) {
+    return sink.ToLegacyError();
   }
-  return Parser(std::move(tokens).value()).Run();
+  return query;
 }
 
 }  // namespace lang

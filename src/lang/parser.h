@@ -26,14 +26,24 @@
 
 #include "src/common/result.h"
 #include "src/lang/ast.h"
+#include "src/lang/diagnostics.h"
 
 namespace cloudtalk {
 namespace lang {
 
 // Parses a full query. Performs the syntactic checks plus basic semantic
 // validation: duplicate variable/flow names, empty value pools, references
-// to undefined flows, and disk-to-disk flows are rejected.
+// to undefined flows, and disk-to-disk flows are rejected. On failure the
+// returned Error is the first diagnostic (with line/column); callers that
+// want all of them use ParseWithDiagnostics.
 Result<Query> Parse(std::string_view input);
+
+// Parses `input`, accumulating every lexical, syntactic, and declaration
+// error into `sink` (the parser re-synchronizes at statement boundaries
+// instead of stopping at the first problem). The returned Query is complete
+// when `!sink->has_errors()` and best-effort partial otherwise — suitable
+// for further lint analysis but not for evaluation.
+Query ParseWithDiagnostics(std::string_view input, DiagnosticSink* sink);
 
 }  // namespace lang
 }  // namespace cloudtalk

@@ -1,0 +1,28 @@
+// Source positions for CloudTalk query diagnostics.
+//
+// Every AST node carries the span of the token that introduced it so that
+// diagnostics (see diagnostics.h) can point at the offending source text
+// clang-style: file:line:col plus a caret under the token.
+#ifndef CLOUDTALK_SRC_LANG_SPAN_H_
+#define CLOUDTALK_SRC_LANG_SPAN_H_
+
+namespace cloudtalk {
+namespace lang {
+
+// A contiguous run of characters on one source line. Lines and columns are
+// 1-based; a default-constructed span (line 0) means "no position".
+struct Span {
+  int line = 0;
+  int column = 0;
+  int length = 1;  // Characters to underline; at least 1 when valid.
+
+  bool valid() const { return line > 0; }
+  bool operator==(const Span& other) const {
+    return line == other.line && column == other.column && length == other.length;
+  }
+};
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_SPAN_H_

@@ -2,6 +2,7 @@
 // search, reservations, sampling integration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <vector>
@@ -898,6 +899,41 @@ TEST_F(ServerTest, PacketOptionWithoutEstimatorFails) {
   auto reply = server.Answer("option packet\nA = (" + Ip(1) + ")\nf1 A -> " + Ip(0) +
                              " size 1M\n");
   EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(ServerTest, WarningOnlyQueryAnsweredWithWarningsAttached) {
+  CloudTalkServer server = MakeServer();
+  // Self-flow (W020) plus an unused variable (W001): suspect but legal.
+  auto reply = server.Answer("A = (" + Ip(1) + " " + Ip(2) + ")\nunused = (" + Ip(3) +
+                             ")\nf1 A -> A size 1M\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_FALSE(reply.value().binding.empty());
+  ASSERT_EQ(reply.value().warnings.size(), 2u);
+  std::vector<std::string> codes;
+  for (const lang::Diagnostic& d : reply.value().warnings) {
+    codes.push_back(d.code);
+    EXPECT_GT(d.span.line, 0);
+  }
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "W001"), codes.end());
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "W020"), codes.end());
+}
+
+TEST_F(ServerTest, CleanQueryCarriesNoWarnings) {
+  CloudTalkServer server = MakeServer();
+  auto reply =
+      server.Answer("A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 1M\n");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().warnings.empty());
+}
+
+TEST_F(ServerTest, LintErrorRejectsQueryWithPositionAndCode) {
+  CloudTalkServer server = MakeServer();
+  // E030 size-reference cycle: an error-severity lint finding.
+  auto reply = server.Answer("f1 " + Ip(1) + " -> " + Ip(2) + " size sz(f2)\nf2 " + Ip(2) +
+                             " -> " + Ip(3) + " size sz(f1)\n");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_GT(reply.error().line, 0);
+  EXPECT_NE(reply.error().message.find("[E030]"), std::string::npos);
 }
 
 

@@ -1,0 +1,340 @@
+// Tests for the diagnostics engine and lint rules (ctlint's core).
+//
+// The table-driven section pairs one triggering and one clean query per rule
+// code; the rest covers parser recovery (multiple diagnostics per pass),
+// position accuracy, clang-style rendering, JSON output, and the legacy
+// Result<T> wrappers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/lang/analysis.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/lexer.h"
+#include "src/lang/lint.h"
+#include "src/lang/parser.h"
+
+namespace cloudtalk {
+namespace lang {
+namespace {
+
+// Full pipeline as ctlint runs it: parse (with recovery), lint, and — when
+// the query has no errors yet — semantic compilation.
+DiagnosticSink Analyze(const std::string& source) {
+  DiagnosticSink sink;
+  const Query query = ParseWithDiagnostics(source, &sink);
+  RunLint(query, &sink);
+  if (!sink.has_errors()) {
+    (void)CompiledQuery::Compile(query, &sink);
+  }
+  sink.SortByPosition();
+  return sink;
+}
+
+bool HasCode(const DiagnosticSink& sink, const std::string& code) {
+  const auto& diags = sink.diagnostics();
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic* FindCode(const DiagnosticSink& sink, const std::string& code) {
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == code) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::string BigPool(int n) {
+  std::string pool = "(";
+  for (int i = 0; i < n; ++i) {
+    pool += "vm" + std::to_string(i);
+    pool.push_back(i + 1 < n ? ' ' : ')');
+  }
+  return pool;
+}
+
+// ---- Table-driven: one triggering / one clean query per rule code ----
+
+struct RuleCase {
+  const char* code;
+  std::string bad;   // Must produce a diagnostic with `code`.
+  std::string good;  // Must not.
+};
+
+std::vector<RuleCase> RuleCases() {
+  return {
+      {"W001",
+       "A = (vm1 vm2)\nf1 vm3 -> vm4 size 1M\n",
+       "A = (vm1 vm2)\nf1 A -> vm4 size 1M\n"},
+      {"E010",
+       "A = ()\nf1 A -> vm1 size 1M\n",
+       "A = (vm1)\nf1 A -> vm2 size 1M\n"},
+      {"W011",
+       "A = (vm1 vm2 vm1)\nf1 A -> vm3 size 1M\n",
+       "A = (vm1 vm2)\nf1 A -> vm3 size 1M\n"},
+      {"W020",
+       "f1 vm1 -> vm1 size 1M\n",
+       "f1 vm1 -> vm2 size 1M\n"},
+      {"E030",
+       "f1 vm1 -> vm2 size sz(f2)\nf2 vm2 -> vm3 size sz(f1)\n",
+       "f1 vm1 -> vm2 size 1M\nf2 vm2 -> vm3 size sz(f1)\n"},
+      {"W040",
+       "f1 vm1 -> vm2 size 1M transfer t(f2)\n"
+       "f2 vm2 -> vm3 size 1M transfer t(f1)\n",
+       "f1 vm1 -> vm2 size 1M\nf2 vm2 -> vm3 size 1M transfer t(f1)\n"},
+      {"W050",
+       "f1 vm1 -> vm2 size 1M rate 10M\nf2 vm2 -> vm3 size 1M rate r(f1)\n"
+       "f3 vm3 -> vm4 size 1M rate 5M transfer t(f2)\n",
+       "f1 vm1 -> vm2 size 1M rate 10M\nf2 vm2 -> vm3 size 1M rate r(f1)\n"},
+      {"W060",
+       "option packet\nA = B = C = " + BigPool(60) +
+           "\nf1 A -> B size 1M\nf2 B -> C size 1M\n",
+       // Same shape without `option packet`: the heuristic is linear, no
+       // explosion to warn about.
+       "A = B = C = " + BigPool(60) + "\nf1 A -> B size 1M\nf2 B -> C size 1M\n"},
+  };
+}
+
+TEST(LintRuleTest, EachRuleFiresOnBadAndStaysQuietOnGood) {
+  for (const RuleCase& c : RuleCases()) {
+    SCOPED_TRACE(c.code);
+    const DiagnosticSink bad = Analyze(c.bad);
+    const Diagnostic* d = FindCode(bad, c.code);
+    ASSERT_NE(d, nullptr) << "rule " << c.code << " did not fire on:\n" << c.bad;
+    EXPECT_TRUE(d->span.valid()) << c.code << " diagnostic has no position";
+    EXPECT_FALSE(d->message.empty());
+
+    const DiagnosticSink good = Analyze(c.good);
+    EXPECT_FALSE(HasCode(good, c.code))
+        << "rule " << c.code << " fired on clean query:\n" << c.good;
+  }
+}
+
+TEST(LintRuleTest, RegistryCoversEveryDocumentedCode) {
+  const std::vector<RuleCase> cases = RuleCases();
+  const std::vector<LintRule>& rules = LintRules();
+  ASSERT_EQ(rules.size(), cases.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_STREQ(rules[i].code, cases[i].code);
+    EXPECT_EQ(rules[i].severity,
+              rules[i].code[0] == 'E' ? Severity::kError : Severity::kWarning);
+    EXPECT_NE(rules[i].check, nullptr);
+  }
+}
+
+// ---- Acceptance: two distinct rules, one query, both with positions ----
+
+TEST(LintTest, TwoIndependentDiagnosticsOnOneQuery) {
+  const std::string source =
+      "A = (vm1 vm2)\n"
+      "unused = (vm3)\n"
+      "f1 A -> A size 10M\n";
+  const DiagnosticSink sink = Analyze(source);
+  EXPECT_EQ(sink.error_count(), 0);
+  EXPECT_EQ(sink.warning_count(), 2);
+
+  const Diagnostic* w001 = FindCode(sink, "W001");
+  ASSERT_NE(w001, nullptr);
+  EXPECT_EQ(w001->span.line, 2);
+  EXPECT_EQ(w001->span.column, 1);
+
+  const Diagnostic* w020 = FindCode(sink, "W020");
+  ASSERT_NE(w020, nullptr);
+  EXPECT_EQ(w020->span.line, 3);
+  EXPECT_EQ(w020->span.column, 9);  // The destination `A`.
+}
+
+// ---- Parser recovery: one pass reports many independent errors ----
+
+TEST(ParserRecoveryTest, MultipleErrorsInOnePass) {
+  const std::string source =
+      "A = ()\n"
+      "f1 vm1 -> \n"
+      "f2 vm1 -> vm2 size 1M rate 10M\n"
+      "f2 vm3 -> vm4 size 1M\n";
+  const DiagnosticSink sink = Analyze(source);
+  EXPECT_GE(sink.error_count(), 3);
+  EXPECT_TRUE(HasCode(sink, "E010"));  // Empty pool.
+  EXPECT_TRUE(HasCode(sink, "E001"));  // Missing endpoint.
+  EXPECT_TRUE(HasCode(sink, "E002"));  // Duplicate flow name.
+}
+
+TEST(ParserRecoveryTest, AllUndefinedRefsReported) {
+  const std::string source =
+      "f1 vm1 -> vm2 size sz(nope) transfer t(also_nope)\n";
+  DiagnosticSink sink;
+  (void)ParseWithDiagnostics(source, &sink);
+  int e003 = 0;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == "E003") {
+      ++e003;
+    }
+  }
+  EXPECT_EQ(e003, 2);
+}
+
+// ---- Satellite 1: parse errors carry exact line:column ----
+
+TEST(PositionTest, MalformedQueriesReportExactPositions) {
+  struct Case {
+    std::string source;
+    std::string code;
+    int line;
+    int column;
+  };
+  const std::vector<Case> cases = {
+      // Truncated flow on the second line.
+      {"a -> b size 1M\nc -> ", "E001", 2, 6},
+      // Unknown attribute, mid-line.
+      {"f1 vm1 -> vm2 size 1M extra_attr 5\n", "E004", 1, 23},
+      // Unknown option.
+      {"option bogus\n", "E004", 1, 8},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.source);
+    DiagnosticSink sink;
+    (void)ParseWithDiagnostics(c.source, &sink);
+    const Diagnostic* d = FindCode(sink, c.code);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->span.line, c.line);
+    EXPECT_EQ(d->span.column, c.column);
+  }
+}
+
+TEST(PositionTest, LegacyParseWrapperCarriesPositionAndCode) {
+  const Result<Query> result = Parse("a -> b size 1M\nc -> ");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().line, 2);
+  EXPECT_EQ(result.error().column, 6);
+  EXPECT_NE(result.error().message.find("[E001]"), std::string::npos);
+}
+
+TEST(PositionTest, CompileErrorsCarryPositions) {
+  // E032: flow with no size attribute and nothing to inherit one from.
+  const DiagnosticSink sink = Analyze("f1 vm1 -> vm2\n");
+  const Diagnostic* d = FindCode(sink, "E032");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.line, 1);
+  EXPECT_EQ(d->span.column, 1);
+}
+
+// ---- Rendering ----
+
+TEST(RenderTest, ClangStyleCaretAndHint) {
+  const std::string source = "f1 vm1 -> vm1 size 1M\n";
+  const DiagnosticSink sink = Analyze(source);
+  ASSERT_EQ(sink.warning_count(), 1);
+  const std::string text = FormatDiagnostics(sink.diagnostics(), source, "test.ct");
+  EXPECT_NE(text.find("test.ct:1:11: warning:"), std::string::npos);
+  EXPECT_NE(text.find("f1 vm1 -> vm1 size 1M"), std::string::npos);  // Echoed line.
+  EXPECT_NE(text.find("^"), std::string::npos);                      // Caret.
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+  EXPECT_NE(text.find("[W020]"), std::string::npos);
+  EXPECT_NE(text.find("0 errors, 1 warning"), std::string::npos);
+}
+
+TEST(RenderTest, JsonIsMachineReadable) {
+  const DiagnosticSink sink = Analyze("f1 vm1 -> vm1 size 1M\n");
+  const std::string json = DiagnosticsToJson(sink.diagnostics(), "q.ct");
+  EXPECT_NE(json.find("\"file\": \"q.ct\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"W020\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"column\": 11"), std::string::npos);
+}
+
+TEST(RenderTest, JsonEscapesSpecialCharacters) {
+  DiagnosticSink sink;
+  sink.AddError("E001", Span{1, 1, 1}, "bad \"quote\" and \\slash\\");
+  const std::string json = DiagnosticsToJson(sink.diagnostics(), "a\"b.ct");
+  EXPECT_NE(json.find("a\\\"b.ct"), std::string::npos);
+  EXPECT_NE(json.find("bad \\\"quote\\\" and \\\\slash\\\\"), std::string::npos);
+}
+
+// ---- DiagnosticSink mechanics ----
+
+TEST(SinkTest, DeduplicatesSameCodeAndSpan) {
+  DiagnosticSink sink;
+  sink.AddError("E010", Span{1, 1, 1}, "first");
+  sink.AddError("E010", Span{1, 1, 1}, "second (dropped)");
+  sink.AddError("E010", Span{2, 1, 1}, "different line (kept)");
+  EXPECT_EQ(sink.error_count(), 2);
+}
+
+TEST(SinkTest, PromoteWarningsMakesThemErrors) {
+  DiagnosticSink sink;
+  sink.AddWarning("W020", Span{1, 1, 1}, "self flow");
+  EXPECT_EQ(sink.max_severity(), Severity::kWarning);
+  EXPECT_FALSE(sink.has_errors());
+  sink.PromoteWarnings();
+  EXPECT_EQ(sink.max_severity(), Severity::kError);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1);
+  EXPECT_EQ(sink.warning_count(), 0);
+}
+
+TEST(SinkTest, SortByPositionIsStable) {
+  DiagnosticSink sink;
+  sink.AddWarning("W001", Span{3, 1, 1}, "third");
+  sink.AddError("E001", Span{1, 5, 1}, "first");
+  sink.AddError("E002", Span{1, 5, 1}, "also first position, emitted later");
+  sink.SortByPosition();
+  ASSERT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "E001");
+  EXPECT_EQ(sink.diagnostics()[1].code, "E002");
+  EXPECT_EQ(sink.diagnostics()[2].code, "W001");
+}
+
+// ---- W060 estimate helper ----
+
+TEST(EstimateTest, FallingFactorialForSharedPool) {
+  DiagnosticSink sink;
+  const Query query = ParseWithDiagnostics(
+      "A = B = C = " + BigPool(60) + "\nf1 A -> B size 1M\nf2 B -> C size 1M\n", &sink);
+  ASSERT_FALSE(sink.has_errors());
+  // Distinct bindings from one 60-entry pool: 60 * 59 * 58.
+  EXPECT_DOUBLE_EQ(EstimateBindingCount(query), 60.0 * 59.0 * 58.0);
+}
+
+TEST(EstimateTest, SmallQueriesAreBelowThreshold) {
+  DiagnosticSink sink;
+  const Query query = ParseWithDiagnostics(
+      "A = (vm1 vm2 vm3)\nf1 A -> vm4 size 1M\n", &sink);
+  ASSERT_FALSE(sink.has_errors());
+  EXPECT_LT(EstimateBindingCount(query), kSearchSpaceWarnThreshold);
+}
+
+// ---- Lexer diagnostics ----
+
+TEST(LexerDiagnosticsTest, BadCharacterRecovered) {
+  DiagnosticSink sink;
+  const std::vector<Token> tokens = TokenizeWithDiagnostics("a $ b", &sink);
+  EXPECT_TRUE(HasCode(sink, "E001"));
+  // The surrounding tokens survive the bad character.
+  int idents = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdent) {
+      ++idents;
+    }
+  }
+  EXPECT_EQ(idents, 2);
+}
+
+TEST(LexerDiagnosticsTest, TokenSpansHaveLengths) {
+  DiagnosticSink sink;
+  const std::vector<Token> tokens = TokenizeWithDiagnostics("hello -> 1.2.3.4", &sink);
+  ASSERT_TRUE(sink.empty());
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].span().length, 5);  // "hello"
+  EXPECT_EQ(tokens[1].span().length, 2);  // "->"
+  EXPECT_EQ(tokens[2].span().length, 7);  // "1.2.3.4"
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace cloudtalk

@@ -1,0 +1,145 @@
+// ctlint: static analyzer for CloudTalk query files.
+//
+// Runs the full diagnostics pipeline — lexer, parser (with recovery), lint
+// rules, semantic compilation — over each input and reports every finding
+// with source position, rule code, and fix-it hint.
+//
+//   ctlint query.ct             clang-style text diagnostics
+//   ctlint --json query.ct      machine-readable output for CI
+//   ctlint --werror query.ct    warnings are promoted to errors
+//   ctlint -                    read the query from stdin
+//   ctlint --rules              list every registered lint rule
+//
+// Exit code is the maximum severity across all inputs: 0 clean, 1 warnings,
+// 2 errors (with --werror, warnings exit 2 as well).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lang/analysis.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/lint.h"
+#include "src/lang/parser.h"
+
+namespace {
+
+using cloudtalk::lang::CompiledQuery;
+using cloudtalk::lang::DiagnosticSink;
+using cloudtalk::lang::Query;
+using cloudtalk::lang::Severity;
+
+struct Options {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> files;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: ctlint [--json] [--werror] <query.ct ...|->\n"
+        "       ctlint --rules\n"
+        "\n"
+        "Static analyzer for CloudTalk query files. Reports every syntax\n"
+        "error, semantic error, and lint finding with line:column, a stable\n"
+        "rule code, and a fix-it hint (see docs/LANGUAGE.md, 'Diagnostics').\n"
+        "\n"
+        "  --json    machine-readable output (one JSON object per input)\n"
+        "  --werror  treat warnings as errors\n"
+        "  --rules   list registered lint rules and exit\n"
+        "  -         read a query from standard input\n"
+        "\n"
+        "exit code: 0 = clean, 1 = warnings, 2 = errors\n";
+}
+
+void PrintRules() {
+  for (const cloudtalk::lang::LintRule& rule : cloudtalk::lang::LintRules()) {
+    std::cout << rule.code << "  " << cloudtalk::lang::SeverityName(rule.severity) << "  "
+              << rule.name << ": " << rule.summary << "\n";
+  }
+}
+
+// Runs the pipeline over one query text; returns the exit code contribution.
+int LintOne(const std::string& source, const std::string& display_name,
+            const Options& options) {
+  DiagnosticSink sink;
+  const Query query = cloudtalk::lang::ParseWithDiagnostics(source, &sink);
+  cloudtalk::lang::RunLint(query, &sink);
+  if (!sink.has_errors()) {
+    // Surface residual semantic errors (unresolvable sizes etc.) that only
+    // full compilation finds. Skipped when errors exist: the AST is partial.
+    (void)CompiledQuery::Compile(query, &sink);
+  }
+  if (options.werror) {
+    sink.PromoteWarnings();
+  }
+  sink.SortByPosition();
+  if (options.json) {
+    std::cout << DiagnosticsToJson(sink.diagnostics(), display_name) << "\n";
+  } else if (!sink.empty()) {
+    std::cout << FormatDiagnostics(sink.diagnostics(), source, display_name);
+  }
+  switch (sink.max_severity()) {
+    case Severity::kError:
+      return 2;
+    case Severity::kWarning:
+      return 1;
+    case Severity::kNote:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--rules") {
+      PrintRules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ctlint: unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& file : options.files) {
+    std::string source;
+    std::string display_name = file;
+    if (file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+      display_name = "<stdin>";
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "ctlint: cannot open '" << file << "'\n";
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    exit_code = std::max(exit_code, LintOne(source, display_name, options));
+  }
+  return exit_code;
+}
