@@ -1,0 +1,220 @@
+#include "src/check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cloudtalk {
+namespace check {
+namespace {
+
+// Process-wide policy/sink state. Atomics rather than a mutex: violations
+// can fire from worker threads while a test thread flips the policy, and
+// the report path must never itself take a lock that user code might hold
+// (the lock registry reports through here while a mutex is being acquired).
+std::atomic<OnViolation> g_policy{OnViolation::kAbort};
+std::atomic<CheckSink*> g_sink{nullptr};
+std::atomic<int64_t> g_violation_count{0};
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+const char* OnViolationName(OnViolation policy) {
+  switch (policy) {
+    case OnViolation::kAbort:
+      return "abort";
+    case OnViolation::kLogAndContinue:
+      return "log-and-continue";
+    case OnViolation::kThrow:
+      return "throw";
+  }
+  return "unknown";
+}
+
+const std::vector<InvariantInfo>& InvariantCatalog() {
+  static const std::vector<InvariantInfo> kCatalog = {
+      {"D000", "check", "generic CT_DCHECK internal sanity check"},
+      {"I101", "fluidsim",
+       "after max-min allocation every unfrozen flow group is bottlenecked at a "
+       "saturated resource or pinned at its rate cap"},
+      {"I102", "fluidsim",
+       "allocated rates never consume more than a resource's capacity (within "
+       "epsilon)"},
+      {"I103", "fluidsim", "events are never scheduled before the current simulation time"},
+      {"I104", "fluidsim", "residual (untransferred) bytes of a member never go negative"},
+      {"I105", "fluidsim", "GroupTransferred is queried with a valid member index"},
+      {"I106", "fluidsim", "simulation time never moves backwards between events"},
+      {"I201", "hdfs", "a write pipeline has exactly `replication` stages"},
+      {"I202", "hdfs", "all replicas in a write pipeline are distinct hosts"},
+      {"I203", "hdfs", "a read is always served from a host that holds a replica"},
+      {"I204", "hdfs",
+       "block state transitions follow empty -> writing -> complete (installs may "
+       "jump straight to complete)"},
+      {"I205", "hdfs", "reads are only served from blocks in the complete state"},
+      {"I301", "mapred", "a task attempt is never assigned to two trackers at once"},
+      {"I302", "mapred", "speculative attempts are launched only for running tasks"},
+      {"I303", "mapred", "per-tracker heartbeat times are monotonically non-decreasing"},
+      {"I304", "mapred",
+       "tracker slot counters match the number of running attempts placed on the "
+       "tracker"},
+      {"I305", "mapred", "a reducer's outstanding-fetch count never goes negative"},
+      {"L401", "lock",
+       "no two locks are ever acquired in opposite orders by different threads "
+       "(lock-order inversion)"},
+      {"L402", "lock",
+       "state protected by a ScopedAccessGuard is entered by one thread at a time "
+       "(single-writer violation)"},
+  };
+  return kCatalog;
+}
+
+const InvariantInfo* FindInvariant(std::string_view code) {
+  for (const InvariantInfo& info : InvariantCatalog()) {
+    if (code == info.code) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+void RecordingSink::Report(const Violation& violation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  violations_.push_back(violation);
+}
+
+std::vector<Violation> RecordingSink::TakeAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Violation> out;
+  out.swap(violations_);
+  return out;
+}
+
+int RecordingSink::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(violations_.size());
+}
+
+void SetViolationPolicy(OnViolation policy) { g_policy.store(policy, std::memory_order_relaxed); }
+
+OnViolation GetViolationPolicy() { return g_policy.load(std::memory_order_relaxed); }
+
+void SetCheckSink(CheckSink* sink) { g_sink.store(sink, std::memory_order_release); }
+
+int64_t ViolationCount() { return g_violation_count.load(std::memory_order_relaxed); }
+
+void ResetViolationCountForTest() { g_violation_count.store(0, std::memory_order_relaxed); }
+
+InvariantViolation::InvariantViolation(Violation violation)
+    : std::runtime_error(FormatViolation(violation)), violation_(std::move(violation)) {}
+
+void ReportViolation(Violation violation) {
+  g_violation_count.fetch_add(1, std::memory_order_relaxed);
+  if (CheckSink* sink = g_sink.load(std::memory_order_acquire)) {
+    sink->Report(violation);
+    if (GetViolationPolicy() == OnViolation::kLogAndContinue) {
+      return;
+    }
+  }
+  switch (GetViolationPolicy()) {
+    case OnViolation::kThrow:
+      throw InvariantViolation(std::move(violation));
+    case OnViolation::kLogAndContinue:
+      std::fputs(FormatViolation(violation).c_str(), stderr);
+      return;
+    case OnViolation::kAbort:
+      std::fputs(FormatViolation(violation).c_str(), stderr);
+      std::abort();
+  }
+}
+
+std::string FormatViolation(const Violation& violation) {
+  std::ostringstream os;
+  const InvariantInfo* info = FindInvariant(violation.code);
+  os << violation.file << ":" << violation.line << ": invariant violation: "
+     << violation.message << " [" << violation.code;
+  if (info != nullptr) {
+    os << " " << info->subsystem;
+  }
+  os << "]\n";
+  os << "  condition: " << violation.condition << "\n";
+  for (const auto& [key, value] : violation.state) {
+    os << "  " << key << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+std::string ViolationToJson(const Violation& violation) {
+  std::string out = "{\"code\":";
+  AppendJsonString(out, violation.code);
+  const InvariantInfo* info = FindInvariant(violation.code);
+  out += ",\"subsystem\":";
+  AppendJsonString(out, info != nullptr ? info->subsystem : "unknown");
+  out += ",\"file\":";
+  AppendJsonString(out, violation.file);
+  out += ",\"line\":" + std::to_string(violation.line);
+  out += ",\"condition\":";
+  AppendJsonString(out, violation.condition);
+  out += ",\"message\":";
+  AppendJsonString(out, violation.message);
+  out += ",\"state\":{";
+  bool first = true;
+  for (const auto& [key, value] : violation.state) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(out, key);
+    out.push_back(':');
+    AppendJsonString(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ViolationsToJson(const std::vector<Violation>& violations) {
+  std::string out = "{\"violations\":" + std::to_string(violations.size());
+  out += ",\"reports\":[";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += ViolationToJson(violations[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace check
+}  // namespace cloudtalk

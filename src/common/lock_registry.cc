@@ -1,0 +1,137 @@
+#include "src/common/lock_registry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cloudtalk {
+namespace {
+
+// Stack of traced lock roles the current thread holds, innermost last.
+thread_local std::vector<LockId> t_held;
+
+uint64_t ThreadToken() {
+  // Nonzero per-thread token (0 is AccessCell's "free" value).
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
+
+}  // namespace
+
+LockRegistry& LockRegistry::Instance() {
+  static LockRegistry* registry = new LockRegistry();
+  return *registry;
+}
+
+LockId LockRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<LockId>(i);
+    }
+  }
+  names_.push_back(name);
+  return static_cast<LockId>(names_.size() - 1);
+}
+
+std::string LockRegistry::Name(LockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<LockId>(names_.size())) {
+    return "<unregistered>";
+  }
+  return names_[id];
+}
+
+void LockRegistry::OnAcquire(LockId id) {
+  // Collect the violation outside the registry lock: the policy may throw,
+  // and sinks may take their own locks.
+  std::vector<check::Violation> to_report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (LockId held : t_held) {
+      if (held == id) {
+        continue;  // Recursive use of one role (e.g. per-batch mutexes).
+      }
+      edges_.insert({held, id});
+      if (edges_.count({id, held}) != 0) {
+        auto pair = std::minmax(held, id);
+        if (reported_.insert({pair.first, pair.second}).second) {
+          inversions_.fetch_add(1, std::memory_order_relaxed);
+          check::Violation v;
+          v.code = "L401";
+          v.condition = "acquisition order is consistent across threads";
+          v.file = __FILE__;
+          v.line = __LINE__;
+          v.message = "lock-order inversion";
+          v.state.emplace_back("held", NameLocked(held));
+          v.state.emplace_back("acquiring", NameLocked(id));
+          to_report.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  t_held.push_back(id);
+  for (check::Violation& v : to_report) {
+    check::ReportViolation(std::move(v));
+  }
+}
+
+void LockRegistry::OnRelease(LockId id) {
+  // Locks release innermost-first in practice; tolerate out-of-order by
+  // erasing the last matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::string LockRegistry::NameLocked(LockId id) const {
+  if (id < 0 || id >= static_cast<LockId>(names_.size())) {
+    return "<unregistered>";
+  }
+  return names_[id];
+}
+
+int64_t LockRegistry::inversions_detected() const {
+  return inversions_.load(std::memory_order_relaxed);
+}
+
+void LockRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+  reported_.clear();
+  inversions_.store(0, std::memory_order_relaxed);
+  t_held.clear();
+}
+
+bool AccessCell::Enter() {
+  const uint64_t me = ThreadToken();
+  if (owner_.load(std::memory_order_acquire) == me) {
+    ++depth_;
+    return true;
+  }
+  uint64_t expected = kFree;
+  if (owner_.compare_exchange_strong(expected, me, std::memory_order_acq_rel)) {
+    depth_ = 1;
+    return true;
+  }
+  check::Violation v;
+  v.code = "L402";
+  v.condition = "one thread inside the guarded region";
+  v.file = __FILE__;
+  v.line = __LINE__;
+  v.message = "single-writer violation";
+  v.state.emplace_back("cell", name_);
+  v.state.emplace_back("owner_token", std::to_string(expected));
+  v.state.emplace_back("this_token", std::to_string(me));
+  check::ReportViolation(std::move(v));
+  return false;
+}
+
+void AccessCell::Exit() {
+  if (--depth_ == 0) {
+    owner_.store(kFree, std::memory_order_release);
+  }
+}
+
+}  // namespace cloudtalk

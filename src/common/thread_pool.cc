@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "src/common/lock_registry.h"
+
 namespace cloudtalk {
+
+#if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
+namespace {
+
+// Lock roles for the order checker. All batch mutexes share one role: the
+// checker cares about the queue-vs-batch ordering, not batch identity.
+LockId QueueLockId() {
+  static const LockId id = LockRegistry::Instance().Register("thread_pool.queue");
+  return id;
+}
+LockId BatchLockId() {
+  static const LockId id = LockRegistry::Instance().Register("thread_pool.batch");
+  return id;
+}
+
+}  // namespace
+#endif
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(0, num_threads);
@@ -15,6 +34,7 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    CT_LOCK_TRACE(QueueLockId());
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -42,6 +62,7 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      CT_LOCK_TRACE(QueueLockId());
       if (stopping_ && queue_.empty()) {
         return;
       }
@@ -67,6 +88,7 @@ void ThreadPool::RunShards(Batch& batch) {
     // Last shard: wake the caller. The lock pairs with the caller's wait so
     // the notify cannot be lost between its predicate check and sleep.
     std::lock_guard<std::mutex> lock(batch.mutex);
+    CT_LOCK_TRACE(BatchLockId());
     batch.all_done.notify_all();
   }
 }
@@ -85,6 +107,7 @@ void ThreadPool::Run(int shards, const std::function<void(int)>& fn) {
   if (helpers > 0) {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
+      CT_LOCK_TRACE(QueueLockId());
       for (int i = 0; i < helpers; ++i) {
         queue_.push_back([batch] { RunShards(*batch); });
       }
@@ -93,6 +116,7 @@ void ThreadPool::Run(int shards, const std::function<void(int)>& fn) {
   }
   RunShards(*batch);  // The caller is always one of the lanes.
   std::unique_lock<std::mutex> lock(batch->mutex);
+  CT_LOCK_TRACE(BatchLockId());
   batch->all_done.wait(lock, [&] {
     return batch->done.load(std::memory_order_acquire) == batch->shards;
   });

@@ -14,9 +14,17 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/lock_registry.h"
 #include "src/common/units.h"
 
 namespace cloudtalk {
+
+#if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
+inline LockId ReservationLockId() {
+  static const LockId id = LockRegistry::Instance().Register("core.reservations");
+  return id;
+}
+#endif
 
 class ReservationTable {
  public:
@@ -27,6 +35,7 @@ class ReservationTable {
   // True if `address` was recommended less than hold_time ago.
   bool IsReserved(const std::string& address, Seconds now) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
     const auto it = expiry_.find(address);
     return it != expiry_.end() && it->second > now;
   }
@@ -36,12 +45,14 @@ class ReservationTable {
       return;
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
     expiry_[address] = now + hold_time_;
     MaybePruneLocked(now);
   }
 
   int ActiveCount(Seconds now) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
     int count = 0;
     for (const auto& [address, expiry] : expiry_) {
       (void)address;

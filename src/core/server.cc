@@ -4,11 +4,27 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/common/lock_registry.h"
 #include "src/common/logging.h"
 #include "src/lang/lint.h"
 #include "src/lang/parser.h"
 
 namespace cloudtalk {
+
+#if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
+namespace {
+
+LockId StatsLockId() {
+  static const LockId id = LockRegistry::Instance().Register("server.stats");
+  return id;
+}
+LockId RngLockId() {
+  static const LockId id = LockRegistry::Instance().Register("server.rng");
+  return id;
+}
+
+}  // namespace
+#endif
 
 CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory,
                                  ProbeTransport* transport, std::function<Seconds()> clock,
@@ -19,7 +35,9 @@ CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory
       clock_(std::move(clock)),
       packet_estimator_(packet_estimator),
       reservations_(config.reservation_hold),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  check::SetViolationPolicy(config.invariant_policy);
+}
 
 Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
   lang::DiagnosticSink sink;
@@ -55,6 +73,7 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
     pool_groups[key].push_back(static_cast<int>(i));
   }
   std::lock_guard<std::mutex> rng_lock(rng_mutex_);
+  CT_LOCK_TRACE(RngLockId());
   for (auto& [key, members] : pool_groups) {
     (void)key;
     const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
@@ -138,6 +157,7 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
   if (query.options.use_dynamic_load) {
     status = GatherStatus(compiled.value(), &variables, &reply.probe_stats);
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    CT_LOCK_TRACE(StatsLockId());
     total_stats_.Accumulate(reply.probe_stats);
   } else {
     // Static evaluation: endpoints idle at their nominal capacities.
@@ -210,6 +230,7 @@ Result<QuoteReply> CloudTalkServer::Quote(const std::string& query_text) {
   StatusByAddress status = GatherStatus(compiled.value(), &variables, &stats);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    CT_LOCK_TRACE(StatsLockId());
     total_stats_.Accumulate(stats);
   }
   // Quoting never reserves: the client is asking about a workload it may
@@ -261,6 +282,7 @@ Result<QuoteReply> CloudTalkServer::Quote(const std::string& query_text) {
 
 ProbeStats CloudTalkServer::total_probe_stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
+  CT_LOCK_TRACE(StatsLockId());
   return total_stats_;
 }
 

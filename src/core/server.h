@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/check.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/core/directory.h"
@@ -54,6 +55,11 @@ struct ServerConfig {
   // 0 = hardware concurrency, 1 = serial. A query's `option threads N`
   // overrides this per query.
   int eval_threads = 0;
+  // What a fired CT_INVARIANT does (process-wide; applied at server
+  // construction). Benches sweep with kLogAndContinue so a violation is
+  // reported without killing the run; tests use kThrow. Meaningless when
+  // CLOUDTALK_INVARIANTS is compiled out.
+  check::OnViolation invariant_policy = check::OnViolation::kAbort;
 };
 
 struct QueryReply {

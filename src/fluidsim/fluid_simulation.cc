@@ -1,7 +1,6 @@
 #include "src/fluidsim/fluid_simulation.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "src/common/logging.h"
@@ -12,6 +11,13 @@ namespace {
 // Transfers below this many bytes count as complete (guards float drift).
 constexpr Bytes kByteEpsilon = 1e-6;
 constexpr Seconds kTimeEpsilon = 1e-12;
+
+// Time comparisons need a tolerance that scales with the magnitude of the
+// timestamp: at t = 10^6 s a double's ULP is ~2.2e-10 s, far above the old
+// absolute 1e-12 epsilon, so completion times computed as now + dt could
+// land an ULP before `now` and trip the scheduled-in-the-past check on
+// long-horizon runs (the regression_epsilon_drift scenario guards this).
+Seconds TimeEps(Seconds t) { return std::max(kTimeEpsilon, 2e-15 * std::abs(t)); }
 }  // namespace
 
 FluidSimulation::FluidSimulation(const Topology* topo, double min_available_fraction)
@@ -71,7 +77,7 @@ GroupId FluidSimulation::AddGroup(GroupSpec spec, CompletionCallback on_complete
   if (empty_group) {
     // Zero-size groups complete instantly at their start time.
     Schedule(stored.start_time, start_group);
-  } else if (stored.start_time <= now_ + kTimeEpsilon) {
+  } else if (stored.start_time <= now_ + TimeEps(now_)) {
     start_group();
   } else {
     Schedule(stored.start_time, start_group);
@@ -99,7 +105,13 @@ Bps FluidSimulation::GroupRate(GroupId id) const {
 
 Bytes FluidSimulation::GroupTransferred(GroupId id, int flow_index) const {
   const Group& group = groups_[id];
-  assert(flow_index >= 0 && flow_index < static_cast<int>(group.members.size()));
+  if (flow_index < 0 || flow_index >= static_cast<int>(group.members.size())) {
+    CT_INVARIANT(false, "I105", "GroupTransferred queried with an invalid member index")
+        .With("group", id)
+        .With("flow_index", flow_index)
+        .With("members", group.members.size());
+    return 0;  // Keep log-and-continue runs in-bounds.
+  }
   return group.members[flow_index].transferred;
 }
 
@@ -147,7 +159,10 @@ std::vector<Bps> FluidSimulation::UsageSnapshot() const {
 }
 
 void FluidSimulation::Schedule(Seconds time, std::function<void()> fn) {
-  assert(time >= now_ - kTimeEpsilon);
+  CT_INVARIANT(time >= now_ - TimeEps(now_), "I103", "event scheduled before the current time")
+      .With("time", time)
+      .With("now", now_)
+      .With("behind_by", now_ - time);
   events_.push(TimedEvent{std::max(time, now_), next_seq_++, std::move(fn)});
 }
 
@@ -164,6 +179,7 @@ void FluidSimulation::RecomputeRates() {
                        active_groups_.end());
 
   const int n = static_cast<int>(active_groups_.size());
+  scratch_n_ = n;  // VerifyAllocation's view of how much scratch is valid.
   if (n == 0) {
     return;
   }
@@ -205,6 +221,7 @@ void FluidSimulation::RecomputeRates() {
           ResourceState rs;
           const Bps cap = registry_.capacity(r);
           rs.avail = std::max(cap * min_available_fraction_, cap - background_[r]);
+          rs.initial_avail = rs.avail;
           state.push_back(rs);
         }
         bool merged = false;
@@ -230,6 +247,9 @@ void FluidSimulation::RecomputeRates() {
   // Progressive filling with weighted consumption and per-group rate caps.
   scratch_frozen_.assign(n, 0);
   scratch_rate_.assign(n, 0.0);
+  if constexpr (check::kInvariantsEnabled) {
+    scratch_fallback_.assign(n, 0);
+  }
   std::vector<char>& frozen = scratch_frozen_;
   std::vector<Bps>& rate = scratch_rate_;
   int remaining = n;
@@ -285,12 +305,17 @@ void FluidSimulation::RecomputeRates() {
     }
     if (!froze_any) {
       // Numerical corner: freeze everything at the level to guarantee
-      // termination.
+      // termination. These groups skip the consumption bookkeeping, so the
+      // allocation checker must not hold them (or their resources) to the
+      // bottleneck/conservation invariants.
       for (int i = 0; i < n; ++i) {
         if (!frozen[i]) {
           frozen[i] = true;
           rate[i] = std::max(0.0, level);
           --remaining;
+          if constexpr (check::kInvariantsEnabled) {
+            scratch_fallback_[i] = 1;
+          }
         }
       }
     }
@@ -301,6 +326,95 @@ void FluidSimulation::RecomputeRates() {
   // Sparse reset: clear only the slots this recompute touched.
   for (ResourceId r : used_resources) {
     resource_slot[r] = -1;
+  }
+  VerifyAllocation();
+}
+
+void FluidSimulation::VerifyAllocation() {
+  if constexpr (check::kInvariantsEnabled) {
+    // Checks run against the scratch of the most recent RecomputeRates; a
+    // stale view (groups added/finished since) proves nothing, so bail.
+    const int n = scratch_n_;
+    if (n == 0 || n != static_cast<int>(active_groups_.size())) {
+      return;
+    }
+    std::vector<double> consumed(scratch_state_.size(), 0.0);
+    std::vector<char> slot_tainted(scratch_state_.size(), 0);
+    for (int i = 0; i < n; ++i) {
+      const Group& group = groups_[active_groups_[i]];
+      for (const auto& [slot, w] : scratch_weights_[i]) {
+        consumed[slot] += group.rate * w;
+        if (scratch_fallback_[i]) {
+          slot_tainted[slot] = 1;
+        }
+      }
+    }
+    // I102: allocated rates never oversubscribe a resource's elastic share.
+    for (int slot = 0; slot < static_cast<int>(consumed.size()); ++slot) {
+      if (slot_tainted[slot]) {
+        continue;
+      }
+      const double avail = scratch_state_[slot].initial_avail;
+      CT_INVARIANT(consumed[slot] <= avail * (1.0 + 1e-6) + 1.0, "I102",
+                   "resource oversubscribed by the max-min allocation")
+          .With("resource", scratch_used_resources_[slot])
+          .With("consumed_bps", consumed[slot])
+          .With("available_bps", avail)
+          .With("time", now_);
+    }
+    // I101: every group is pinned by *something* — its rate cap, a saturated
+    // resource it traverses, or the unconstrained-group sentinel rate.
+    for (int i = 0; i < n; ++i) {
+      if (scratch_fallback_[i]) {
+        continue;
+      }
+      const Group& group = groups_[active_groups_[i]];
+      bool pinned = group.rate >= 1e15 * 0.999;  // Loopback/no-resource sentinel.
+      if (!pinned && std::isfinite(group.rate_limit)) {
+        pinned = group.rate >= group.rate_limit * (1.0 - 1e-9) - 1e-9;
+      }
+      if (!pinned) {
+        for (const auto& [slot, w] : scratch_weights_[i]) {
+          (void)w;
+          if (consumed[slot] >= scratch_state_[slot].initial_avail * (1.0 - 1e-6) - 1.0) {
+            pinned = true;
+            break;
+          }
+        }
+      }
+      CT_INVARIANT(pinned, "I101", "flow group neither bottlenecked nor at its rate cap")
+          .With("group", group.id)
+          .With("rate_bps", group.rate)
+          .With("rate_limit_bps", group.rate_limit)
+          .With("resources_traversed", scratch_weights_[i].size())
+          .With("time", now_);
+    }
+  }
+}
+
+void FluidSimulation::CheckInvariantsNow() {
+  if constexpr (check::kInvariantsEnabled) {
+    rates_dirty_ = true;
+    RecomputeRates();  // Runs VerifyAllocation on a fresh allocation.
+    for (GroupId id : active_groups_) {
+      const Group& group = groups_[id];
+      if (!GroupActive(id)) {
+        continue;
+      }
+      for (size_t m = 0; m < group.members.size(); ++m) {
+        CT_INVARIANT(group.members[m].remaining >= 0, "I104",
+                     "member has negative residual bytes")
+            .With("group", id)
+            .With("member", m)
+            .With("remaining", group.members[m].remaining);
+      }
+    }
+    if (!events_.empty()) {
+      CT_INVARIANT(events_.top().time >= now_ - TimeEps(now_), "I103",
+                   "pending event is earlier than the current time")
+          .With("event_time", events_.top().time)
+          .With("now", now_);
+    }
   }
 }
 
@@ -374,6 +488,11 @@ void FluidSimulation::Settle(Seconds dt) {
       member.transferred += step;
       // A member is done when its bytes ran out, or when float drift left a
       // residue that would complete in (far) under a picosecond anyway.
+      CT_INVARIANT(member.remaining >= 0, "I104", "member has negative residual bytes")
+          .With("group", id)
+          .With("remaining", member.remaining)
+          .With("rate_bps", group.rate)
+          .With("dt", dt);
       if (member.remaining <= kByteEpsilon ||
           TransferTime(member.remaining, group.rate) <= kTimeEpsilon) {
         member.transferred += member.remaining;
@@ -387,7 +506,8 @@ void FluidSimulation::Settle(Seconds dt) {
 }
 
 void FluidSimulation::RunUntil(Seconds t) {
-  while (now_ < t - kTimeEpsilon) {
+  CT_ACCESS_GUARD(access_cell_);
+  while (now_ < t - TimeEps(t)) {
     RecomputeRates();
     const Seconds completion = NextCompletionTime();
     const Seconds next_event =
@@ -397,10 +517,13 @@ void FluidSimulation::RunUntil(Seconds t) {
       now_ = t;
       return;
     }
+    CT_INVARIANT(target >= now_ - TimeEps(now_), "I106", "simulation time would move backwards")
+        .With("now", now_)
+        .With("target", target);
     Settle(target - now_);
     now_ = std::max(now_, target);
     // Fire every event scheduled at (or before) the new time.
-    while (!events_.empty() && events_.top().time <= now_ + kTimeEpsilon) {
+    while (!events_.empty() && events_.top().time <= now_ + TimeEps(now_)) {
       auto fn = events_.top().fn;
       events_.pop();
       fn();
@@ -409,6 +532,7 @@ void FluidSimulation::RunUntil(Seconds t) {
 }
 
 bool FluidSimulation::RunUntilIdle(Seconds hard_deadline) {
+  CT_ACCESS_GUARD(access_cell_);
   while (now_ < hard_deadline) {
     RecomputeRates();
     const bool has_active =
@@ -426,9 +550,12 @@ bool FluidSimulation::RunUntilIdle(Seconds hard_deadline) {
                               << " with zero-rate active groups";
       return false;
     }
+    CT_INVARIANT(target >= now_ - TimeEps(now_), "I106", "simulation time would move backwards")
+        .With("now", now_)
+        .With("target", target);
     Settle(target - now_);
     now_ = std::max(now_, target);
-    while (!events_.empty() && events_.top().time <= now_ + kTimeEpsilon) {
+    while (!events_.empty() && events_.top().time <= now_ + TimeEps(now_)) {
       auto fn = events_.top().fn;
       events_.pop();
       fn();

@@ -32,6 +32,8 @@
 #include <queue>
 #include <vector>
 
+#include "src/check/check.h"
+#include "src/common/lock_registry.h"
 #include "src/common/units.h"
 #include "src/fluidsim/resources.h"
 #include "src/topology/topology.h"
@@ -109,6 +111,12 @@ class FluidSimulation {
   // Number of max-min recomputations performed (for perf tests).
   int64_t recompute_count() const { return recompute_count_; }
 
+  // Forces a rate recomputation and re-runs every structural invariant
+  // (allocation optimality/conservation, residual bytes, event-queue
+  // sanity). A no-op sweep without CLOUDTALK_INVARIANTS; tools/ctcheck and
+  // the scenario fixtures call it at the end of a run.
+  void CheckInvariantsNow();
+
   // Rewinds the simulation to t = 0 with no groups and no pending events,
   // keeping the topology, the resource registry (including capacity edits)
   // and the registered background load. This is the reuse path of the
@@ -146,6 +154,9 @@ class FluidSimulation {
 
   // Recomputes the max-min allocation over all started, unfinished groups.
   void RecomputeRates();
+  // Post-allocation checks (I101/I102) against the scratch left by the last
+  // RecomputeRates. Compiled to nothing without CLOUDTALK_INVARIANTS.
+  void VerifyAllocation();
   // Moves bytes for `dt` seconds at current rates; fires completions.
   void Settle(Seconds dt);
   // Earliest member completion time across active groups (inf if none).
@@ -172,6 +183,7 @@ class FluidSimulation {
   struct ResourceState {
     double avail = 0;
     double weight_unfrozen = 0;
+    double initial_avail = 0;  // avail before filling; VerifyAllocation's reference.
   };
   std::vector<int> slot_of_resource_;
   std::vector<ResourceId> scratch_used_resources_;
@@ -179,6 +191,16 @@ class FluidSimulation {
   std::vector<std::vector<std::pair<int, double>>> scratch_weights_;
   std::vector<char> scratch_frozen_;
   std::vector<Bps> scratch_rate_;
+  // Invariant-checking bookkeeping (maintained only with CLOUDTALK_INVARIANTS):
+  // group count of the last recompute, and which groups were frozen by the
+  // no-progress fallback (exempt from the bottleneck invariant).
+  int scratch_n_ = 0;
+  std::vector<char> scratch_fallback_;
+  // Single-writer check: the event loop and mutators must stay on one thread
+  // at a time (the parallel evaluator gives each worker its own simulation).
+  mutable AccessCell access_cell_{"fluidsim"};
+
+  friend struct FluidSimTestPeer;  // tests/check_test.cc corrupts state through this.
 };
 
 }  // namespace cloudtalk

@@ -19,8 +19,44 @@ std::string SizeLiteral(Bytes size) {
 
 }  // namespace
 
+const char* BlockStateName(BlockState state) {
+  switch (state) {
+    case BlockState::kEmpty:
+      return "empty";
+    case BlockState::kWriting:
+      return "writing";
+    case BlockState::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+bool LegalBlockTransition(BlockState from, BlockState to) {
+  switch (from) {
+    case BlockState::kEmpty:
+      // Installs jump straight to complete; writes enter the pipeline.
+      return to == BlockState::kWriting || to == BlockState::kComplete;
+    case BlockState::kWriting:
+      return to == BlockState::kComplete;
+    case BlockState::kComplete:
+      return false;  // Blocks are immutable once sealed.
+  }
+  return false;
+}
+
 MiniHdfs::MiniHdfs(Cluster* cluster, HdfsOptions options)
     : cluster_(cluster), options_(options) {}
+
+void MiniHdfs::SetBlockState(const std::string& name, FileInfo& info, int block_index,
+                             BlockState to) {
+  BlockState& state = info.block_states[block_index];
+  CT_INVARIANT(LegalBlockTransition(state, to), "I204", "illegal block state transition")
+      .With("file", name)
+      .With("block", block_index)
+      .With("from", BlockStateName(state))
+      .With("to", BlockStateName(to));
+  state = to;
+}
 
 void MiniHdfs::InstallFile(const std::string& name, Bytes size,
                            std::vector<std::vector<NodeId>> block_replicas) {
@@ -31,7 +67,11 @@ void MiniHdfs::InstallFile(const std::string& name, Bytes size,
   info.block_size = block_replicas.empty()
                         ? options_.block_size
                         : size / static_cast<double>(block_replicas.size());
+  info.block_states.assign(block_replicas.size(), BlockState::kEmpty);
   info.block_replicas = std::move(block_replicas);
+  for (int b = 0; b < static_cast<int>(info.block_states.size()); ++b) {
+    SetBlockState(name, info, b, BlockState::kComplete);
+  }
   files_[name] = std::move(info);
 }
 
@@ -180,6 +220,7 @@ bool MiniHdfs::WriteFile(NodeId client, const std::string& name, Bytes size, Don
   info.block_size = options_.block_size;
   const int blocks = static_cast<int>(std::ceil(size / options_.block_size));
   info.block_replicas.resize(blocks);
+  info.block_states.assign(blocks, BlockState::kEmpty);
   files_[name] = std::move(info);
   WriteBlock(client, name, 0, cluster_->now(), std::move(done));
   return true;
@@ -198,7 +239,27 @@ void MiniHdfs::WriteBlock(NodeId client, const std::string& name, int block_inde
   const Bytes bytes =
       std::min(info.block_size, info.size - block_index * info.block_size);
   const std::vector<NodeId> pipeline = PlacePipeline(client);
+  CT_INVARIANT(static_cast<int>(pipeline.size()) == options_.replication, "I201",
+               "write pipeline does not have `replication` stages")
+      .With("file", name)
+      .With("block", block_index)
+      .With("pipeline_size", pipeline.size())
+      .With("replication", options_.replication);
+  if constexpr (check::kInvariantsEnabled) {
+    for (size_t a = 0; a < pipeline.size(); ++a) {
+      for (size_t b = a + 1; b < pipeline.size(); ++b) {
+        CT_INVARIANT(pipeline[a] != pipeline[b], "I202",
+                     "write pipeline repeats a replica host")
+            .With("file", name)
+            .With("block", block_index)
+            .With("host", pipeline[a])
+            .With("stage_a", a)
+            .With("stage_b", b);
+      }
+    }
+  }
   info.block_replicas[block_index] = pipeline;
+  SetBlockState(name, info, block_index, BlockState::kWriting);
   ++blocks_written_;
 
   // One chained group: the client's stream, every store-and-forward hop and
@@ -221,6 +282,10 @@ void MiniHdfs::WriteBlock(NodeId client, const std::string& name, int block_inde
   }
   sim.AddGroup(std::move(spec),
                [this, client, name, block_index, started, done](GroupId, Seconds) {
+                 auto it = files_.find(name);
+                 if (it != files_.end()) {
+                   SetBlockState(name, it->second, block_index, BlockState::kComplete);
+                 }
                  WriteBlock(client, name, block_index + 1, started, done);
                });
 }
@@ -245,7 +310,21 @@ void MiniHdfs::ReadBlock(NodeId client, const std::string& name, int block_index
   }
   const Bytes bytes =
       std::min(info.block_size, info.size - block_index * info.block_size);
+  CT_INVARIANT(info.block_states[block_index] == BlockState::kComplete, "I205",
+               "read served from a block that is not complete")
+      .With("file", name)
+      .With("block", block_index)
+      .With("state", BlockStateName(info.block_states[block_index]));
   const NodeId source = PickReadSource(client, info.block_replicas[block_index], bytes);
+  if constexpr (check::kInvariantsEnabled) {
+    const std::vector<NodeId>& replicas = info.block_replicas[block_index];
+    CT_INVARIANT(std::find(replicas.begin(), replicas.end(), source) != replicas.end(), "I203",
+                 "read source does not hold a replica of the block")
+        .With("file", name)
+        .With("block", block_index)
+        .With("source", source)
+        .With("replicas", replicas.size());
+  }
   ++blocks_read_;
 
   FluidSimulation& sim = cluster_->sim();

@@ -19,15 +19,27 @@
 #ifndef CLOUDTALK_SRC_HDFS_MINI_HDFS_H_
 #define CLOUDTALK_SRC_HDFS_MINI_HDFS_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/alto/alto.h"
+#include "src/check/check.h"
 #include "src/harness/cluster.h"
 
 namespace cloudtalk {
+
+// Lifecycle of one HDFS block. Writes move a block through
+// empty -> writing -> complete (the pipeline is streaming until the last
+// replica's disk write lands); InstallFile may jump straight to complete
+// (pre-existing data). Any other transition is a bug (I204), and reads must
+// only ever be served from complete blocks (I205).
+enum class BlockState : uint8_t { kEmpty, kWriting, kComplete };
+
+const char* BlockStateName(BlockState state);
+bool LegalBlockTransition(BlockState from, BlockState to);
 
 struct HdfsOptions {
   Bytes block_size = 256 * kMB;
@@ -76,6 +88,7 @@ class MiniHdfs {
     Bytes size = 0;
     Bytes block_size = 0;
     std::vector<std::vector<NodeId>> block_replicas;
+    std::vector<BlockState> block_states;  // Parallel to block_replicas.
   };
   const FileInfo* GetFile(const std::string& name) const;
 
@@ -91,6 +104,9 @@ class MiniHdfs {
                   DoneCb done);
   void ReadBlock(NodeId client, const std::string& name, int block_index, Seconds started,
                  DoneCb done);
+  // Advances one block through the legal-transition table, reporting I204
+  // for anything the table forbids.
+  void SetBlockState(const std::string& name, FileInfo& info, int block_index, BlockState to);
 
   Cluster* cluster_;
   HdfsOptions options_;

@@ -72,6 +72,14 @@ void MiniMapReduce::Heartbeat(int tracker_index) {
     return;
   }
   Tracker& tracker = trackers_[tracker_index];
+  CT_INVARIANT(cluster_->now() >= tracker.last_heartbeat, "I303",
+               "tracker heartbeat time moved backwards")
+      .With("tracker", tracker_index)
+      .With("node", tracker.node)
+      .With("now", cluster_->now())
+      .With("last_heartbeat", tracker.last_heartbeat);
+  tracker.last_heartbeat = cluster_->now();
+  VerifySchedulerState();
   MaybeAssignMap(tracker);
   MaybeAssignReduce(tracker);
   MaybeSpeculate();
@@ -106,6 +114,11 @@ void MiniMapReduce::MaybeAssignMap(Tracker& tracker) {
   if (local == nullptr) {
     ++stats_.non_local_maps;
   }
+  CT_INVARIANT(chosen->state == TaskState::kPending && chosen->node == kInvalidNode, "I301",
+               "map task assigned while already placed")
+      .With("map", chosen->index)
+      .With("node", chosen->node)
+      .With("tracker_node", tracker.node);
   chosen->state = TaskState::kRunning;
   chosen->node = tracker.node;
   tracker.running_maps += 1;
@@ -293,6 +306,11 @@ void MiniMapReduce::MaybeAssignReduce(Tracker& tracker) {
     std::fprintf(stderr, "t=%.2f assign reduce %d -> node %d (skips=%d)\n",
                  cluster_->now(), next->index, tracker.node, tracker.reduce_skips);
   }
+  CT_INVARIANT(next->state == TaskState::kPending, "I301",
+               "reduce task assigned while already placed")
+      .With("reduce", next->index)
+      .With("node", next->node)
+      .With("tracker_node", tracker.node);
   next->state = TaskState::kRunning;
   next->node = tracker.node;
   next->started = cluster_->now();
@@ -347,6 +365,11 @@ void MiniMapReduce::FetchMapOutput(ReduceTask& reduce, const MapTask& map) {
       return;  // Fetch belonged to a superseded (speculated-away) copy.
     }
     r.fetches_outstanding -= 1;
+    CT_INVARIANT(r.fetches_outstanding >= 0, "I305",
+                 "reducer outstanding-fetch count went negative")
+        .With("reduce", reduce_index)
+        .With("fetches_outstanding", r.fetches_outstanding)
+        .With("incarnation", incarnation);
     r.fetched_maps += 1;
     r.fetched_bytes += part;
     MaybeFinishShuffle(r);
@@ -443,6 +466,10 @@ void MiniMapReduce::MaybeSpeculate() {
       if (best == nullptr) {
         continue;
       }
+      CT_INVARIANT(task.state == TaskState::kRunning && !task.computing, "I302",
+                   "speculative copy launched for a non-running attempt")
+          .With("reduce", task.index)
+          .With("node", task.node);
       task.speculated = true;
       stats_.speculative_launches += 1;
       // Restart the task on the new node (the first incarnation's flows
@@ -461,6 +488,38 @@ void MiniMapReduce::MaybeSpeculate() {
       task.fetches_outstanding = 0;
       best->running_reduces += 1;
       StartReduce(task, *best);
+    }
+  }
+}
+
+void MiniMapReduce::VerifySchedulerState() {
+  if constexpr (check::kInvariantsEnabled) {
+    for (size_t i = 0; i < trackers_.size(); ++i) {
+      const Tracker& tracker = trackers_[i];
+      int placed_maps = 0;
+      for (const MapTask& task : maps_) {
+        if (task.state == TaskState::kRunning && task.node == tracker.node) {
+          ++placed_maps;
+        }
+      }
+      int placed_reduces = 0;
+      for (const ReduceTask& task : reduces_) {
+        if (task.state == TaskState::kRunning && task.node == tracker.node) {
+          ++placed_reduces;
+        }
+      }
+      CT_INVARIANT(placed_maps == tracker.running_maps, "I304",
+                   "tracker map-slot counter disagrees with placed map attempts")
+          .With("tracker", i)
+          .With("node", tracker.node)
+          .With("running_maps", tracker.running_maps)
+          .With("placed_maps", placed_maps);
+      CT_INVARIANT(placed_reduces == tracker.running_reduces, "I304",
+                   "tracker reduce-slot counter disagrees with placed reduce attempts")
+          .With("tracker", i)
+          .With("node", tracker.node)
+          .With("running_reduces", tracker.running_reduces)
+          .With("placed_reduces", placed_reduces);
     }
   }
 }

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/check.h"
 #include "src/harness/cluster.h"
 #include "src/hdfs/mini_hdfs.h"
 
@@ -103,9 +104,13 @@ class MiniMapReduce {
     int running_maps = 0;
     int running_reduces = 0;
     int reduce_skips = 0;  // Heartbeats skipped waiting for CloudTalk's nod.
+    Seconds last_heartbeat = -1;  // I303: heartbeats never go backwards.
   };
 
   void Heartbeat(int tracker_index);
+  // Cross-checks every tracker's slot counters against the tasks actually
+  // placed on it (I304). Compiled to nothing without CLOUDTALK_INVARIANTS.
+  void VerifySchedulerState();
   void MaybeAssignMap(Tracker& tracker);
   void MaybeAssignReduce(Tracker& tracker);
   // CloudTalk reduce query: returns the recommended node set for the
@@ -138,6 +143,8 @@ class MiniMapReduce {
   int outputs_synced_ = 0;
   int outputs_expected_ = 0;
   int64_t job_counter_ = 0;
+
+  friend struct MapRedTestPeer;  // tests/check_test.cc corrupts state through this.
 };
 
 }  // namespace cloudtalk

@@ -1,0 +1,497 @@
+// ctcheck: seeded scenario fuzzer hunting invariant violations.
+//
+// Each seed deterministically generates a randomized cluster scenario —
+// fabric shape, host/link/disk speeds, HDFS files and placement policies,
+// an optional MapReduce job, background traffic — and executes it on the
+// fluid simulation with every CT_INVARIANT armed in log-and-continue mode.
+// Scenarios that fire any invariant are serialized to a replayable `.ctsc`
+// file and reported (clang-style text or --json), and the process exits
+// nonzero. `--replay file.ctsc` re-runs a serialized scenario exactly; the
+// fixtures under examples/scenarios/ are such files, registered as ctest
+// cases (one clean sweep, one guarding the time-epsilon regression).
+//
+// Usage:
+//   ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --replay scenario.ctsc [--json]
+//   ctcheck --catalog [--json]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/common/rng.h"
+#include "src/fluidsim/fluid_simulation.h"
+#include "src/harness/cluster.h"
+#include "src/hdfs/mini_hdfs.h"
+#include "src/mapred/mini_mapreduce.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace {
+
+struct Scenario {
+  uint64_t seed = 1;
+  std::string fabric = "single";  // single | vl2 | ec2
+  int hosts = 12;
+  double host_link_gbps = 1.0;
+  double disk_gbps = 4.0;
+  int replication = 3;
+  int files = 2;
+  double file_mb = 128.0;
+  double block_mb = 64.0;
+  int cloudtalk_writes = 1;
+  int cloudtalk_reads = 1;
+  int cloudtalk_map = 0;
+  int cloudtalk_reduce = 0;
+  int background_pairs = 1;
+  double background_gbps = 0.5;
+  int disk_loads = 1;
+  double disk_load_gbps = 2.0;
+  int run_mapreduce = 1;
+  int reducers = 2;
+  int map_blocks = 4;
+  int eval_threads = 1;
+  double horizon_s = 300.0;
+  double status_period_ms = 100.0;
+};
+
+Scenario GenerateScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+  const int fabric_pick = static_cast<int>(rng.UniformInt(0, 3));
+  s.fabric = fabric_pick <= 1 ? "single" : (fabric_pick == 2 ? "vl2" : "ec2");
+  s.hosts = static_cast<int>(rng.UniformInt(6, 24));
+  const double links[] = {0.5, 1.0, 2.0};
+  s.host_link_gbps = links[rng.UniformInt(0, 2)];
+  const double disks[] = {2.0, 4.0, 8.0};
+  s.disk_gbps = disks[rng.UniformInt(0, 2)];
+  // The heuristic's distinct-binding pass wraps around on tiny pools, so
+  // keep a couple of spare hosts beyond the replication factor.
+  s.replication = static_cast<int>(rng.UniformInt(2, std::min(3, s.hosts - 2)));
+  s.files = static_cast<int>(rng.UniformInt(1, 3));
+  s.file_mb = rng.Uniform(32.0, 256.0);
+  s.block_mb = rng.Uniform(32.0, 128.0);
+  s.cloudtalk_writes = rng.Bernoulli(0.5) ? 1 : 0;
+  s.cloudtalk_reads = rng.Bernoulli(0.5) ? 1 : 0;
+  s.cloudtalk_map = rng.Bernoulli(0.5) ? 1 : 0;
+  s.cloudtalk_reduce = rng.Bernoulli(0.5) ? 1 : 0;
+  s.background_pairs = static_cast<int>(rng.UniformInt(0, 3));
+  s.background_gbps = rng.Uniform(0.2, 1.0);
+  s.disk_loads = static_cast<int>(rng.UniformInt(0, 2));
+  s.disk_load_gbps = rng.Uniform(0.5, 3.0);
+  s.run_mapreduce = rng.Bernoulli(0.7) ? 1 : 0;
+  s.reducers = static_cast<int>(rng.UniformInt(1, 4));
+  s.map_blocks = static_cast<int>(rng.UniformInt(2, 6));
+  s.eval_threads = rng.Bernoulli(0.25) ? 2 : 1;
+  s.horizon_s = rng.Uniform(120.0, 600.0);
+  s.status_period_ms = rng.Uniform(50.0, 200.0);
+  return s;
+}
+
+// `key value` lines; order-independent; '#' starts a comment.
+void SerializeScenario(const Scenario& s, std::ostream& os) {
+  os << "# ctcheck scenario (replay with: ctcheck --replay <this file>)\n";
+  os << "seed " << s.seed << "\n";
+  os << "fabric " << s.fabric << "\n";
+  os << "hosts " << s.hosts << "\n";
+  os << "host_link_gbps " << s.host_link_gbps << "\n";
+  os << "disk_gbps " << s.disk_gbps << "\n";
+  os << "replication " << s.replication << "\n";
+  os << "files " << s.files << "\n";
+  os << "file_mb " << s.file_mb << "\n";
+  os << "block_mb " << s.block_mb << "\n";
+  os << "cloudtalk_writes " << s.cloudtalk_writes << "\n";
+  os << "cloudtalk_reads " << s.cloudtalk_reads << "\n";
+  os << "cloudtalk_map " << s.cloudtalk_map << "\n";
+  os << "cloudtalk_reduce " << s.cloudtalk_reduce << "\n";
+  os << "background_pairs " << s.background_pairs << "\n";
+  os << "background_gbps " << s.background_gbps << "\n";
+  os << "disk_loads " << s.disk_loads << "\n";
+  os << "disk_load_gbps " << s.disk_load_gbps << "\n";
+  os << "run_mapreduce " << s.run_mapreduce << "\n";
+  os << "reducers " << s.reducers << "\n";
+  os << "map_blocks " << s.map_blocks << "\n";
+  os << "eval_threads " << s.eval_threads << "\n";
+  os << "horizon_s " << s.horizon_s << "\n";
+  os << "status_period_ms " << s.status_period_ms << "\n";
+}
+
+bool ParseScenario(std::istream& is, Scenario* s, std::string* error) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string key;
+    if (!(fields >> key)) {
+      continue;  // Blank / comment-only line.
+    }
+    bool ok = true;
+    if (key == "seed") {
+      ok = static_cast<bool>(fields >> s->seed);
+    } else if (key == "fabric") {
+      ok = static_cast<bool>(fields >> s->fabric) &&
+           (s->fabric == "single" || s->fabric == "vl2" || s->fabric == "ec2");
+    } else if (key == "hosts") {
+      ok = static_cast<bool>(fields >> s->hosts) && s->hosts >= 2;
+    } else if (key == "host_link_gbps") {
+      ok = static_cast<bool>(fields >> s->host_link_gbps) && s->host_link_gbps > 0;
+    } else if (key == "disk_gbps") {
+      ok = static_cast<bool>(fields >> s->disk_gbps) && s->disk_gbps > 0;
+    } else if (key == "replication") {
+      ok = static_cast<bool>(fields >> s->replication) && s->replication >= 1;
+    } else if (key == "files") {
+      ok = static_cast<bool>(fields >> s->files) && s->files >= 0;
+    } else if (key == "file_mb") {
+      ok = static_cast<bool>(fields >> s->file_mb) && s->file_mb > 0;
+    } else if (key == "block_mb") {
+      ok = static_cast<bool>(fields >> s->block_mb) && s->block_mb > 0;
+    } else if (key == "cloudtalk_writes") {
+      ok = static_cast<bool>(fields >> s->cloudtalk_writes);
+    } else if (key == "cloudtalk_reads") {
+      ok = static_cast<bool>(fields >> s->cloudtalk_reads);
+    } else if (key == "cloudtalk_map") {
+      ok = static_cast<bool>(fields >> s->cloudtalk_map);
+    } else if (key == "cloudtalk_reduce") {
+      ok = static_cast<bool>(fields >> s->cloudtalk_reduce);
+    } else if (key == "background_pairs") {
+      ok = static_cast<bool>(fields >> s->background_pairs) && s->background_pairs >= 0;
+    } else if (key == "background_gbps") {
+      ok = static_cast<bool>(fields >> s->background_gbps);
+    } else if (key == "disk_loads") {
+      ok = static_cast<bool>(fields >> s->disk_loads) && s->disk_loads >= 0;
+    } else if (key == "disk_load_gbps") {
+      ok = static_cast<bool>(fields >> s->disk_load_gbps);
+    } else if (key == "run_mapreduce") {
+      ok = static_cast<bool>(fields >> s->run_mapreduce);
+    } else if (key == "reducers") {
+      ok = static_cast<bool>(fields >> s->reducers) && s->reducers >= 1;
+    } else if (key == "map_blocks") {
+      ok = static_cast<bool>(fields >> s->map_blocks) && s->map_blocks >= 1;
+    } else if (key == "eval_threads") {
+      ok = static_cast<bool>(fields >> s->eval_threads) && s->eval_threads >= 1;
+    } else if (key == "horizon_s") {
+      ok = static_cast<bool>(fields >> s->horizon_s) && s->horizon_s > 0;
+    } else if (key == "status_period_ms") {
+      ok = static_cast<bool>(fields >> s->status_period_ms) && s->status_period_ms > 0;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      *error = "line " + std::to_string(lineno) + ": bad scenario field: " + line;
+      return false;
+    }
+  }
+  if (s->replication > s->hosts) {
+    *error = "replication exceeds host count";
+    return false;
+  }
+  return true;
+}
+
+Topology BuildTopology(const Scenario& s) {
+  if (s.fabric == "vl2") {
+    Vl2Params params;
+    params.hosts_per_rack = 4;
+    params.num_racks = (s.hosts + params.hosts_per_rack - 1) / params.hosts_per_rack;
+    params.max_hosts = s.hosts;
+    params.host_link = s.host_link_gbps * kGbps;
+    params.host_caps.nic_up = s.host_link_gbps * kGbps;
+    params.host_caps.nic_down = s.host_link_gbps * kGbps;
+    params.host_caps.disk_read = s.disk_gbps * kGbps;
+    params.host_caps.disk_write = s.disk_gbps * kGbps;
+    return MakeVl2(params);
+  }
+  if (s.fabric == "ec2") {
+    Ec2Params params;
+    params.num_instances = s.hosts;
+    params.instance_rate = s.host_link_gbps * kGbps;
+    params.disk_read = s.disk_gbps * kGbps;
+    params.disk_write = s.disk_gbps * kGbps;
+    return MakeEc2(params);
+  }
+  SingleSwitchParams params;
+  params.num_hosts = s.hosts;
+  params.link_capacity = s.host_link_gbps * kGbps;
+  params.host_caps.nic_up = s.host_link_gbps * kGbps;
+  params.host_caps.nic_down = s.host_link_gbps * kGbps;
+  params.host_caps.disk_read = s.disk_gbps * kGbps;
+  params.host_caps.disk_write = s.disk_gbps * kGbps;
+  return MakeSingleSwitch(params);
+}
+
+struct RunResult {
+  std::vector<check::Violation> violations;
+  Seconds end_time = 0;
+  int64_t blocks_written = 0;
+  int64_t blocks_read = 0;
+};
+
+RunResult RunScenario(const Scenario& s) {
+  check::RecordingSink sink;
+  check::SetCheckSink(&sink);
+  check::SetViolationPolicy(check::OnViolation::kLogAndContinue);
+
+  RunResult result;
+  {
+    ClusterOptions options;
+    options.status_period = s.status_period_ms * kMillisecond;
+    options.seed = s.seed;
+    options.server.seed = s.seed;
+    options.server.eval_threads = s.eval_threads;
+    // The server ctor re-applies the policy process-wide; keep it aligned
+    // with the fuzzer's survive-and-report mode.
+    options.server.invariant_policy = check::OnViolation::kLogAndContinue;
+    Cluster cluster(BuildTopology(s), options);
+    cluster.StartStatusSweep();
+
+    Rng rng(s.seed ^ 0x9e3779b97f4a7c15ull);  // Workload stream, decoupled from generation.
+    const int n = cluster.num_hosts();
+    for (int i = 0; i < s.background_pairs; ++i) {
+      const NodeId src = cluster.host(static_cast<int>(rng.UniformInt(0, n - 1)));
+      NodeId dst = src;
+      while (dst == src) {
+        dst = cluster.host(static_cast<int>(rng.UniformInt(0, n - 1)));
+      }
+      cluster.AddBackgroundPair(src, dst, s.background_gbps * kGbps);
+    }
+    for (int i = 0; i < s.disk_loads; ++i) {
+      const NodeId host = cluster.host(static_cast<int>(rng.UniformInt(0, n - 1)));
+      cluster.AddDiskLoad(host, s.disk_load_gbps * kGbps, s.disk_load_gbps * kGbps);
+    }
+
+    HdfsOptions hdfs_options;
+    hdfs_options.block_size = s.block_mb * kMB;
+    hdfs_options.replication = std::min(s.replication, n);
+    hdfs_options.cloudtalk_writes = s.cloudtalk_writes != 0;
+    hdfs_options.cloudtalk_reads = s.cloudtalk_reads != 0;
+    MiniHdfs hdfs(&cluster, hdfs_options);
+
+    // Read-after-write chains: each file is written from a random client
+    // and, once durable, read back to a different random host.
+    for (int f = 0; f < s.files; ++f) {
+      const std::string name = "file" + std::to_string(f);
+      const NodeId writer = cluster.host(static_cast<int>(rng.UniformInt(0, n - 1)));
+      const NodeId reader = cluster.host(static_cast<int>(rng.UniformInt(0, n - 1)));
+      const Bytes bytes = s.file_mb * kMB;
+      const Seconds start = rng.Uniform(0.0, 5.0);
+      FluidSimulation& sim = cluster.sim();
+      MiniHdfs* fs = &hdfs;
+      sim.Schedule(start, [fs, writer, reader, name, bytes] {
+        fs->WriteFile(writer, name, bytes,
+                      [fs, reader, name](Seconds, Seconds) { fs->ReadFile(reader, name, nullptr); });
+      });
+    }
+
+    MapRedOptions mr_options;
+    mr_options.cloudtalk_map = s.cloudtalk_map != 0;
+    mr_options.cloudtalk_reduce = s.cloudtalk_reduce != 0;
+    MiniMapReduce mapred(&cluster, &hdfs, mr_options);
+    if (s.run_mapreduce != 0) {
+      const int rep = std::min(s.replication, n);
+      std::vector<std::vector<NodeId>> replicas;
+      Rng placement_rng(s.seed + 17);
+      for (int b = 0; b < s.map_blocks; ++b) {
+        std::vector<NodeId> block;
+        for (int idx : placement_rng.SampleWithoutReplacement(n, rep)) {
+          block.push_back(cluster.host(idx));
+        }
+        replicas.push_back(std::move(block));
+      }
+      hdfs.InstallFile("mr_input", s.map_blocks * s.block_mb * kMB, std::move(replicas));
+      MiniMapReduce* mr = &mapred;
+      cluster.sim().Schedule(1.0, [mr, &s] { mr->RunJob("mr_input", s.reducers, nullptr); });
+    }
+
+    // The status sweep reschedules itself forever, so drive a bounded
+    // horizon in steps (each step recomputes and verifies allocations).
+    const int steps = 25;
+    for (int i = 1; i <= steps; ++i) {
+      cluster.RunUntil(s.horizon_s * i / steps);
+    }
+    cluster.sim().CheckInvariantsNow();
+    result.end_time = cluster.now();
+    result.blocks_written = hdfs.blocks_written();
+    result.blocks_read = hdfs.blocks_read();
+  }
+
+  check::SetCheckSink(nullptr);
+  result.violations = sink.TakeAll();
+  return result;
+}
+
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+               "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --replay scenario.ctsc [--json]\n"
+               "       ctcheck --catalog [--json]\n"
+               "\n"
+               "Seeded scenario fuzzer for the CloudTalk invariant checks: generates\n"
+               "randomized cluster workloads, runs them with CT_INVARIANT armed, and\n"
+               "serializes any violating scenario to a replayable .ctsc file.\n"
+               "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
+}
+
+void PrintCatalog(bool json) {
+  if (json) {
+    std::string out = "{\"invariants\":[";
+    bool first = true;
+    for (const check::InvariantInfo& info : check::InvariantCatalog()) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      out += "{\"code\":\"" + std::string(info.code) + "\",\"subsystem\":\"" +
+             info.subsystem + "\",\"summary\":\"" + info.summary + "\"}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return;
+  }
+  for (const check::InvariantInfo& info : check::InvariantCatalog()) {
+    std::printf("%-5s %-9s %s\n", info.code, info.subsystem, info.summary);
+  }
+}
+
+int Main(int argc, char** argv) {
+  int seeds = 20;
+  uint64_t seed_base = 1;
+  std::string out_dir = ".";
+  std::string replay_path;
+  bool json = false;
+  bool catalog = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ctcheck: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::atoi(next("--seeds"));
+    } else if (arg == "--seed-base") {
+      seed_base = static_cast<uint64_t>(std::atoll(next("--seed-base")));
+    } else if (arg == "--out") {
+      out_dir = next("--out");
+    } else if (arg == "--replay") {
+      replay_path = next("--replay");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--catalog") {
+      catalog = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "ctcheck: unknown argument '%s'\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (catalog) {
+    PrintCatalog(json);
+    return 0;
+  }
+  if (!check::kInvariantsEnabled) {
+    std::fprintf(stderr,
+                 "ctcheck: warning: built without CLOUDTALK_INVARIANTS; the CT_INVARIANT "
+                 "checks are compiled out and only always-on checkers run. Configure with "
+                 "-DCLOUDTALK_INVARIANTS=ON for full coverage.\n");
+  }
+
+  std::vector<Scenario> scenarios;
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "ctcheck: cannot open '%s'\n", replay_path.c_str());
+      return 2;
+    }
+    Scenario s;
+    std::string error;
+    if (!ParseScenario(in, &s, &error)) {
+      std::fprintf(stderr, "ctcheck: %s: %s\n", replay_path.c_str(), error.c_str());
+      return 2;
+    }
+    scenarios.push_back(s);
+  } else {
+    if (seeds <= 0) {
+      std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+      return 2;
+    }
+    for (int i = 0; i < seeds; ++i) {
+      scenarios.push_back(GenerateScenario(seed_base + static_cast<uint64_t>(i)));
+    }
+  }
+
+  int violating = 0;
+  int64_t total_violations = 0;
+  std::string scenario_reports;  // JSON fragments, one per violating scenario.
+  for (const Scenario& s : scenarios) {
+    const RunResult result = RunScenario(s);
+    total_violations += static_cast<int64_t>(result.violations.size());
+    if (result.violations.empty()) {
+      if (!json) {
+        std::printf("seed %llu: clean (t=%.1fs, %lld blocks written, %lld read)\n",
+                    static_cast<unsigned long long>(s.seed), result.end_time,
+                    static_cast<long long>(result.blocks_written),
+                    static_cast<long long>(result.blocks_read));
+      }
+      continue;
+    }
+    ++violating;
+    std::string saved_to;
+    if (replay_path.empty()) {
+      saved_to = out_dir + "/scenario_" + std::to_string(s.seed) + ".ctsc";
+      std::ofstream out(saved_to);
+      if (out) {
+        SerializeScenario(s, out);
+      } else {
+        std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+        saved_to.clear();
+      }
+    }
+    if (json) {
+      if (!scenario_reports.empty()) {
+        scenario_reports.push_back(',');
+      }
+      scenario_reports += "{\"seed\":" + std::to_string(s.seed) + ",\"saved_to\":\"" +
+                          saved_to + "\",\"report\":" +
+                          check::ViolationsToJson(result.violations) + "}";
+    } else {
+      std::printf("seed %llu: %zu violation(s)%s%s\n",
+                  static_cast<unsigned long long>(s.seed), result.violations.size(),
+                  saved_to.empty() ? "" : ", scenario saved to ", saved_to.c_str());
+      for (const check::Violation& v : result.violations) {
+        std::fputs(check::FormatViolation(v).c_str(), stdout);
+      }
+    }
+  }
+
+  if (json) {
+    std::printf("{\"scenarios\":%zu,\"violating\":%d,\"violations\":%lld,\"reports\":[%s]}\n",
+                scenarios.size(), violating, static_cast<long long>(total_violations),
+                scenario_reports.c_str());
+  } else {
+    std::printf("ctcheck: %zu scenario(s), %d violating, %lld violation(s) total\n",
+                scenarios.size(), violating, static_cast<long long>(total_violations));
+  }
+  return violating > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace cloudtalk
+
+int main(int argc, char** argv) { return cloudtalk::Main(argc, argv); }
