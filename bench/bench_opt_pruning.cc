@@ -1,0 +1,168 @@
+// ISSUE 4 acceptance: static optimisation passes vs. the unoptimised walk.
+//
+// Workload: a fan-out shuffle with four interchangeable workers drawn from a
+// sixteen-host pool, all shards in one chain group (the shape O200 prunes
+// hardest: 16*15*14*13 = 43680 ordered bindings collapse to C(16,4) = 1820
+// ascending representatives). Both engine configurations run over the
+// identical query and status:
+//   unoptimised — optimize = false, the PR 1 engine behaviour.
+//   optimised   — optimize = true, the O100..O400 plan applied.
+// The bench fails (exit non-zero) unless the two return byte-identical
+// bindings and makespans AND the optimised walk enumerates at least 5x
+// fewer bindings — the ISSUE 4 acceptance floor (the shape above gives 24x).
+//
+// Output ends with one machine-readable JSON line; pass a path argument to
+// also write that line to a file (CI stores it as BENCH_opt.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "bench/experiments.h"
+#include "src/common/rng.h"
+#include "src/core/estimator.h"
+#include "src/core/exhaustive.h"
+#include "src/lang/analysis.h"
+#include "src/lang/parser.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+// w workers over an n-host pool, one shard each, chained into a single rate
+// group so the workers are provably interchangeable (same shape as
+// examples/queries/opt/symmetric_workers.ct).
+std::string SymmetricShuffleQuery(int n, int w) {
+  std::ostringstream query;
+  query << "option packet\n";
+  for (int i = 1; i <= w; ++i) {
+    query << "W" << i << " = ";
+  }
+  query << "(";
+  for (int i = 1; i <= n; ++i) {
+    query << "10.0.1." << i << " ";
+  }
+  query << ")\n";
+  for (int i = 1; i <= w; ++i) {
+    query << "shard" << i << " 10.0.0.9 -> W" << i << " size 64M ";
+    query << (i == 1 ? "rate 800M" : "rate r(shard1)") << "\n";
+  }
+  return query.str();
+}
+
+StatusByAddress RandomStatus(int n, uint64_t seed) {
+  Rng rng(seed);
+  StatusByAddress status;
+  auto report = [&](double tx_frac, double rx_frac) {
+    StatusReport r;
+    r.nic_tx_cap = r.nic_rx_cap = 1e9;
+    r.nic_tx_use = tx_frac * 1e9;
+    r.nic_rx_use = rx_frac * 1e9;
+    r.disk_read_cap = r.disk_write_cap = 4e9;
+    return r;
+  };
+  for (int i = 1; i <= n; ++i) {
+    status["10.0.1." + std::to_string(i)] = report(rng.Uniform(0, 0.9), rng.Uniform(0, 0.9));
+  }
+  status["10.0.0.9"] = report(0, 0);
+  return status;
+}
+
+struct TimedRun {
+  double us = 0;  // Best of `iters` runs.
+  ExhaustiveResult result;
+};
+
+TimedRun TimeEval(const lang::CompiledQuery& compiled, const StatusByAddress& status,
+                  bool optimize, int iters) {
+  TimedRun out;
+  out.us = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    FlowLevelEstimator estimator;
+    ExhaustiveParams params;
+    params.optimize = optimize;
+    const auto begin = std::chrono::steady_clock::now();
+    Result<ExhaustiveResult> result = EvaluateExhaustive(compiled, status, estimator, params);
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n", result.error().ToString().c_str());
+      std::exit(1);
+    }
+    out.us = std::min(out.us, std::chrono::duration<double, std::micro>(end - begin).count());
+    out.result = std::move(result.value());
+  }
+  return out;
+}
+
+bool Identical(const ExhaustiveResult& a, const ExhaustiveResult& b) {
+  // Byte-identical makespan (no tolerance) and the same binding.
+  if (std::memcmp(&a.estimate.makespan, &b.estimate.makespan, sizeof(double)) != 0) {
+    return false;
+  }
+  if (a.binding.size() != b.binding.size()) {
+    return false;
+  }
+  for (const auto& [var, endpoint] : a.binding) {
+    const auto it = b.binding.find(var);
+    if (it == b.binding.end() || !(it->second == endpoint)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = 16;
+  const int w = 4;
+  const int iters = bench::QuickMode() ? 2 : 5;
+
+  bench::PrintHeader("Static optimisation pruning (symmetric shuffle, n=16 w=4)");
+
+  auto parsed = lang::Parse(SymmetricShuffleQuery(n, w));
+  auto compiled = lang::CompiledQuery::Compile(parsed.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.error().ToString().c_str());
+    return 1;
+  }
+  const StatusByAddress status = RandomStatus(n, 42);
+
+  const TimedRun base = TimeEval(compiled.value(), status, /*optimize=*/false, iters);
+  const TimedRun opt = TimeEval(compiled.value(), status, /*optimize=*/true, iters);
+
+  const bool identical = Identical(base.result, opt.result);
+  const double reduction = static_cast<double>(base.result.counters.enumerated) /
+                           static_cast<double>(std::max<int64_t>(1, opt.result.counters.enumerated));
+  const bool pruned_enough = reduction >= 5.0;
+
+  std::printf("bindings enumerated: %lld unoptimised vs %lld optimised (%.1fx, %lld orbit skips)\n",
+              static_cast<long long>(base.result.counters.enumerated),
+              static_cast<long long>(opt.result.counters.enumerated), reduction,
+              static_cast<long long>(opt.result.counters.orbit_skips));
+  std::printf("%-28s %12.0f us\n", "unoptimised walk", base.us);
+  std::printf("%-28s %12.0f us  (%.2fx)\n", "with O100..O400 plan", opt.us, base.us / opt.us);
+  std::printf("results byte-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("reduction >= 5x: %s\n", pruned_enough ? "yes" : "NO");
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"opt_pruning\",\"n\":%d,\"w\":%d,"
+                "\"enumerated_base\":%lld,\"enumerated_opt\":%lld,\"reduction\":%.2f,"
+                "\"base_us\":%.1f,\"opt_us\":%.1f,\"speedup\":%.2f,\"identical\":%s}",
+                n, w, static_cast<long long>(base.result.counters.enumerated),
+                static_cast<long long>(opt.result.counters.enumerated), reduction, base.us,
+                opt.us, base.us / opt.us, identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return (identical && pruned_enough) ? 0 : 1;
+}

@@ -137,14 +137,15 @@ int main(int argc, char** argv) {
   const bool identical =
       Identical(seed.result, serial.result) && Identical(seed.result, parallel.result);
 
-  std::printf("bindings tried: %lld (memo hits parallel: %lld)\n",
-              static_cast<long long>(seed.result.bindings_tried),
-              static_cast<long long>(parallel.result.memo_hits));
+  std::printf("bindings scored: %lld = %lld evaluations + %lld memo hits (parallel)\n",
+              static_cast<long long>(seed.result.counters.scored()),
+              static_cast<long long>(parallel.result.counters.evaluations),
+              static_cast<long long>(parallel.result.counters.memo_hits));
   std::printf("%-28s %12.0f us\n", "seed path (1 thread)", seed.us);
   std::printf("%-28s %12.0f us  (%.2fx)\n", "scratch+memo (1 thread)", serial.us,
               seed.us / serial.us);
   std::printf("%-28s %12.0f us  (%.2fx, %d shards)\n", "scratch+memo (parallel)", parallel.us,
-              seed.us / parallel.us, parallel.result.threads_used);
+              seed.us / parallel.us, parallel.result.counters.threads_used);
   std::printf("results byte-identical: %s\n", identical ? "yes" : "NO");
 
   char json[512];

@@ -66,6 +66,10 @@ const char* OnViolationName(OnViolation policy) {
 const std::vector<InvariantInfo>& InvariantCatalog() {
   static const std::vector<InvariantInfo> kCatalog = {
       {"D000", "check", "generic CT_DCHECK internal sanity check"},
+      {"D500", "opt",
+       "exhaustive search with the static optimisation passes returns the same "
+       "winning binding and bit-identical estimate as the unoptimised walk "
+       "(checked differentially by ctcheck --diff-opt)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},

@@ -19,8 +19,10 @@
 // with `SetViolationPolicy`.
 //
 // The invariant catalogue (codes I1xx fluidsim, I2xx hdfs, I3xx mapred,
-// L4xx locking, D000 generic debug check) lives in `InvariantCatalog()` and
-// is documented with its paper justification in DESIGN.md, "Invariants".
+// L4xx locking, D000 generic debug check, D5xx differential properties such
+// as the D500 optimisation byte-identity contract) lives in
+// `InvariantCatalog()` and is documented with its paper justification in
+// DESIGN.md, "Invariants".
 #ifndef CLOUDTALK_SRC_CHECK_CHECK_H_
 #define CLOUDTALK_SRC_CHECK_CHECK_H_
 
@@ -68,7 +70,7 @@ struct Violation {
 // Catalogue entry for a registered invariant code.
 struct InvariantInfo {
   const char* code;
-  const char* subsystem;  // "fluidsim", "hdfs", "mapred", "lock", "check".
+  const char* subsystem;  // "fluidsim", "hdfs", "mapred", "lock", "check", "opt".
   const char* summary;
 };
 

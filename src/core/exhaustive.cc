@@ -18,6 +18,11 @@ namespace {
 // matching the estimator's per-occurrence "_unknownN" modelling).
 constexpr int32_t kDiskId = -1;
 
+// The one error both walks report when the space contains no legal binding
+// — whether discovered exhaustively or proven statically by O100.
+constexpr const char* kNoLegalBinding =
+    "no legal binding exists (distinctness or requirements unsatisfiable?)";
+
 // A flow with variables resolved to either a fixed endpoint id or a
 // variable index, so a binding's signature is computed without touching the
 // AST or any strings.
@@ -25,16 +30,19 @@ struct FlowSpec {
   bool src_is_var = false, dst_is_var = false;
   int32_t src = 0, dst = 0;  // Fixed id, or index into variables().
   double size = 0;
+  double start = 0;
   int group = 0;
 };
 
 struct Tuple {
   int32_t src, dst;
   double size;
+  double start;  // Two same-size transfers starting apart are not symmetric.
   bool operator<(const Tuple& o) const {
     if (src != o.src) return src < o.src;
     if (dst != o.dst) return dst < o.dst;
-    return size < o.size;
+    if (size != o.size) return size < o.size;
+    return start < o.start;
   }
 };
 
@@ -46,6 +54,13 @@ struct EvalContext {
   std::vector<std::vector<std::string>> pool_names;
   std::vector<int64_t> rank_weight;  // Mixed-radix weights: rank = sum c[d]*w[d].
   std::vector<FlowSpec> flow_specs;
+  // Per variable, per candidate: passes its cpu/mem requirements. Empty
+  // inner vector = unconstrained (skip the check).
+  std::vector<std::vector<char>> feasible;
+  // O200: previous member of the variable's interchangeability class, or
+  // -1. Empty = no orbit constraints.
+  std::vector<int32_t> orbit_prev;
+  size_t orbit_strict = 0;  // 1 under distinctness: representative is strictly ascending.
   int num_ids = 0;
   int num_groups = 0;
   bool distinct = false;
@@ -59,6 +74,7 @@ struct ShardResult {
   std::vector<size_t> best_choice;
   int64_t tried = 0;
   int64_t memo_hits = 0;
+  int64_t orbit_skips = 0;
   std::optional<Error> last_error;
 };
 
@@ -115,16 +131,18 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
           t.src = f.src_is_var ? var_id[f.src] : f.src;
           t.dst = f.dst_is_var ? var_id[f.dst] : f.dst;
           t.size = f.size;
+          t.start = f.start;
           group_tuples[f.group].push_back(t);
         }
         key.clear();
         for (auto& tuples : group_tuples) {
           std::sort(tuples.begin(), tuples.end());
           for (const Tuple& t : tuples) {
-            char buf[16];
+            char buf[24];
             std::memcpy(buf, &t.src, 4);
             std::memcpy(buf + 4, &t.dst, 4);
             std::memcpy(buf + 8, &t.size, 8);
+            std::memcpy(buf + 16, &t.start, 8);
             key.append(buf, sizeof(buf));
           }
         }
@@ -175,6 +193,23 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
       step(depth);
       continue;
     }
+    // O200 orbit canonicalisation: within an interchangeability class only
+    // the ascending-index assignment is visited — every permutation of it
+    // has the same signature (hence a byte-identical estimate) and a
+    // strictly higher odometer rank, so it can never win the tie-break.
+    if (!ctx.orbit_prev.empty() && ctx.orbit_prev[depth] >= 0) {
+      const size_t lb = choice[ctx.orbit_prev[depth]] + ctx.orbit_strict;
+      if (choice[depth] < lb) {
+        out.orbit_skips +=
+            static_cast<int64_t>(lb - choice[depth]) * ctx.rank_weight[depth];
+        choice[depth] = lb;
+        continue;  // Re-check pool bounds at the clamped position.
+      }
+    }
+    if (!ctx.feasible[depth].empty() && ctx.feasible[depth][choice[depth]] == 0) {
+      step(depth);
+      continue;
+    }
     const int32_t id = ctx.pool_ids[depth][choice[depth]];
     if (ctx.distinct && used[id] != 0) {
       step(depth);
@@ -209,7 +244,8 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     }
     ExhaustiveResult best;
     best.estimate = estimate.value();
-    best.bindings_tried = 1;
+    best.counters.evaluations = 1;
+    best.counters.enumerated = 1;
     return best;
   }
 
@@ -219,6 +255,30 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
   ctx.distinct = params.distinct_bindings && !query.query().options.allow_same_binding;
   ctx.num_groups = static_cast<int>(query.groups().size());
 
+  // Static optimisation plan (src/lang/opt). Symmetry-based parts (orbit
+  // canonicalisation, inert-variable pinning, signature folding) rely on the
+  // estimator seeing only the per-group transfer multiset, so they share the
+  // memo cache's permutation-invariance gate; domain pruning and the
+  // infeasibility proof mirror the engine's own legality rules and apply
+  // regardless.
+  const bool can_memo_estimator = estimator.EstimatesArePermutationInvariant();
+  lang::PrunedSpace computed_plan;
+  const lang::PrunedSpace* plan = nullptr;
+  if (params.optimize) {
+    if (params.plan != nullptr) {
+      plan = params.plan;
+    } else {
+      lang::OptimizeParams opt_params;
+      opt_params.distinct = ctx.distinct;
+      computed_plan = lang::Optimize(query, status, opt_params);
+      plan = &computed_plan;
+    }
+    if (plan->infeasible) {
+      return Error{kNoLegalBinding};
+    }
+  }
+  const bool apply_symmetry = plan != nullptr && can_memo_estimator;
+
   // Intern candidate addresses (and literal flow endpoints, for signatures).
   std::unordered_map<std::string, int32_t> intern;
   const auto intern_id = [&intern](const std::string& address) {
@@ -227,20 +287,63 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
   ctx.pool_ids.resize(n);
   ctx.pool_names.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    ctx.pool_ids[i].reserve(variables[i].pool.size());
-    ctx.pool_names[i].reserve(variables[i].pool.size());
+    std::vector<std::string> candidates;
+    candidates.reserve(variables[i].pool.size());
     for (const lang::Endpoint& value : variables[i].pool) {
       if (value.kind == lang::Endpoint::Kind::kAddress) {
-        ctx.pool_ids[i].push_back(intern_id(value.name));
-        ctx.pool_names[i].push_back(value.name);
+        candidates.push_back(value.name);
       }
     }
-    if (ctx.pool_ids[i].empty()) {
+    if (candidates.empty()) {
       return Error{"variable '" + variables[i].name + "' has no address candidates"};
+    }
+    // Apply the plan: domain pruning always, pinning only under the
+    // estimator gate.
+    std::vector<int32_t> keep;
+    if (apply_symmetry && plan->pinned[i] >= 0) {
+      keep.push_back(plan->pinned[i]);
+    } else if (plan != nullptr) {
+      keep = plan->kept[i];
+    } else {
+      keep.resize(candidates.size());
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        keep[c] = static_cast<int32_t>(c);
+      }
+    }
+    if (keep.empty()) {
+      return Error{kNoLegalBinding};
+    }
+    ctx.pool_ids[i].reserve(keep.size());
+    ctx.pool_names[i].reserve(keep.size());
+    for (const int32_t c : keep) {
+      if (c < 0 || static_cast<size_t>(c) >= candidates.size()) {
+        return Error{"optimisation plan does not match the query"};
+      }
+      ctx.pool_ids[i].push_back(intern_id(candidates[c]));
+      ctx.pool_names[i].push_back(candidates[c]);
     }
   }
 
-  // Size guard.
+  // Requirement legality (Section 7), enforced identically with and without
+  // the plan. With a plan, O100 already removed infeasible candidates; the
+  // unoptimised walk filters them odometer-side instead.
+  ctx.feasible.resize(n);
+  if (plan == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (variables[i].cpu_required <= 0 && variables[i].mem_required <= 0) {
+        continue;
+      }
+      ctx.feasible[i].resize(ctx.pool_names[i].size(), 1);
+      for (size_t c = 0; c < ctx.pool_names[i].size(); ++c) {
+        const auto it = status.find(ctx.pool_names[i][c]);
+        if (it != status.end() && !lang::SatisfiesRequirements(variables[i], it->second)) {
+          ctx.feasible[i][c] = 0;
+        }
+      }
+    }
+  }
+
+  // Size guard (on the pruned space when a plan is applied).
   double space = 1;
   for (const auto& pool : ctx.pool_ids) {
     space *= static_cast<double>(pool.size());
@@ -253,12 +356,24 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     ctx.rank_weight[d - 1] = ctx.rank_weight[d] * static_cast<int64_t>(ctx.pool_ids[d].size());
   }
 
-  bool can_memo = estimator.EstimatesArePermutationInvariant();
+  bool can_memo = can_memo_estimator;
+  std::vector<char> fold_flow(query.flows().size(), 0);
+  if (apply_symmetry) {
+    for (const int32_t f : plan->dead_flows) {
+      if (f >= 0 && static_cast<size_t>(f) < fold_flow.size()) {
+        fold_flow[f] = 1;  // O400: inert in every estimate; drop from signatures.
+      }
+    }
+    ctx.orbit_prev = plan->orbit_prev;
+    ctx.orbit_strict = ctx.distinct ? 1 : 0;
+  }
   int32_t next_unknown = kDiskId - 1;
   ctx.flow_specs.reserve(query.flows().size());
-  for (const lang::CompiledFlow& flow : query.flows()) {
+  for (size_t f = 0; f < query.flows().size(); ++f) {
+    const lang::CompiledFlow& flow = query.flows()[f];
     FlowSpec fs;
     fs.size = flow.size;
+    fs.start = flow.start;
     fs.group = flow.group;
     const auto fill = [&](const lang::Endpoint& e, bool& is_var, int32_t& id) {
       switch (e.kind) {
@@ -285,7 +400,9 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     };
     fill(flow.src, fs.src_is_var, fs.src);
     fill(flow.dst, fs.dst_is_var, fs.dst);
-    ctx.flow_specs.push_back(fs);
+    if (fold_flow[f] == 0) {
+      ctx.flow_specs.push_back(fs);
+    }
   }
   ctx.num_ids = static_cast<int>(intern.size());
   ctx.memoize = params.memoize && can_memo;
@@ -321,14 +438,20 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
   // Deterministic merge: lowest makespan, ties to the lexicographically
   // first binding in odometer order — exactly what a serial walk keeps.
   ExhaustiveResult best;
-  best.threads_used = shards;
+  best.counters.threads_used = shards;
+  if (plan != nullptr) {
+    best.counters.bindings_pruned = plan->bindings_pruned;
+    best.counters.components = plan->components;
+  }
   bool have_best = false;
   int64_t best_rank = 0;
   std::optional<Error> last_error;
   const ShardResult* winner = nullptr;
   for (const ShardResult& r : results) {
-    best.bindings_tried += r.tried;
-    best.memo_hits += r.memo_hits;
+    best.counters.enumerated += r.tried;
+    best.counters.evaluations += r.tried - r.memo_hits;
+    best.counters.memo_hits += r.memo_hits;
+    best.counters.orbit_skips += r.orbit_skips;
     if (r.last_error.has_value() && !last_error.has_value()) {
       last_error = r.last_error;
     }
@@ -345,7 +468,7 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     if (last_error.has_value()) {
       return *last_error;
     }
-    return Error{"no legal binding exists (distinctness unsatisfiable?)"};
+    return Error{kNoLegalBinding};
   }
   for (size_t i = 0; i < n; ++i) {
     best.binding[variables[i].name] =

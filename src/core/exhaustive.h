@@ -10,8 +10,16 @@
 // are merged with a deterministic tie-break — lowest makespan, then the
 // lexicographically-first binding in odometer order — so parallel and serial
 // runs return byte-identical answers. A per-worker memo keyed by the
-// canonical binding signature (the multiset of (src, dst, size) transfers
-// per chain group) evaluates each distinct traffic pattern once.
+// canonical binding signature (the multiset of (src, dst, size, start)
+// transfers per chain group) evaluates each distinct traffic pattern once.
+//
+// Scalar requirements (`X requires cpu 4 mem 8G`, Section 7) are a hard
+// legality constraint here: a candidate whose status report shows too
+// little free CPU or memory is never bound, in both the optimized and the
+// unoptimized walk (the heuristic, by contrast, only ranks such candidates
+// last — it must always answer). With `optimize`, the src/lang/opt passes
+// additionally prune symmetric and irrelevant bindings; the winning binding
+// and estimate are byte-identical either way.
 #ifndef CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 #define CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 
@@ -20,15 +28,32 @@
 #include "src/common/result.h"
 #include "src/core/estimator.h"
 #include "src/lang/analysis.h"
+#include "src/lang/opt.h"
 
 namespace cloudtalk {
 
+// Explicit accounting of where the search's work went. One legal binding is
+// either *evaluated* (an estimator call) or a *memo hit* (served from the
+// signature cache); bindings the static plan removed before the walk are
+// *pruned*, and odometer positions skipped by orbit canonicalisation are
+// *orbit skips* (counted before distinctness filtering, so they are
+// positions, not necessarily legal bindings).
+struct SearchCounters {
+  int64_t evaluations = 0;      // Estimator calls (including failed ones).
+  int64_t memo_hits = 0;        // Served from the signature cache.
+  int64_t enumerated = 0;       // Legal bindings reached = evaluations + memo_hits.
+  int64_t bindings_pruned = 0;  // Statically removed by the PrunedSpace plan.
+  int64_t orbit_skips = 0;      // Odometer positions skipped by O200.
+  int components = 0;           // Communication components (O300 analysis).
+  int threads_used = 1;         // Shards the space was actually split into.
+
+  int64_t scored() const { return evaluations + memo_hits; }
+};
+
 struct ExhaustiveResult {
   Binding binding;
-  Estimate estimate;       // Of the winning binding.
-  int64_t bindings_tried = 0;  // Legal bindings scored (memo hits included).
-  int64_t memo_hits = 0;       // Of which, served from the signature cache.
-  int threads_used = 1;        // Shards the space was actually split into.
+  Estimate estimate;  // Of the winning binding.
+  SearchCounters counters;
 };
 
 struct ExhaustiveParams {
@@ -41,6 +66,13 @@ struct ExhaustiveParams {
   // Memoize estimates by canonical binding signature. Symmetric bindings
   // (same multiset of endpoint pairs per flow role) are evaluated once.
   bool memoize = true;
+  // Apply the src/lang/opt static passes before the walk. The result is
+  // byte-identical to optimize = false (the passes only remove bindings
+  // that are illegal, symmetric to a lower-ranked one, or irrelevant); the
+  // max_bindings guard then applies to the pruned space. When `plan` is
+  // null the engine computes one itself.
+  bool optimize = false;
+  const lang::PrunedSpace* plan = nullptr;
 };
 
 // Minimizes estimated makespan over all bindings. Fails when the space

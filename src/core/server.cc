@@ -182,6 +182,8 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
     params.distinct_bindings = config_.heuristic.distinct_bindings;
     params.threads =
         query.options.eval_threads > 0 ? query.options.eval_threads : config_.eval_threads;
+    params.optimize =
+        query.options.optimize != 0 ? query.options.optimize > 0 : config_.optimize;
     Result<ExhaustiveResult> best =
         EvaluateExhaustive(compiled.value(), status, *packet_estimator_, params);
     if (!best.ok()) {
@@ -190,6 +192,7 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
     reply.binding = best.value().binding;
     reply.estimate = best.value().estimate;
     reply.used_exhaustive = true;
+    reply.counters = best.value().counters;
     return reply;
   }
 

@@ -55,6 +55,10 @@ struct ServerConfig {
   // 0 = hardware concurrency, 1 = serial. A query's `option threads N`
   // overrides this per query.
   int eval_threads = 0;
+  // Static optimisation passes (src/lang/opt) for exhaustive evaluation.
+  // Safe to leave on: the pruned search returns byte-identical results. A
+  // query's `option optimize` / `option no_optimize` overrides per query.
+  bool optimize = true;
   // What a fired CT_INVARIANT does (process-wide; applied at server
   // construction). Benches sweep with kLogAndContinue so a violation is
   // reported without killing the run; tests use kThrow. Meaningless when
@@ -70,6 +74,9 @@ struct QueryReply {
   // Filled only for exhaustive / packet-level evaluation.
   Estimate estimate;
   bool used_exhaustive = false;
+  // Search accounting (exhaustive path only): evaluations, memo hits,
+  // statically pruned bindings, orbit skips, components, shards.
+  SearchCounters counters;
   // Lint findings (never errors — those reject the query). A client seeing
   // e.g. W050 contradictory-rate-chain here got an answer, but probably not
   // the one it meant to ask for.

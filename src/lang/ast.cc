@@ -217,6 +217,11 @@ std::string Query::ToString() const {
   if (options.eval_threads != defaults.eval_threads) {
     os << "option threads " << options.eval_threads << "\n";
   }
+  if (options.optimize > 0) {
+    os << "option optimize\n";
+  } else if (options.optimize < 0) {
+    os << "option no_optimize\n";
+  }
   for (const VarDecl& decl : variables) {
     for (const std::string& n : decl.names) {
       os << n << " = ";

@@ -177,6 +177,10 @@ struct QueryOptions {
   // option threads N: worker shards for exhaustive/packet evaluation.
   // 0 = not specified (the server's configured default applies).
   int eval_threads = 0;
+  // option optimize / option no_optimize: static optimisation passes
+  // (src/lang/opt) for exhaustive evaluation. Tri-state: 0 = not specified
+  // (the server's configured default applies), 1 = on, -1 = off.
+  int optimize = 0;
 };
 
 struct Query {

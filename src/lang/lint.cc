@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/lang/opt.h"
+
 namespace cloudtalk {
 namespace lang {
 
@@ -385,6 +387,63 @@ void CheckSearchSpaceExplosion(const Query& query, DiagnosticSink* sink) {
                    hint);
 }
 
+// ---- W070: interchangeable variables ----
+//
+// Backed by the O200 analysis (opt.h): variables with identical pools,
+// identical requirements, and swap-invariant communication structure yield
+// symmetric bindings that differ only in variable naming. Only the
+// exhaustive path enumerates them, so the rule is silent for heuristic
+// queries, and silent when the query does not compile (compilation problems
+// carry their own diagnostics).
+void CheckInterchangeableVariables(const Query& query, DiagnosticSink* sink) {
+  if (!query.options.use_packet_simulator) {
+    return;
+  }
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const std::vector<VarComm>& vars = compiled.value().variables();
+  for (const std::vector<int32_t>& cls : InterchangeableClasses(compiled.value())) {
+    std::string names;
+    for (size_t i = 0; i < cls.size(); ++i) {
+      names += std::string(i ? ", '" : "'") + vars[cls[i]].name + "'";
+    }
+    const VarDecl* decl = query.FindVariable(vars[cls.front()].name);
+    sink->AddWarning("W070", decl != nullptr ? decl->span : Span{},
+                     "variables " + names +
+                         " are interchangeable: swapping their bindings never changes "
+                         "any completion time",
+                     "keep 'option optimize' on (the default) so the search visits one "
+                     "representative per symmetric binding class (pass O200)");
+  }
+}
+
+// ---- W071: statically dead flow ----
+//
+// Backed by the O400 analysis (opt.h): a flow whose resolved size is zero
+// transfers nothing — the fluid model completes it on arrival and no
+// completion time can depend on it.
+void CheckStaticallyDeadFlow(const Query& query, DiagnosticSink* sink) {
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const std::vector<CompiledFlow>& flows = compiled.value().flows();
+  for (const int32_t f : DeadFlowIndices(compiled.value())) {
+    const CompiledFlow& flow = flows[f];
+    Span span;
+    if (flow.index >= 0 && flow.index < static_cast<int>(query.flows.size())) {
+      span = query.flows[flow.index].AttrSpan(Attr::kSize);
+    }
+    sink->AddWarning("W071", span,
+                     "flow '" + flow.name +
+                         "' resolves to zero size: it transfers nothing and cannot "
+                         "affect any completion time",
+                     "give the flow a positive size, or remove it");
+  }
+}
+
 }  // namespace
 
 double EstimateBindingCount(const Query& query) {
@@ -431,6 +490,11 @@ const std::vector<LintRule>& LintRules() {
        CheckContradictoryRateChain},
       {"W060", Severity::kWarning, "search-space-explosion",
        "exhaustive binding count is intractably large", CheckSearchSpaceExplosion},
+      {"W070", Severity::kWarning, "interchangeable-variables",
+       "variables are symmetric; exhaustive search enumerates them redundantly",
+       CheckInterchangeableVariables},
+      {"W071", Severity::kWarning, "statically-dead-flow",
+       "flow resolves to zero size and transfers nothing", CheckStaticallyDeadFlow},
   };
   return kRules;
 }

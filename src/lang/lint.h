@@ -14,6 +14,8 @@
 //   W040 unreachable-flow         transfer chain waits on itself, never starts
 //   W050 contradictory-rate-chain two literal rates in one chain group
 //   W060 search-space-explosion   exhaustive binding count is intractable
+//   W070 interchangeable-variables symmetric variables enumerated redundantly
+//   W071 statically-dead-flow     flow resolves to zero size, transfers nothing
 //
 // Rules only *read* the query; a query with parse errors can still be
 // linted (the parser produces a best-effort partial AST).

@@ -144,6 +144,10 @@ class Parser {
       query_.options.allow_same_binding = true;
     } else if (opt == "noreserve") {
       query_.options.reserve = false;
+    } else if (opt == "optimize") {
+      query_.options.optimize = 1;
+    } else if (opt == "no_optimize") {
+      query_.options.optimize = -1;
     } else if (opt == "threads") {
       Advance();
       if (!Check(TokenKind::kNumber)) {
@@ -157,7 +161,7 @@ class Parser {
     } else {
       return Fail("E004", "unknown option '" + opt + "'",
                   "known options: packet, flow, static, dynamic, allow_same, noreserve, "
-                  "threads <n>");
+                  "optimize, no_optimize, threads <n>");
     }
     Advance();
     return true;

@@ -452,7 +452,7 @@ TEST(ExhaustiveTest, FindsOptimalReplica) {
   auto best = EvaluateExhaustive(compiled, status, estimator);
   ASSERT_TRUE(best.ok()) << best.error().ToString();
   EXPECT_EQ(best.value().binding.at("A").name, "r2");
-  EXPECT_EQ(best.value().bindings_tried, 3);
+  EXPECT_EQ(best.value().counters.scored(), 3);
 }
 
 TEST(ExhaustiveTest, DistinctBindingEnumeration) {
@@ -467,7 +467,7 @@ TEST(ExhaustiveTest, DistinctBindingEnumeration) {
   FlowLevelEstimator estimator;
   auto best = EvaluateExhaustive(compiled, status, estimator);
   ASSERT_TRUE(best.ok());
-  EXPECT_EQ(best.value().bindings_tried, 6);  // 3 * 2 ordered pairs.
+  EXPECT_EQ(best.value().counters.scored(), 6);  // 3 * 2 ordered pairs.
   EXPECT_NE(best.value().binding.at("A").name, best.value().binding.at("B").name);
 }
 
@@ -527,11 +527,11 @@ TEST(ExhaustiveParallelTest, ThreadCountsAgreeByteIdentically) {
     // EXPECT_EQ on doubles is exact: bit-identical makespans, not "close".
     EXPECT_EQ(parallel.estimate.makespan, serial.estimate.makespan) << threads;
     EXPECT_EQ(parallel.estimate.aggregate_throughput, serial.estimate.aggregate_throughput);
-    EXPECT_EQ(parallel.bindings_tried, serial.bindings_tried);
+    EXPECT_EQ(parallel.counters.scored(), serial.counters.scored());
     for (const auto& [var, endpoint] : serial.binding) {
       EXPECT_EQ(parallel.binding.at(var).name, endpoint.name) << var << " @" << threads;
     }
-    EXPECT_GT(parallel.threads_used, 1);
+    EXPECT_GT(parallel.counters.threads_used, 1);
   }
 }
 
@@ -550,12 +550,12 @@ TEST(ExhaustiveParallelTest, DistinctBacktrackingAgreesAcrossThreadCounts) {
   }
   ExhaustiveParams params;
   const ExhaustiveResult serial = exhaustive_parallel::MustEvaluate(compiled, status, params);
-  EXPECT_EQ(serial.bindings_tried, 120);
+  EXPECT_EQ(serial.counters.scored(), 120);
   for (int threads : {2, 4, 8}) {
     params.threads = threads;
     const ExhaustiveResult parallel =
         exhaustive_parallel::MustEvaluate(compiled, status, params);
-    EXPECT_EQ(parallel.bindings_tried, 120);
+    EXPECT_EQ(parallel.counters.scored(), 120);
     EXPECT_EQ(parallel.estimate.makespan, serial.estimate.makespan);
     for (const auto& [var, endpoint] : serial.binding) {
       EXPECT_EQ(parallel.binding.at(var).name, endpoint.name) << var << " @" << threads;
@@ -579,12 +579,12 @@ TEST(ExhaustiveParallelTest, MemoHitsSymmetricBindings) {
   }
   ExhaustiveParams params;
   const ExhaustiveResult memoized = exhaustive_parallel::MustEvaluate(compiled, status, params);
-  EXPECT_EQ(memoized.bindings_tried, 6);
-  EXPECT_EQ(memoized.memo_hits, 3);
+  EXPECT_EQ(memoized.counters.scored(), 6);
+  EXPECT_EQ(memoized.counters.memo_hits, 3);
   params.memoize = false;
   const ExhaustiveResult direct = exhaustive_parallel::MustEvaluate(compiled, status, params);
-  EXPECT_EQ(direct.memo_hits, 0);
-  EXPECT_EQ(direct.bindings_tried, 6);
+  EXPECT_EQ(direct.counters.memo_hits, 0);
+  EXPECT_EQ(direct.counters.scored(), 6);
   EXPECT_EQ(direct.estimate.makespan, memoized.estimate.makespan);
   EXPECT_EQ(direct.binding.at("A").name, memoized.binding.at("A").name);
   EXPECT_EQ(direct.binding.at("B").name, memoized.binding.at("B").name);
@@ -598,9 +598,9 @@ TEST(ExhaustiveParallelTest, ThreadsZeroUsesHardwareConcurrency) {
   const ExhaustiveResult serial = exhaustive_parallel::MustEvaluate(compiled, status, params);
   params.threads = 0;  // Hardware concurrency, whatever this machine has.
   const ExhaustiveResult automatic = exhaustive_parallel::MustEvaluate(compiled, status, params);
-  EXPECT_GE(automatic.threads_used, 1);
+  EXPECT_GE(automatic.counters.threads_used, 1);
   EXPECT_EQ(automatic.estimate.makespan, serial.estimate.makespan);
-  EXPECT_EQ(automatic.bindings_tried, serial.bindings_tried);
+  EXPECT_EQ(automatic.counters.scored(), serial.counters.scored());
 }
 
 // ---- Estimator prepared scratch (ISSUE 1) ----

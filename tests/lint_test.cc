@@ -96,6 +96,17 @@ std::vector<RuleCase> RuleCases() {
        // Same shape without `option packet`: the heuristic is linear, no
        // explosion to warn about.
        "A = B = C = " + BigPool(60) + "\nf1 A -> B size 1M\nf2 B -> C size 1M\n"},
+      {"W070",
+       // A and B share a pool and receive identical shards in one chain
+       // group: swapping them never changes the traffic pattern.
+       "option packet\nA = B = (vm1 vm2 vm3)\n"
+       "f1 vm9 -> A size 1M rate 5M\nf2 vm9 -> B size 1M rate r(f1)\n",
+       // Different shard sizes break the symmetry.
+       "option packet\nA = B = (vm1 vm2 vm3)\n"
+       "f1 vm9 -> A size 1M rate 5M\nf2 vm9 -> B size 2M rate r(f1)\n"},
+      {"W071",
+       "f1 vm1 -> vm2 size 0\n",
+       "f1 vm1 -> vm2 size 1M\n"},
   };
 }
 

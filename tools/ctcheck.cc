@@ -10,8 +10,15 @@
 // fixtures under examples/scenarios/ are such files, registered as ctest
 // cases (one clean sweep, one guarding the time-epsilon regression).
 //
+// `--diff-opt` switches to a second fuzzing target: per seed it generates a
+// random query plus a random status snapshot, runs the exhaustive engine
+// with the static optimisation passes off and on, and reports any
+// divergence (different winner, or a non-bit-identical estimate) as a D500
+// violation, saving the query text for replay with ctopt.
+//
 // Usage:
 //   ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --replay scenario.ctsc [--json]
 //   ctcheck --catalog [--json]
 #include <algorithm>
@@ -26,6 +33,8 @@
 
 #include "src/check/check.h"
 #include "src/common/rng.h"
+#include "src/core/exhaustive.h"
+#include "src/lang/parser.h"
 #include "src/fluidsim/fluid_simulation.h"
 #include "src/harness/cluster.h"
 #include "src/hdfs/mini_hdfs.h"
@@ -331,15 +340,265 @@ RunResult RunScenario(const Scenario& s) {
   return result;
 }
 
+// ---- --diff-opt: differential fuzz of the static optimisation passes ----
+//
+// Generates a random-but-valid query: up to two declarations (one possibly
+// shared by several variables, the recipe for O200 symmetry), optional
+// scalar requirements, and flows mixing literal and variable endpoints with
+// occasional zero sizes (O400), start offsets, rate chains (shared chain
+// groups), and literal-only background flows (binding-independent groups).
+std::string GenerateDiffOptQuery(uint64_t seed) {
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4full);
+  std::ostringstream q;
+  const int num_hosts = static_cast<int>(rng.UniformInt(4, 8));
+  std::vector<std::string> hosts;
+  for (int i = 0; i < num_hosts; ++i) {
+    hosts.push_back("10.1.0." + std::to_string(i + 1));
+  }
+  if (rng.Bernoulli(0.25)) {
+    q << "option allow_same\n";
+  }
+  if (rng.Bernoulli(0.25)) {
+    q << "option threads 2\n";
+  }
+  const auto pool = [&](int min_size) {
+    const int k = static_cast<int>(rng.UniformInt(min_size, num_hosts));
+    std::string out = "(";
+    bool first = true;
+    for (const int idx : rng.SampleWithoutReplacement(num_hosts, k)) {
+      out += (first ? "" : " ") + hosts[idx];
+      first = false;
+    }
+    return out + ")";
+  };
+  std::vector<std::string> vars;
+  const int shared = static_cast<int>(rng.UniformInt(1, 3));
+  for (int i = 0; i < shared; ++i) {
+    vars.push_back(std::string(1, static_cast<char>('A' + i)));
+    q << vars.back() << " = ";
+  }
+  q << pool(2) << "\n";
+  if (rng.Bernoulli(0.5)) {
+    vars.push_back("D");
+    q << "D = " << pool(2) << "\n";
+  }
+  for (const std::string& var : vars) {
+    if (rng.Bernoulli(0.25)) {
+      q << var << " requires cpu " << rng.UniformInt(1, 8);
+      if (rng.Bernoulli(0.5)) {
+        q << " mem " << rng.UniformInt(1, 16) << "G";
+      }
+      q << "\n";
+    }
+  }
+  int flow_id = 0;
+  std::vector<std::string> flow_names;
+  const auto attrs = [&]() {
+    std::string out;
+    if (rng.Bernoulli(0.15)) {
+      out += " size 0";
+    } else {
+      out += " size " + std::to_string(rng.UniformInt(1, 64)) + "M";
+    }
+    if (rng.Bernoulli(0.2)) {
+      out += " start " + std::to_string(rng.UniformInt(1, 3));
+    }
+    if (!flow_names.empty() && rng.Bernoulli(0.3)) {
+      out += " rate r(" +
+             flow_names[static_cast<size_t>(
+                 rng.UniformInt(0, static_cast<int64_t>(flow_names.size()) - 1))] +
+             ")";
+    } else if (rng.Bernoulli(0.25)) {
+      out += " rate " + std::to_string(rng.UniformInt(1, 8) * 100) + "M";
+    }
+    return out;
+  };
+  for (const std::string& var : vars) {
+    const int flows = static_cast<int>(rng.UniformInt(1, 2));
+    for (int i = 0; i < flows; ++i) {
+      const std::string name = "f" + std::to_string(flow_id++);
+      const std::string peer = hosts[rng.UniformInt(0, num_hosts - 1)];
+      q << name << " ";
+      const int form = vars.size() > 1 ? static_cast<int>(rng.UniformInt(0, 2)) :
+                                         static_cast<int>(rng.UniformInt(0, 1));
+      if (form == 0) {
+        q << peer << " -> " << var;
+      } else if (form == 1) {
+        q << var << " -> " << peer;
+      } else {
+        std::string other = var;
+        while (other == var) {
+          other = vars[rng.UniformInt(0, static_cast<int64_t>(vars.size()) - 1)];
+        }
+        q << var << " -> " << other;
+      }
+      q << attrs() << "\n";
+      flow_names.push_back(name);
+    }
+  }
+  if (rng.Bernoulli(0.3)) {
+    q << "bg 10.1.9.1 -> 10.1.9.2 size " << rng.UniformInt(1, 32) << "M\n";
+  }
+  return q.str();
+}
+
+// Random per-address load, with scalar resources present half the time so
+// requirement pruning (O100) actually bites.
+StatusByAddress GenerateDiffOptStatus(const lang::CompiledQuery& compiled, uint64_t seed) {
+  Rng rng(seed ^ 0x94d049bb133111ebull);
+  StatusByAddress status;
+  NodeId next = 1;
+  const auto add = [&](const lang::Endpoint& e) {
+    if (e.kind != lang::Endpoint::Kind::kAddress || status.count(e.name) > 0) {
+      return;
+    }
+    StatusReport r;
+    r.host = next++;
+    r.nic_tx_cap = r.nic_rx_cap = 1e9;
+    r.nic_tx_use = rng.Uniform(0, 9e8);
+    r.nic_rx_use = rng.Uniform(0, 9e8);
+    r.disk_read_cap = r.disk_write_cap = 4e9;
+    r.disk_read_use = rng.Uniform(0, 2e9);
+    r.disk_write_use = rng.Uniform(0, 2e9);
+    if (rng.Bernoulli(0.5)) {
+      r.cpu_cores_total = 8;
+      r.cpu_cores_used = rng.Uniform(0, 8);
+      r.mem_total = static_cast<Bytes>(16.0 * kGB);
+      r.mem_used = static_cast<Bytes>(rng.Uniform(0, 16.0 * kGB));
+    }
+    status[e.name] = r;
+  };
+  for (const lang::VarComm& var : compiled.variables()) {
+    for (const lang::Endpoint& e : var.pool) {
+      add(e);
+    }
+  }
+  for (const lang::CompiledFlow& flow : compiled.flows()) {
+    add(flow.src);
+    add(flow.dst);
+  }
+  return status;
+}
+
+std::string RenderBinding(const Binding& binding) {
+  std::vector<std::string> parts;
+  parts.reserve(binding.size());
+  for (const auto& [var, endpoint] : binding) {
+    parts.push_back(var + "=" + endpoint.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& part : parts) {
+    out += (out.empty() ? "" : " ") + part;
+  }
+  return out;
+}
+
+// Runs one differential seed. Returns the D500 detail on divergence, or an
+// empty string on agreement.
+std::string RunDiffOptSeed(uint64_t seed, std::string* query_text) {
+  *query_text = GenerateDiffOptQuery(seed);
+  lang::DiagnosticSink sink;
+  const lang::Query query = lang::ParseWithDiagnostics(*query_text, &sink);
+  if (sink.has_errors()) {
+    return "generated query does not parse (generator bug): " +
+           sink.diagnostics().front().message;
+  }
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return "generated query does not compile (generator bug): " + compiled.error().message;
+  }
+  const StatusByAddress status = GenerateDiffOptStatus(compiled.value(), seed);
+
+  ExhaustiveParams params;
+  params.threads = query.options.eval_threads > 0 ? query.options.eval_threads : 1;
+  params.optimize = false;
+  FlowLevelEstimator est_off;
+  const Result<ExhaustiveResult> off =
+      EvaluateExhaustive(compiled.value(), status, est_off, params);
+  params.optimize = true;
+  FlowLevelEstimator est_on;
+  const Result<ExhaustiveResult> on =
+      EvaluateExhaustive(compiled.value(), status, est_on, params);
+
+  if (!off.ok() && !on.ok()) {
+    return "";  // Both walks agree there is no answer.
+  }
+  if (off.ok() != on.ok()) {
+    return std::string("only the ") + (off.ok() ? "unoptimised" : "optimized") +
+           " search found a binding (" +
+           (off.ok() ? on.error().message : off.error().message) + ")";
+  }
+  const ExhaustiveResult& a = off.value();
+  const ExhaustiveResult& b = on.value();
+  const std::string binding_a = RenderBinding(a.binding);
+  const std::string binding_b = RenderBinding(b.binding);
+  if (binding_a != binding_b) {
+    return "different winners: unoptimised [" + binding_a + "] vs optimized [" + binding_b +
+           "]";
+  }
+  if (std::memcmp(&a.estimate.makespan, &b.estimate.makespan, sizeof(double)) != 0 ||
+      std::memcmp(&a.estimate.aggregate_throughput, &b.estimate.aggregate_throughput,
+                  sizeof(double)) != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "same winner but estimates differ: makespan %.17g vs %.17g",
+                  a.estimate.makespan, b.estimate.makespan);
+    return buf;
+  }
+  return "";
+}
+
+int RunDiffOptMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffOptSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffopt_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-opt divergence, seed " << seed << " (D500)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D500 optimisation divergence: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-opt\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-opt: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
                "Seeded scenario fuzzer for the CloudTalk invariant checks: generates\n"
                "randomized cluster workloads, runs them with CT_INVARIANT armed, and\n"
                "serializes any violating scenario to a replayable .ctsc file.\n"
+               "With --diff-opt, fuzzes the static optimisation passes instead: random\n"
+               "queries and status snapshots are evaluated exhaustively with the passes\n"
+               "off and on; any divergence is a D500 violation and the query is saved.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -371,6 +630,7 @@ int Main(int argc, char** argv) {
   std::string replay_path;
   bool json = false;
   bool catalog = false;
+  bool diff_opt = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -392,6 +652,8 @@ int Main(int argc, char** argv) {
       json = true;
     } else if (arg == "--catalog") {
       catalog = true;
+    } else if (arg == "--diff-opt") {
+      diff_opt = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -404,6 +666,9 @@ int Main(int argc, char** argv) {
   if (catalog) {
     PrintCatalog(json);
     return 0;
+  }
+  if (diff_opt) {
+    return RunDiffOptMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,

@@ -1,0 +1,345 @@
+// ctopt: static query-optimisation report and verification tool.
+//
+// Runs the src/lang/opt passes over a query and shows what the exhaustive
+// engine would prune: requirement-infeasible candidates (O100), symmetric
+// variable orbits (O200), independent components and inert variables
+// (O300), and dead flows folded out of the memo signature (O400). Unless
+// told otherwise it then *executes* the search twice — optimisation off and
+// on — against a synthetic all-idle status snapshot and verifies the
+// byte-identity contract: same winning binding, bit-identical estimate.
+//
+//   ctopt query.ct               remarks + plan summary + identity check
+//   ctopt --report query.ct      remarks + plan summary only (no execution)
+//   ctopt --json query.ct        machine-readable remarks and plan for CI
+//   ctopt --passes O100,O400 q.ct  run a subset of the passes
+//   ctopt --no-exec query.ct     skip the differential execution check
+//   ctopt --list                 list registered passes and exit
+//   ctopt -                      read the query from stdin
+//
+// Exit code: 0 = ok, 1 = identity check failed (a pass is unsound — file a
+// bug), 2 = unusable input or usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/exhaustive.h"
+#include "src/lang/diagnostics.h"
+#include "src/lang/opt.h"
+#include "src/lang/parser.h"
+
+namespace {
+
+using cloudtalk::ExhaustiveParams;
+using cloudtalk::ExhaustiveResult;
+using cloudtalk::FlowLevelEstimator;
+using cloudtalk::NodeId;
+using cloudtalk::Result;
+using cloudtalk::StatusByAddress;
+using cloudtalk::StatusReport;
+using cloudtalk::lang::CompiledQuery;
+using cloudtalk::lang::DiagnosticSink;
+using cloudtalk::lang::Endpoint;
+using cloudtalk::lang::OptimizeParams;
+using cloudtalk::lang::OptPass;
+using cloudtalk::lang::OptPasses;
+using cloudtalk::lang::PrunedSpace;
+using cloudtalk::lang::Query;
+
+struct Options {
+  bool json = false;
+  bool report_only = false;
+  bool no_exec = false;
+  uint32_t passes = cloudtalk::lang::kOptAllPasses;
+  std::vector<std::string> files;
+};
+
+// Above this the unoptimised reference walk is too slow to be a check.
+constexpr double kExecSpaceLimit = 1e6;
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: ctopt [--report] [--json] [--no-exec] [--passes O100,...] <query.ct ...|->\n"
+        "       ctopt --list\n"
+        "\n"
+        "Static optimisation report for CloudTalk queries: shows which parts\n"
+        "of the exhaustive binding space the src/lang/opt passes prune, and\n"
+        "verifies that the pruned search returns a byte-identical answer.\n"
+        "\n"
+        "  --report     print remarks and the plan summary; skip execution\n"
+        "  --json       machine-readable output (one JSON object per input)\n"
+        "  --no-exec    alias for --report\n"
+        "  --passes L   comma-separated pass codes to run (default: all)\n"
+        "  --list       list registered passes and exit\n"
+        "  -            read a query from standard input\n"
+        "\n"
+        "exit code: 0 = ok, 1 = identity check failed, 2 = unusable input\n";
+}
+
+void PrintPasses() {
+  for (const OptPass& pass : OptPasses()) {
+    std::cout << pass.code << "  " << pass.name << ": " << pass.summary << "\n";
+  }
+}
+
+// Parses "O100,O200" into a pass bitmask; returns false on an unknown code.
+bool ParsePassList(const std::string& list, uint32_t* passes) {
+  *passes = 0;
+  std::istringstream in(list);
+  std::string code;
+  while (std::getline(in, code, ',')) {
+    bool found = false;
+    for (const OptPass& pass : OptPasses()) {
+      if (code == pass.code) {
+        *passes |= pass.bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "ctopt: unknown pass '" << code << "' (try --list)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// All-idle synthetic snapshot: every address the query can touch reports a
+// 1 Gbps NIC, a 4 Gbps disk, and no scalar-resource information — the same
+// defaults the tests use. Deterministic, so reports are snapshot-stable.
+StatusByAddress SynthesizeIdleStatus(const CompiledQuery& compiled) {
+  StatusByAddress status;
+  NodeId next = 1;
+  auto add = [&](const Endpoint& e) {
+    if (e.kind != Endpoint::Kind::kAddress || status.count(e.name) > 0) {
+      return;
+    }
+    StatusReport report;
+    report.host = next++;
+    report.nic_tx_cap = report.nic_rx_cap = 1e9;
+    report.disk_read_cap = report.disk_write_cap = 4e9;
+    status[e.name] = report;
+  };
+  for (const cloudtalk::lang::VarComm& var : compiled.variables()) {
+    for (const Endpoint& e : var.pool) {
+      add(e);
+    }
+  }
+  for (const cloudtalk::lang::CompiledFlow& flow : compiled.flows()) {
+    add(flow.src);
+    add(flow.dst);
+  }
+  return status;
+}
+
+std::string FormatSpace(double count) {
+  char buf[32];
+  if (count < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", count);
+  }
+  return buf;
+}
+
+// Deterministic rendering of an (unordered) binding for comparison/output.
+std::string RenderBinding(const cloudtalk::Binding& binding) {
+  std::vector<std::string> parts;
+  parts.reserve(binding.size());
+  for (const auto& [var, endpoint] : binding) {
+    parts.push_back(var + "=" + endpoint.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& part : parts) {
+    out += (out.empty() ? "" : " ") + part;
+  }
+  return out;
+}
+
+// Bit-exact double comparison: the identity contract is byte-identity, not
+// epsilon-closeness.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string PlanJson(const PrunedSpace& plan) {
+  int pinned = 0;
+  for (const int32_t p : plan.pinned) {
+    pinned += p >= 0 ? 1 : 0;
+  }
+  std::ostringstream os;
+  os << "{\"infeasible\":" << (plan.infeasible ? "true" : "false")
+     << ",\"space_before\":" << plan.space_before << ",\"space_after\":" << plan.space_after
+     << ",\"bindings_pruned\":" << plan.bindings_pruned
+     << ",\"components\":" << plan.components << ",\"pinned\":" << pinned
+     << ",\"dead_flows\":" << plan.dead_flows.size() << "}";
+  return os.str();
+}
+
+// Runs the passes (and optionally the differential check) over one query.
+// Returns the exit-code contribution.
+int OptimizeOne(const std::string& source, const std::string& display_name,
+                const Options& options) {
+  DiagnosticSink parse_sink;
+  const Query query = cloudtalk::lang::ParseWithDiagnostics(source, &parse_sink);
+  std::optional<CompiledQuery> compiled;
+  if (!parse_sink.has_errors()) {
+    compiled = CompiledQuery::Compile(query, &parse_sink);
+  }
+  if (parse_sink.has_errors() || !compiled.has_value()) {
+    parse_sink.SortByPosition();
+    std::cerr << FormatDiagnostics(parse_sink.diagnostics(), source, display_name);
+    std::cerr << display_name << ": query does not compile; nothing to optimise\n";
+    return 2;
+  }
+
+  const StatusByAddress status = SynthesizeIdleStatus(*compiled);
+  OptimizeParams opt_params;
+  opt_params.distinct = !query.options.allow_same_binding;
+  opt_params.passes = options.passes;
+  DiagnosticSink remarks;
+  const PrunedSpace plan = Optimize(*compiled, status, opt_params, &remarks);
+  remarks.SortByPosition();
+
+  if (options.json) {
+    std::cout << "{\"plan\":" << PlanJson(plan) << ",\"diagnostics\":"
+              << DiagnosticsToJson(remarks.diagnostics(), display_name) << "}\n";
+  } else {
+    if (!remarks.empty()) {
+      std::cout << FormatDiagnostics(remarks.diagnostics(), source, display_name);
+    }
+    std::cout << display_name << ": plan: " << FormatSpace(plan.space_before) << " -> "
+              << FormatSpace(plan.space_after) << " bindings ("
+              << plan.bindings_pruned << " pruned statically)";
+    if (plan.infeasible) {
+      std::cout << "; infeasible: " << plan.infeasible_reason;
+    }
+    std::cout << "\n";
+  }
+
+  if (options.report_only || options.no_exec) {
+    return 0;
+  }
+  if (plan.space_before > kExecSpaceLimit) {
+    if (!options.json) {
+      std::cout << display_name << ": identity check skipped (unoptimised space "
+                << FormatSpace(plan.space_before) << " exceeds "
+                << FormatSpace(kExecSpaceLimit) << ")\n";
+    }
+    return 0;
+  }
+
+  FlowLevelEstimator estimator;
+  ExhaustiveParams params;
+  params.distinct_bindings = true;  // `option allow_same` still overrides.
+  params.threads = 1;
+  params.optimize = false;
+  const Result<ExhaustiveResult> off =
+      EvaluateExhaustive(*compiled, status, estimator, params);
+  params.optimize = true;
+  const Result<ExhaustiveResult> on =
+      EvaluateExhaustive(*compiled, status, estimator, params);
+
+  bool agree;
+  std::string detail;
+  if (!off.ok() && !on.ok()) {
+    agree = true;  // Both walks agree there is no answer.
+    detail = "both searches report no legal binding";
+  } else if (off.ok() != on.ok()) {
+    agree = false;
+    detail = std::string("only the ") + (off.ok() ? "unoptimised" : "optimized") +
+             " search found a binding (" + (off.ok() ? on.error().message : off.error().message) +
+             ")";
+  } else {
+    const ExhaustiveResult& a = off.value();
+    const ExhaustiveResult& b = on.value();
+    const std::string binding_a = RenderBinding(a.binding);
+    const std::string binding_b = RenderBinding(b.binding);
+    agree = binding_a == binding_b && SameBits(a.estimate.makespan, b.estimate.makespan) &&
+            SameBits(a.estimate.aggregate_throughput, b.estimate.aggregate_throughput);
+    if (agree) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "winner [%s] makespan %.6g s; enumerated %lld vs %lld bindings",
+                    binding_a.c_str(), a.estimate.makespan,
+                    static_cast<long long>(a.counters.enumerated),
+                    static_cast<long long>(b.counters.enumerated));
+      detail = buf;
+    } else {
+      detail = "unoptimised [" + binding_a + "] vs optimized [" + binding_b + "]";
+    }
+  }
+  if (!options.json) {
+    std::cout << display_name << ": identity check " << (agree ? "passed" : "FAILED") << ": "
+              << detail << "\n";
+  } else if (!agree) {
+    std::cerr << display_name << ": identity check FAILED: " << detail << "\n";
+  }
+  return agree ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--report") {
+      options.report_only = true;
+    } else if (arg == "--no-exec") {
+      options.no_exec = true;
+    } else if (arg == "--passes") {
+      if (i + 1 >= argc || !ParsePassList(argv[++i], &options.passes)) {
+        PrintUsage(std::cerr);
+        return 2;
+      }
+    } else if (arg == "--list") {
+      PrintPasses();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ctopt: unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& file : options.files) {
+    std::string source;
+    std::string display_name = file;
+    if (file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+      display_name = "<stdin>";
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "ctopt: cannot open '" << file << "'\n";
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    exit_code = std::max(exit_code, OptimizeOne(source, display_name, options));
+  }
+  return exit_code;
+}
