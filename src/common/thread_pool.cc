@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/lock_registry.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -68,12 +69,13 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      CT_OBS_GAUGE_ADD("M400", -1.0);
     }
     task();
   }
 }
 
-void ThreadPool::RunShards(Batch& batch) {
+void ThreadPool::RunShards(Batch& batch, bool stolen) {
   int finished = 0;
   while (true) {
     const int shard = batch.next.fetch_add(1, std::memory_order_relaxed);
@@ -82,6 +84,13 @@ void ThreadPool::RunShards(Batch& batch) {
     }
     (*batch.fn)(shard);
     ++finished;
+  }
+  if (finished > 0) {
+    if (stolen) {
+      CT_OBS_ADD("M401", finished);
+    } else {
+      CT_OBS_ADD("M402", finished);
+    }
   }
   if (finished > 0 &&
       batch.done.fetch_add(finished, std::memory_order_acq_rel) + finished == batch.shards) {
@@ -100,6 +109,7 @@ void ThreadPool::Run(int shards, const std::function<void(int)>& fn) {
   // The batch is shared with helper tasks that may outlive this frame's
   // useful work (a helper can be dequeued after all shards are claimed), so
   // it must be heap-allocated and reference-counted.
+  CT_OBS_INC("M403");
   auto batch = std::make_shared<Batch>();
   batch->shards = shards;
   batch->fn = &fn;
@@ -109,12 +119,13 @@ void ThreadPool::Run(int shards, const std::function<void(int)>& fn) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       CT_LOCK_TRACE(QueueLockId());
       for (int i = 0; i < helpers; ++i) {
-        queue_.push_back([batch] { RunShards(*batch); });
+        queue_.push_back([batch] { RunShards(*batch, /*stolen=*/true); });
       }
+      CT_OBS_GAUGE_ADD("M400", static_cast<double>(helpers));
     }
     queue_cv_.notify_all();
   }
-  RunShards(*batch);  // The caller is always one of the lanes.
+  RunShards(*batch, /*stolen=*/false);  // The caller is always one of the lanes.
   std::unique_lock<std::mutex> lock(batch->mutex);
   CT_LOCK_TRACE(BatchLockId());
   batch->all_done.wait(lock, [&] {

@@ -64,7 +64,9 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  static void RunShards(Batch& batch);
+  // `stolen` marks shards claimed by a pool worker (as opposed to the
+  // calling thread's own lane) for the M401/M402 steal-vs-participate split.
+  static void RunShards(Batch& batch, bool stolen);
 
   std::vector<std::thread> workers_;
   std::mutex queue_mutex_;

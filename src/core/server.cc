@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/lang/lint.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -40,26 +41,52 @@ CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory
 }
 
 Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
+  CT_OBS_INC("M100");
+  obs::TraceContext trace("answer");
   lang::DiagnosticSink sink;
-  const lang::Query query = lang::ParseWithDiagnostics(query_text, &sink);
+  const int parse_span = trace.OpenFollowing("parse");
+  lang::Query query = lang::ParseWithDiagnostics(query_text, &sink);
+  trace.Attr(parse_span, "bytes", static_cast<int64_t>(query_text.size()));
+  const int lint_span = trace.Transition(parse_span, "lint");
   lang::RunLint(query, &sink);
+  trace.Attr(lint_span, "diagnostics", static_cast<int64_t>(sink.diagnostics().size()));
+  trace.Close(lint_span);
   if (sink.has_errors()) {
+    CT_OBS_INC("M101");
     return sink.ToLegacyError();
   }
-  Result<QueryReply> reply = AnswerParsed(query);
-  if (reply.ok() && !sink.empty()) {
+  Result<QueryReply> reply = AnswerTraced(query, trace);
+  if (!reply.ok()) {
+    CT_OBS_INC("M101");
+    return reply;
+  }
+  if (!sink.empty()) {
     // Warning-only queries are answered, but the findings travel with the
     // reply so clients can see what looked suspect.
     reply.value().warnings = sink.diagnostics();
+  }
+  reply.value().trace = trace.Finish();
+  if (!reply.value().trace.empty()) {
+    CT_OBS_OBSERVE("M102", reply.value().trace.spans[0].duration);
+  }
+  return reply;
+}
+
+Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
+  obs::TraceContext trace("answer");
+  Result<QueryReply> reply = AnswerTraced(query, trace);
+  if (reply.ok()) {
+    reply.value().trace = trace.Finish();
   }
   return reply;
 }
 
 StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compiled,
                                               std::vector<lang::VarComm>* sampled_vars,
-                                              ProbeStats* stats) {
+                                              ProbeStats* stats, obs::TraceContext& trace) {
   *sampled_vars = compiled.variables();
 
+  const int sample_span = trace.OpenFollowing("sample");
   // Sampling (Section 4.3): shrink any pool larger than the threshold.
   // Variables sharing one declaration share one pool; the sample must cover
   // the d variables drawing from it, so size it with d = sharer count.
@@ -72,30 +99,40 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
     }
     pool_groups[key].push_back(static_cast<int>(i));
   }
-  std::lock_guard<std::mutex> rng_lock(rng_mutex_);
-  CT_LOCK_TRACE(RngLockId());
-  for (auto& [key, members] : pool_groups) {
-    (void)key;
-    const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
-    const int pool_size = static_cast<int>(pool.size());
-    if (pool_size <= config_.sample_threshold) {
-      continue;
-    }
-    const int d = static_cast<int>(members.size());
-    int n = config_.sample_override > 0
-                ? config_.sample_override
-                : RequiredSamples(d, config_.idle_fraction_hint, config_.sample_confidence);
-    n = std::min(n, pool_size);
-    const std::vector<int> picks = rng_.SampleWithoutReplacement(pool_size, n);
-    std::vector<lang::Endpoint> sampled;
-    sampled.reserve(picks.size());
-    for (int p : picks) {
-      sampled.push_back(pool[p]);
-    }
-    for (int member : members) {
-      (*sampled_vars)[member].pool = sampled;
+  int pools_sampled = 0;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mutex_);
+    CT_LOCK_TRACE(RngLockId());
+    for (auto& [key, members] : pool_groups) {
+      (void)key;
+      const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
+      const int pool_size = static_cast<int>(pool.size());
+      if (pool_size <= config_.sample_threshold) {
+        continue;
+      }
+      const int d = static_cast<int>(members.size());
+      int n = config_.sample_override > 0
+                  ? config_.sample_override
+                  : RequiredSamples(d, config_.idle_fraction_hint, config_.sample_confidence);
+      n = std::min(n, pool_size);
+      const std::vector<int> picks = rng_.SampleWithoutReplacement(pool_size, n);
+      std::vector<lang::Endpoint> sampled;
+      sampled.reserve(picks.size());
+      for (int p : picks) {
+        sampled.push_back(pool[p]);
+      }
+      for (int member : members) {
+        (*sampled_vars)[member].pool = sampled;
+      }
+      ++pools_sampled;
+      CT_OBS_INC("M106");
     }
   }
+  trace.Attr(sample_span, "pools", static_cast<int64_t>(pool_groups.size()));
+  trace.Attr(sample_span, "sampled", static_cast<int64_t>(pools_sampled));
+  // The probe span opens as sampling closes (one shared clock reading) and
+  // covers address assembly, resolution, and the scatter-gather itself.
+  const int probe_span = trace.Transition(sample_span, "probe");
 
   // Address set to probe: sampled pools plus literal flow endpoints.
   std::vector<std::string> addresses;
@@ -127,26 +164,48 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
   }
   ProbeOutcome outcome = transport_->Probe(targets, config_.probe_timeout);
   stats->Accumulate(outcome.stats);
+  CT_OBS_OBSERVE("M103", static_cast<double>(targets.size()));
 
   StatusByAddress status;
+  int missing = 0;
   for (const NodeId node : targets) {
     const std::string& address = node_to_address[node];
     const auto it = outcome.reports.find(node);
-    if (it != outcome.reports.end()) {
+    const bool replied = it != outcome.reports.end();
+    // One child event per contacted host, in deterministic target order. The
+    // scatter-gather itself is batched, so the children record fan-out and
+    // per-host outcome rather than individual wall times. A replied host
+    // carries just its address; a missing reply is flagged with replied=0.
+    if (replied) {
+      trace.Event("probe.host", {{"host", address}});
+    } else {
+      trace.Event("probe.host", {{"host", address}, {"replied", "0"}});
+    }
+    if (replied) {
       status[address] = it->second;
     } else if (config_.assume_loaded_on_missing) {
+      ++missing;
       // "If nothing is received from a status server, we assume that a
       // particular address is under heavy I/O load" (Section 4).
       status[address] = StatusReport::AssumeLoaded(node, directory_->CapsOf(node));
     } else {
+      ++missing;
       status[address] = StatusReport::Idle(node, directory_->CapsOf(node));
     }
   }
+  trace.Attr(probe_span, "fanout", static_cast<int64_t>(targets.size()));
+  trace.Attr(probe_span, "replies",
+             static_cast<int64_t>(static_cast<int>(targets.size()) - missing));
+  trace.Attr(probe_span, "missing", static_cast<int64_t>(missing));
+  trace.Close(probe_span);
   return status;
 }
 
-Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
+Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
+                                                 obs::TraceContext& trace) {
+  const int compile_span = trace.OpenFollowing("compile");
   Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  trace.Close(compile_span);
   if (!compiled.ok()) {
     return compiled.error();
   }
@@ -155,12 +214,19 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
   StatusByAddress status;
   std::vector<lang::VarComm> variables = compiled.value().variables();
   if (query.options.use_dynamic_load) {
-    status = GatherStatus(compiled.value(), &variables, &reply.probe_stats);
+    status = GatherStatus(compiled.value(), &variables, &reply.probe_stats, trace);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     CT_LOCK_TRACE(StatsLockId());
     total_stats_.Accumulate(reply.probe_stats);
   } else {
-    // Static evaluation: endpoints idle at their nominal capacities.
+    // Static evaluation: endpoints idle at their nominal capacities. The
+    // sample and probe spans still appear (every reply carries the full
+    // phase skeleton), recording that both phases were no-ops.
+    {
+      obs::TraceContext::Scoped sample_span(&trace, "sample");
+      trace.Attr(sample_span.id(), "mode", "static");
+    }
+    obs::TraceContext::Scoped probe_span(&trace, "probe");
     for (const lang::VarComm& var : variables) {
       for (const lang::Endpoint& e : var.pool) {
         if (e.kind != lang::Endpoint::Kind::kAddress) {
@@ -172,27 +238,45 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
         }
       }
     }
+    trace.Attr(probe_span.id(), "fanout", static_cast<int64_t>(0));
+    trace.Attr(probe_span.id(), "mode", "static");
   }
 
   if (query.options.use_packet_simulator) {
     if (packet_estimator_ == nullptr) {
       return Error{"query requests packet-level evaluation, but no packet estimator is wired"};
     }
+    CT_OBS_INC("M105");
     ExhaustiveParams params;
     params.distinct_bindings = config_.heuristic.distinct_bindings;
     params.threads =
         query.options.eval_threads > 0 ? query.options.eval_threads : config_.eval_threads;
     params.optimize =
         query.options.optimize != 0 ? query.options.optimize > 0 : config_.optimize;
+    const int bind_span = trace.OpenFollowing("bind");
+    trace.Attr(bind_span, "mode", "exhaustive");
     Result<ExhaustiveResult> best =
         EvaluateExhaustive(compiled.value(), status, *packet_estimator_, params);
     if (!best.ok()) {
+      trace.Close(bind_span);
       return best.error();
     }
+    const SearchCounters& c = best.value().counters;
+    trace.Attr(bind_span, "evaluations", c.evaluations);
+    trace.Attr(bind_span, "memo_hits", c.memo_hits);
+    trace.Attr(bind_span, "enumerated", c.enumerated);
+    trace.Attr(bind_span, "pruned", c.bindings_pruned);
+    trace.Attr(bind_span, "orbit_skips", c.orbit_skips);
+    trace.Attr(bind_span, "threads", static_cast<int64_t>(c.threads_used));
+    trace.Close(bind_span);
     reply.binding = best.value().binding;
     reply.estimate = best.value().estimate;
     reply.used_exhaustive = true;
     reply.counters = best.value().counters;
+    // Exhaustive answers skip the reservation table, but the phase skeleton
+    // stays complete so every trace carries a reserve span.
+    obs::TraceContext::Scoped reserve_span(&trace, "reserve");
+    trace.Attr(reserve_span.id(), "reserved", static_cast<int64_t>(0));
     return reply;
   }
 
@@ -203,19 +287,30 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
       return reservations_.IsReserved(address, now);
     };
   }
+  const int bind_span = trace.OpenFollowing("bind");
+  trace.Attr(bind_span, "mode", "heuristic");
   Result<HeuristicResult> heuristic = EvaluateHeuristic(
       variables, query.options.allow_same_binding, status, config_.heuristic, filter);
   if (!heuristic.ok()) {
+    trace.Close(bind_span);
     return heuristic.error();
   }
   reply.binding = std::move(heuristic.value().binding);
   reply.scores = std::move(heuristic.value().scores);
+  trace.Attr(bind_span, "bound", static_cast<int64_t>(reply.binding.size()));
+  const int reserve_span = trace.Transition(bind_span, "reserve");
+  int64_t reserved = 0;
   if (query.options.reserve) {
+    const Seconds reserve_now = clock_();
     for (const auto& [var, endpoint] : reply.binding) {
       (void)var;
-      reservations_.Reserve(endpoint.name, now);
+      reservations_.Reserve(endpoint.name, reserve_now);
+      ++reserved;
     }
+    CT_OBS_ADD("M104", reserved);
   }
+  trace.Attr(reserve_span, "reserved", reserved);
+  trace.Close(reserve_span);
   return reply;
 }
 
@@ -228,9 +323,11 @@ Result<QuoteReply> CloudTalkServer::Quote(const std::string& query_text) {
   if (!compiled.ok()) {
     return compiled.error();
   }
+  CT_OBS_INC("M107");
   ProbeStats stats;
   std::vector<lang::VarComm> variables = compiled.value().variables();
-  StatusByAddress status = GatherStatus(compiled.value(), &variables, &stats);
+  obs::TraceContext quote_trace("quote");
+  StatusByAddress status = GatherStatus(compiled.value(), &variables, &stats, quote_trace);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     CT_LOCK_TRACE(StatsLockId());

@@ -25,6 +25,7 @@
 #include "src/check/check.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
+#include "src/obs/trace.h"
 #include "src/core/directory.h"
 #include "src/core/estimator.h"
 #include "src/core/exhaustive.h"
@@ -81,6 +82,12 @@ struct QueryReply {
   // e.g. W050 contradictory-rate-chain here got an answer, but probably not
   // the one it meant to ask for.
   std::vector<lang::Diagnostic> warnings;
+  // Query-lifecycle spans (ISSUE 5): parse, lint, compile, sample, probe
+  // (one child per contacted host), bind, reserve — with wall times and
+  // per-phase attributes. Empty when observability is compiled out
+  // (CLOUDTALK_OBS=OFF) or runtime-disabled. Render with obs::FormatTrace
+  // or obs::TraceToJson; `tools/ctstat` does both.
+  obs::Trace trace;
 };
 
 // Pricing knobs for Quote() (Section 7: "Clients could also use CloudTalk
@@ -139,9 +146,16 @@ class CloudTalkServer {
   ReservationTable& reservations() { return reservations_; }
 
  private:
+  // The shared evaluation pipeline behind Answer/AnswerParsed: compile,
+  // gather status, bind, reserve — recording one span per phase in `trace`.
+  Result<QueryReply> AnswerTraced(const lang::Query& query, obs::TraceContext& trace);
+
   // Gathers status for the addresses the query can touch. Applies sampling.
+  // Records the `sample` and `probe` spans (one `probe.host` child per
+  // contacted target) in `trace`.
   StatusByAddress GatherStatus(const lang::CompiledQuery& compiled,
-                               std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats);
+                               std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats,
+                               obs::TraceContext& trace);
 
   ServerConfig config_;
   const Directory* directory_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -44,6 +45,7 @@ std::vector<ResourceId> FluidSimulation::AddBackgroundPath(NodeId src, NodeId ds
 }
 
 GroupId FluidSimulation::AddGroup(GroupSpec spec, CompletionCallback on_complete) {
+  CT_OBS_INC("M303");
   const GroupId id = static_cast<GroupId>(groups_.size());
   Group group;
   group.id = id;
@@ -172,6 +174,7 @@ void FluidSimulation::RecomputeRates() {
   }
   rates_dirty_ = false;
   ++recompute_count_;
+  CT_OBS_INC("M302");
 
   // Compact the active list (groups may have finished or been cancelled).
   active_groups_.erase(std::remove_if(active_groups_.begin(), active_groups_.end(),
@@ -253,7 +256,9 @@ void FluidSimulation::RecomputeRates() {
   std::vector<char>& frozen = scratch_frozen_;
   std::vector<Bps>& rate = scratch_rate_;
   int remaining = n;
+  int waterfill_rounds = 0;
   while (remaining > 0) {
+    ++waterfill_rounds;
     // The next constraint is either a bottleneck resource's fair share or a
     // group's explicit rate limit, whichever is smaller.
     double bottleneck = std::numeric_limits<double>::infinity();
@@ -320,6 +325,7 @@ void FluidSimulation::RecomputeRates() {
       }
     }
   }
+  CT_OBS_ADD("M301", waterfill_rounds);
   for (int i = 0; i < n; ++i) {
     groups_[active_groups_[i]].rate = rate[i];
   }
@@ -526,6 +532,7 @@ void FluidSimulation::RunUntil(Seconds t) {
     while (!events_.empty() && events_.top().time <= now_ + TimeEps(now_)) {
       auto fn = events_.top().fn;
       events_.pop();
+      CT_OBS_INC("M300");
       fn();
     }
   }
@@ -558,6 +565,7 @@ bool FluidSimulation::RunUntilIdle(Seconds hard_deadline) {
     while (!events_.empty() && events_.top().time <= now_ + TimeEps(now_)) {
       auto fn = events_.top().fn;
       events_.pop();
+      CT_OBS_INC("M300");
       fn();
     }
   }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -261,6 +262,7 @@ void MiniHdfs::WriteBlock(NodeId client, const std::string& name, int block_inde
   info.block_replicas[block_index] = pipeline;
   SetBlockState(name, info, block_index, BlockState::kWriting);
   ++blocks_written_;
+  CT_OBS_INC("M500");
 
   // One chained group: the client's stream, every store-and-forward hop and
   // every replica's disk write advance at a common rate (Section 4.1).
@@ -326,6 +328,7 @@ void MiniHdfs::ReadBlock(NodeId client, const std::string& name, int block_index
         .With("replicas", replicas.size());
   }
   ++blocks_read_;
+  CT_OBS_INC("M501");
 
   FluidSimulation& sim = cluster_->sim();
   GroupSpec spec;

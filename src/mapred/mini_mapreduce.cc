@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -79,6 +80,7 @@ void MiniMapReduce::Heartbeat(int tracker_index) {
       .With("now", cluster_->now())
       .With("last_heartbeat", tracker.last_heartbeat);
   tracker.last_heartbeat = cluster_->now();
+  CT_OBS_INC("M505");
   VerifySchedulerState();
   MaybeAssignMap(tracker);
   MaybeAssignReduce(tracker);
@@ -165,6 +167,7 @@ NodeId MiniMapReduce::PickMapSource(const MapTask& task, NodeId node) {
 }
 
 void MiniMapReduce::StartMap(MapTask& task, Tracker& tracker) {
+  CT_OBS_INC("M502");
   const NodeId source = PickMapSource(task, tracker.node);
   FluidSimulation& sim = cluster_->sim();
   // Read the split (local or remote), coupled disk+net chain.
@@ -321,6 +324,7 @@ void MiniMapReduce::MaybeAssignReduce(Tracker& tracker) {
 
 void MiniMapReduce::StartReduce(ReduceTask& task, Tracker& tracker) {
   (void)tracker;
+  CT_OBS_INC("M503");
   // Fetch every already-finished map output; future ones arrive via
   // FinishMap.
   task.fetched_maps = 0;
@@ -472,6 +476,7 @@ void MiniMapReduce::MaybeSpeculate() {
           .With("node", task.node);
       task.speculated = true;
       stats_.speculative_launches += 1;
+      CT_OBS_INC("M504");
       // Restart the task on the new node (the first incarnation's flows
       // keep running but its completions are ignored once this one wins).
       for (Tracker& tracker : trackers_) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 namespace probing {
@@ -11,6 +14,7 @@ PingResult NetworkProber::Ping(NodeId a, NodeId b) {
   if (a == b) {
     result.hops = 0;
     result.rtt = rng_.Uniform(0, rtt_jitter_ * 0.1);
+    CT_OBS_OBSERVE_L("M200", std::to_string(b), result.rtt);
     return result;
   }
   const std::vector<LinkId> path = topo_->PathBetween(a, b);
@@ -21,6 +25,7 @@ PingResult NetworkProber::Ping(NodeId a, NodeId b) {
     one_way += topo_->link(link).delay;
   }
   result.rtt = 2 * one_way + rng_.Uniform(0, rtt_jitter_);
+  CT_OBS_OBSERVE_L("M200", std::to_string(b), result.rtt);
   return result;
 }
 

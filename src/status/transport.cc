@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace cloudtalk {
 
 ProbeOutcome SimUdpTransport::Probe(const std::vector<NodeId>& targets, Seconds timeout) {
@@ -36,6 +38,12 @@ ProbeOutcome SimUdpTransport::Probe(const std::vector<NodeId>& targets, Seconds 
     outcome.stats.replies_received += 1;
     outcome.stats.bytes_received += kProbeReplyBytes;
   }
+  outcome.stats.timeouts = outcome.stats.requests_sent - outcome.stats.replies_received;
+  CT_OBS_ADD("M201", outcome.stats.requests_sent);
+  CT_OBS_ADD("M202", outcome.stats.replies_received);
+  CT_OBS_ADD("M203", outcome.stats.timeouts);
+  CT_OBS_ADD("M206", outcome.stats.bytes_sent);
+  CT_OBS_ADD("M207", outcome.stats.bytes_received);
   return outcome;
 }
 

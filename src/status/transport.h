@@ -23,12 +23,25 @@ struct ProbeStats {
   int replies_received = 0;
   int64_t bytes_sent = 0;
   int64_t bytes_received = 0;
+  // Failure accounting (ISSUE 5). `timeouts` counts probed hosts whose reply
+  // never arrived inside the deadline; always requests_sent minus
+  // replies_received for a single probe, so a host can never be both
+  // answered and missing. The other two count datagrams that arrived but
+  // were discarded: wrong size (short_reads) or a sequence number outside
+  // the probe's window, i.e. an answer to an earlier, already-expired probe
+  // (late_replies).
+  int timeouts = 0;
+  int short_reads = 0;
+  int late_replies = 0;
 
   void Accumulate(const ProbeStats& other) {
     requests_sent += other.requests_sent;
     replies_received += other.replies_received;
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
+    timeouts += other.timeouts;
+    short_reads += other.short_reads;
+    late_replies += other.late_replies;
   }
 };
 

@@ -7,9 +7,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace cloudtalk {
 
@@ -149,16 +151,22 @@ ProbeOutcome UdpSocketTransport::Probe(const std::vector<NodeId>& targets, Secon
     }
   }
 
-  // Gather until every target answered or the timeout expires.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
+  // Gather until every target answered or the timeout expires. A reply
+  // arriving at exactly the deadline still counts: the remaining wait is
+  // rounded UP to whole milliseconds (truncation used to turn sub-ms
+  // remainders into an early exit), and when the deadline has just been
+  // reached we still poll once with a zero timeout to drain datagrams that
+  // are already queued — so a host answering at the deadline is counted as
+  // answered, never as both answered and missing (the timeout count below
+  // is derived, not accumulated inline).
+  const auto deadline = Now() + std::chrono::duration<double>(timeout);
   while (outcome.stats.replies_received < outcome.stats.requests_sent) {
-    const auto remaining = deadline - std::chrono::steady_clock::now();
-    const int remaining_ms = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count());
-    if (remaining_ms <= 0) {
+    const auto remaining = deadline - Now();
+    if (remaining < std::chrono::steady_clock::duration::zero()) {
       break;
     }
+    const double remaining_sec = std::chrono::duration<double>(remaining).count();
+    const int remaining_ms = static_cast<int>(std::ceil(remaining_sec * 1e3));
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, remaining_ms);
     if (ready <= 0) {
@@ -177,10 +185,16 @@ ProbeOutcome UdpSocketTransport::Probe(const std::vector<NodeId>& targets, Secon
       reply = DecodeProbeReplyV2(buffer);
       reply_bytes = kProbeReplyV2Bytes;
     } else {
+      outcome.stats.short_reads += 1;
+      CT_OBS_INC("M204");
       continue;
     }
     if (!reply.has_value() || reply->seq < base_seq ||
         reply->seq >= base_seq + targets.size()) {
+      // Well-formed but outside this probe's sequence window: an answer to
+      // an earlier probe whose deadline already passed.
+      outcome.stats.late_replies += 1;
+      CT_OBS_INC("M205");
       continue;
     }
     const auto host_it = ip_to_host_.find(reply->reporter_ip);
@@ -193,6 +207,12 @@ ProbeOutcome UdpSocketTransport::Probe(const std::vector<NodeId>& targets, Secon
     outcome.stats.replies_received += 1;
     outcome.stats.bytes_received += reply_bytes;
   }
+  outcome.stats.timeouts = outcome.stats.requests_sent - outcome.stats.replies_received;
+  CT_OBS_ADD("M201", outcome.stats.requests_sent);
+  CT_OBS_ADD("M202", outcome.stats.replies_received);
+  CT_OBS_ADD("M203", outcome.stats.timeouts);
+  CT_OBS_ADD("M206", outcome.stats.bytes_sent);
+  CT_OBS_ADD("M207", outcome.stats.bytes_received);
   return outcome;
 }
 

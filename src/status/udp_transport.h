@@ -9,7 +9,9 @@
 #define CLOUDTALK_SRC_STATUS_UDP_TRANSPORT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -69,16 +71,28 @@ class UdpSocketTransport : public ProbeTransport {
 
   ProbeOutcome Probe(const std::vector<NodeId>& targets, Seconds timeout) override;
 
+  // Test seam: substitutes the gather loop's clock so deadline arithmetic
+  // can be pinned (e.g. "the reply landed at exactly the deadline"). Null
+  // restores steady_clock.
+  void set_clock_for_test(std::function<std::chrono::steady_clock::time_point()> clock) {
+    clock_ = std::move(clock);
+  }
+
  private:
   struct Peer {
     uint32_t ip = 0;
     uint16_t port = 0;
   };
+  std::chrono::steady_clock::time_point Now() const {
+    return clock_ ? clock_() : std::chrono::steady_clock::now();
+  }
+
   int fd_ = -1;
   bool request_extended_ = false;
   uint32_t next_seq_ = 1;
   std::unordered_map<NodeId, Peer> peers_;
   std::unordered_map<uint32_t, NodeId> ip_to_host_;
+  std::function<std::chrono::steady_clock::time_point()> clock_;
 };
 
 }  // namespace cloudtalk

@@ -1,8 +1,19 @@
 // Tests for status reports, wire format, probe transports, and sampling.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 #include "src/status/sampling.h"
 #include "src/status/status.h"
@@ -292,8 +303,184 @@ TEST(UdpTransportTest, TimeoutOnDeadPeer) {
   // Register a port nobody listens on (port 1 needs privileges to bind, so
   // nothing should answer).
   transport.Register(0, PackIpv4("10.0.0.9"), 1);
+  const int64_t m203_before =
+      obs::kObsEnabled ? obs::Registry::Instance().counter("M203")->value() : 0;
   const ProbeOutcome outcome = transport.Probe({0}, /*timeout=*/0.05);
   EXPECT_EQ(outcome.stats.replies_received, 0);
+  EXPECT_EQ(outcome.stats.timeouts, 1);
+  EXPECT_EQ(outcome.stats.short_reads, 0);
+  EXPECT_EQ(outcome.stats.late_replies, 0);
+  if (obs::kObsEnabled) {
+    EXPECT_EQ(obs::Registry::Instance().counter("M203")->value(), m203_before + 1);
+  }
+}
+
+// A raw UDP peer with scripted behaviour: waits for one probe request on its
+// own socket, then lets the test reply with arbitrary datagrams addressed to
+// the prober — the only way to put malformed bytes on the wire, since the
+// real daemon only ever sends well-formed replies.
+class ScriptedPeer {
+ public:
+  using Sender = std::function<void(const void*, size_t)>;
+
+  ~ScriptedPeer() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool Bind() {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) {
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+  }
+
+  uint16_t port() const { return port_; }
+
+  // Spawns the serving thread; `handler` runs once with the decoded request
+  // and a sender targeting the prober's source address.
+  void Serve(std::function<void(const DecodedProbeRequest&, const Sender&)> handler) {
+    thread_ = std::thread([this, handler = std::move(handler)] {
+      ProbeRequestWire wire{};
+      sockaddr_in from{};
+      socklen_t from_len = sizeof(from);
+      const ssize_t n = ::recvfrom(fd_, wire.data(), wire.size(), 0,
+                                   reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n != static_cast<ssize_t>(wire.size())) {
+        return;
+      }
+      const auto request = DecodeProbeRequest(wire);
+      if (!request.has_value()) {
+        return;
+      }
+      handler(*request, [&](const void* data, size_t size) {
+        ::sendto(fd_, data, size, 0, reinterpret_cast<sockaddr*>(&from), from_len);
+      });
+    });
+  }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(UdpTransportTest, TruncatedDatagramCountsShortRead) {
+  const uint32_t ip = PackIpv4("10.0.0.50");
+  ScriptedPeer peer;
+  ASSERT_TRUE(peer.Bind());
+  UdpSocketTransport transport;
+  ASSERT_TRUE(transport.Open());
+  transport.Register(0, ip, peer.port());
+
+  peer.Serve([&](const DecodedProbeRequest& request, const ScriptedPeer::Sender& send) {
+    // A datagram that is neither v1- nor v2-sized, then the real reply so
+    // the probe finishes without waiting out the timeout.
+    const char garbage[5] = {1, 2, 3, 4, 5};
+    send(garbage, sizeof(garbage));
+    const ProbeReplyWire reply = EncodeProbeReply(request.seq, ip, SomeReport());
+    send(reply.data(), reply.size());
+  });
+
+  const ProbeOutcome outcome = transport.Probe({0}, /*timeout=*/2.0);
+  EXPECT_EQ(outcome.stats.requests_sent, 1);
+  EXPECT_EQ(outcome.stats.replies_received, 1);
+  EXPECT_EQ(outcome.stats.short_reads, 1);
+  EXPECT_EQ(outcome.stats.late_replies, 0);
+  EXPECT_EQ(outcome.stats.timeouts, 0);
+  ASSERT_EQ(outcome.reports.size(), 1u);
+}
+
+TEST(UdpTransportTest, LateReplyOutsideSequenceWindowIsNotCounted) {
+  const uint32_t ip = PackIpv4("10.0.0.51");
+  ScriptedPeer peer;
+  ASSERT_TRUE(peer.Bind());
+  UdpSocketTransport transport;
+  ASSERT_TRUE(transport.Open());
+  transport.Register(0, ip, peer.port());
+
+  peer.Serve([&](const DecodedProbeRequest& request, const ScriptedPeer::Sender& send) {
+    // Well-formed reply with a sequence number from "a previous probe":
+    // outside [base_seq, base_seq + fanout), so it must be dropped as late,
+    // not delivered into this probe's report set.
+    const ProbeReplyWire stale = EncodeProbeReply(request.seq + 1000, ip, SomeReport());
+    send(stale.data(), stale.size());
+    const ProbeReplyWire reply = EncodeProbeReply(request.seq, ip, SomeReport());
+    send(reply.data(), reply.size());
+  });
+
+  const ProbeOutcome outcome = transport.Probe({0}, /*timeout=*/2.0);
+  EXPECT_EQ(outcome.stats.replies_received, 1);
+  EXPECT_EQ(outcome.stats.late_replies, 1);
+  EXPECT_EQ(outcome.stats.short_reads, 0);
+  EXPECT_EQ(outcome.stats.timeouts, 0);
+}
+
+// Regression for the deadline off-by-one (ISSUE 5 satellite): the gather
+// loop used to truncate the remaining wait to whole milliseconds, so a
+// reply landing in the final sub-millisecond — or at the deadline exactly —
+// was dropped and the host double-counted as missing. With the injected
+// clock pinned so the loop always observes "exactly at the deadline", the
+// queued reply must still be drained (poll with a zero timeout) and the
+// host counted answered exactly once.
+TEST(UdpTransportTest, ReplyAtExactDeadlineCountsOnce) {
+  const uint32_t ip = PackIpv4("10.0.0.52");
+  ScriptedPeer peer;
+  ASSERT_TRUE(peer.Bind());
+  UdpSocketTransport transport;
+  ASSERT_TRUE(transport.Open());
+  transport.Register(0, ip, peer.port());
+
+  std::atomic<bool> reply_sent{false};
+  peer.Serve([&](const DecodedProbeRequest& request, const ScriptedPeer::Sender& send) {
+    const ProbeReplyWire reply = EncodeProbeReply(request.seq, ip, SomeReport());
+    send(reply.data(), reply.size());
+    reply_sent.store(true);
+  });
+
+  const Seconds timeout = 0.25;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(timeout));
+  std::atomic<int> clock_calls{0};
+  transport.set_clock_for_test([&] {
+    if (clock_calls.fetch_add(1) == 0) {
+      return t0;  // Deadline computation.
+    }
+    // Gather loop: hold until the reply datagram is queued, then report
+    // that the deadline has been reached exactly (remaining == 0).
+    while (!reply_sent.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return deadline;
+  });
+
+  const ProbeOutcome outcome = transport.Probe({0}, timeout);
+  EXPECT_EQ(outcome.stats.requests_sent, 1);
+  EXPECT_EQ(outcome.stats.replies_received, 1);
+  EXPECT_EQ(outcome.stats.timeouts, 0);
+  // Never both answered and missing: the two tallies partition the fan-out.
+  EXPECT_EQ(outcome.stats.replies_received + outcome.stats.timeouts,
+            outcome.stats.requests_sent);
+  ASSERT_EQ(outcome.reports.size(), 1u);
+  EXPECT_EQ(outcome.reports.at(0).host, 0);
 }
 
 

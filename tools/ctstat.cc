@@ -1,0 +1,202 @@
+// ctstat: query-lifecycle tracing and metrics inspection tool.
+//
+// Answers a CloudTalk query against a deterministic simulated cluster (the
+// same single-switch harness the tests use, fixed seed) and shows where the
+// answer's time went and what the stack counted while producing it:
+//
+//   ctstat query.ct              trace tree (parse/lint/compile/sample/
+//                                probe/bind/reserve spans with attributes)
+//   ctstat --trace query.ct      same, explicitly
+//   ctstat --json query.ct       the trace as JSON (machine-readable)
+//   ctstat --prom query.ct       Prometheus text exposition of every metric
+//                                the run touched (what /metrics would serve)
+//   ctstat --stable ...          normalise wall times out of --trace/--json
+//                                output so it is byte-stable across runs
+//                                (the golden-snapshot format CI diffs)
+//   ctstat --catalog             list the M-code metric catalogue and exit
+//   ctstat --hosts N             cluster size (default 16)
+//   ctstat --seed N              cluster + server seed (default 1)
+//   ctstat -                     read the query from stdin
+//
+// Exit code: 0 = answered, 1 = the query was rejected, 2 = unusable input
+// or usage error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/topology/topology.h"
+
+namespace {
+
+using cloudtalk::Cluster;
+using cloudtalk::ClusterOptions;
+using cloudtalk::kGbps;
+using cloudtalk::MakeSingleSwitch;
+using cloudtalk::QueryReply;
+using cloudtalk::Result;
+using cloudtalk::SingleSwitchParams;
+
+struct Options {
+  bool trace = false;
+  bool json = false;
+  bool prom = false;
+  bool stable = false;
+  int hosts = 16;
+  uint64_t seed = 1;
+  std::vector<std::string> files;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: ctstat [--trace] [--json] [--prom] [--stable]\n"
+        "              [--hosts N] [--seed N] <query.ct ...|->\n"
+        "       ctstat --catalog\n"
+        "\n"
+        "Answers a query against a deterministic simulated cluster and shows\n"
+        "the query-lifecycle trace and the metrics the stack recorded.\n"
+        "\n"
+        "  --trace     render the span tree (default when no mode is given)\n"
+        "  --json      render the trace as JSON\n"
+        "  --prom      render the metrics registry in Prometheus text format\n"
+        "  --stable    normalise wall times out (byte-stable snapshot output)\n"
+        "  --catalog   list the metric catalogue (M-codes) and exit\n"
+        "  --hosts N   hosts in the simulated cluster (default 16)\n"
+        "  --seed N    cluster and server seed (default 1)\n"
+        "  -           read a query from standard input\n"
+        "\n"
+        "exit code: 0 = answered, 1 = query rejected, 2 = unusable input\n";
+}
+
+void PrintCatalog() {
+  for (const cloudtalk::obs::MetricInfo& info : cloudtalk::obs::MetricCatalog()) {
+    const char* type = info.type == cloudtalk::obs::MetricType::kCounter     ? "counter"
+                       : info.type == cloudtalk::obs::MetricType::kGauge     ? "gauge"
+                                                                             : "histogram";
+    std::cout << info.code << "  " << type << "  " << info.name;
+    if (info.label != nullptr) {
+      std::cout << "{" << info.label << "}";
+    }
+    std::cout << ": " << info.help << "\n";
+  }
+}
+
+// One deterministic cluster per process run: a single-switch gigabit fabric
+// with the test-default host capacities, seeded status sweep started, and a
+// first measurement taken so probes see fresh reports.
+Cluster BuildCluster(const Options& options) {
+  SingleSwitchParams params;
+  params.num_hosts = options.hosts;
+  params.host_caps.nic_up = 1 * kGbps;
+  params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = 4 * kGbps;
+  params.host_caps.disk_write = 4 * kGbps;
+  ClusterOptions cluster_options;
+  cluster_options.seed = options.seed;
+  cluster_options.server.seed = options.seed;
+  cluster_options.server.eval_threads = 1;  // Deterministic shard order.
+  return Cluster(MakeSingleSwitch(params), cluster_options);
+}
+
+int AnswerOne(Cluster& cluster, const std::string& source, const std::string& display_name,
+              const Options& options) {
+  const Result<QueryReply> reply = cluster.cloudtalk().Answer(source);
+  if (!reply.ok()) {
+    std::cerr << display_name << ": rejected: " << reply.error().message << "\n";
+    return 1;
+  }
+  if (options.trace) {
+    std::cout << display_name << ":\n"
+              << cloudtalk::obs::FormatTrace(reply.value().trace, options.stable);
+  }
+  if (options.json) {
+    std::cout << cloudtalk::obs::TraceToJson(reply.value().trace, options.stable) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--prom") {
+      options.prom = true;
+    } else if (arg == "--stable") {
+      options.stable = true;
+    } else if (arg == "--catalog") {
+      PrintCatalog();
+      return 0;
+    } else if (arg == "--hosts") {
+      if (i + 1 >= argc) {
+        PrintUsage(std::cerr);
+        return 2;
+      }
+      options.hosts = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        PrintUsage(std::cerr);
+        return 2;
+      }
+      options.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ctstat: unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (!options.trace && !options.json && !options.prom) {
+    options.trace = true;
+  }
+  if (options.files.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  Cluster cluster = BuildCluster(options);
+  cluster.StartStatusSweep();
+  cluster.MeasureNow();
+
+  int exit_code = 0;
+  for (const std::string& file : options.files) {
+    std::string source;
+    std::string display_name = file;
+    if (file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+      display_name = "<stdin>";
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "ctstat: cannot open '" << file << "'\n";
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    exit_code = std::max(exit_code, AnswerOne(cluster, source, display_name, options));
+  }
+  if (options.prom) {
+    std::cout << cloudtalk::obs::Registry::Instance().RenderPrometheus();
+  }
+  return exit_code;
+}
