@@ -6,6 +6,13 @@
 // throughput. These bound the experiment scales the repo can handle.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
 #include "src/common/rng.h"
 #include "src/fluidsim/fluid_simulation.h"
 #include "src/harness/cluster.h"
@@ -135,6 +142,172 @@ void BM_HdfsWriteSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_HdfsWriteSimulated)->Unit(benchmark::kMicrosecond);
 
+// ---- Cold vs delta rebind comparison (ISSUE 6) ----
+//
+// The exhaustive engine's per-binding pattern at simulation level: a fixed
+// workload where one "variable" flow is re-pointed per binding, served
+// either by Reset() + full group rebuild (the cold rebind) or by checkpoint
+// restore + an in-place resource patch (the delta rebind). Results must be
+// bit-identical; the delta path must be at least 1.5x faster (the Table 2
+// acceptance workload in bench_table2_eval_times targets 2x end to end).
+int RunRebindComparison(const char* json_path) {
+  // Star topology with per-host resources — the same shape the estimator's
+  // scratch builds, where flows couple only through shared endpoints (an
+  // Ec2-style core would fold every group into one component and never
+  // exercise reuse).
+  SingleSwitchParams topo_params;
+  topo_params.num_hosts = 100;
+  const Topology topo = MakeSingleSwitch(topo_params);
+  const int num_hosts = static_cast<int>(topo.hosts().size());
+  FluidSimulation sim(&topo);
+  Rng rng(7);
+
+  const auto random_path = [&](const FluidSimulation& s) {
+    const NodeId src = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    }
+    return s.resources().NetworkPath(topo, src, dst);
+  };
+
+  // Fixed workload: 12 two-flow groups; bindings re-point group 0's first
+  // flow at host b (keeping the paper's one-odometer-digit-changes shape).
+  constexpr int kGroups = 12;
+  std::vector<GroupSpec> base_specs(kGroups);
+  for (GroupSpec& spec : base_specs) {
+    for (int f = 0; f < 2; ++f) {
+      FluidFlow flow;
+      flow.resources = random_path(sim);
+      flow.size = 64 * kMB;
+      spec.flows.push_back(std::move(flow));
+    }
+  }
+  const int bindings = bench::QuickMode() ? 50 : 400;
+  std::vector<std::vector<ResourceId>> binding_paths;
+  binding_paths.reserve(bindings);
+  for (int b = 0; b < bindings; ++b) {
+    binding_paths.push_back(
+        sim.resources().NetworkPath(topo, topo.hosts()[0], topo.hosts()[1 + b % (num_hosts - 1)]));
+  }
+
+  // Cold pass: Reset + rebuild every group per binding (reference result).
+  std::vector<std::vector<Seconds>> reference(bindings);
+  const auto cold_begin = std::chrono::steady_clock::now();
+  for (int b = 0; b < bindings; ++b) {
+    sim.Reset();
+    std::vector<GroupId> ids;
+    ids.reserve(kGroups);
+    for (int g = 0; g < kGroups; ++g) {
+      GroupSpec spec = base_specs[g];
+      if (g == 0) {
+        spec.flows[0].resources = binding_paths[b];
+      }
+      ids.push_back(sim.AddGroup(std::move(spec)));
+    }
+    if (!sim.RunUntilIdle()) {
+      std::fprintf(stderr, "cold rebind pass stalled\n");
+      return 1;
+    }
+    reference[b].reserve(kGroups);
+    for (const GroupId id : ids) {
+      reference[b].push_back(sim.GroupFinishTime(id));
+    }
+  }
+  const auto cold_end = std::chrono::steady_clock::now();
+
+  // Delta pass: install once, checkpoint, then restore + patch per binding.
+  sim.Reset();
+  std::vector<GroupId> ids;
+  ids.reserve(kGroups);
+  for (int g = 0; g < kGroups; ++g) {
+    GroupSpec spec = base_specs[g];
+    ids.push_back(sim.AddGroup(std::move(spec)));
+  }
+  sim.SaveCheckpoint();
+  if (!sim.RunUntilIdle()) {  // Install run; captures the checkpoint solution.
+    std::fprintf(stderr, "install run stalled\n");
+    return 1;
+  }
+  bool identical = true;
+  const auto delta_begin = std::chrono::steady_clock::now();
+  for (int b = 0; b < bindings; ++b) {
+    sim.RestoreCheckpoint();
+    sim.MutableMemberResources(ids[0], 0) = binding_paths[b];
+    sim.MarkGroupDirty(ids[0]);
+    if (!sim.RunUntilIdle()) {
+      std::fprintf(stderr, "delta rebind pass stalled\n");
+      return 1;
+    }
+    for (int g = 0; g < kGroups; ++g) {
+      identical = identical && sim.GroupFinishTime(ids[g]) == reference[b][g];
+    }
+  }
+  const auto delta_end = std::chrono::steady_clock::now();
+
+  const double cold_us =
+      std::chrono::duration<double, std::micro>(cold_end - cold_begin).count() / bindings;
+  const double delta_us =
+      std::chrono::duration<double, std::micro>(delta_end - delta_begin).count() / bindings;
+  const double speedup = delta_us > 0 ? cold_us / delta_us : 0;
+  const auto counters = sim.solver_counters();
+  std::printf("Fluid rebind, %d bindings x %d groups (us per binding):\n", bindings, kGroups);
+  std::printf("%16s %16s %10s %12s %12s\n", "cold rebuild", "delta restore", "speedup",
+              "delta hits", "cold solves");
+  std::printf("%16.1f %16.1f %9.2fx %12lld %12lld\n", cold_us, delta_us, speedup,
+              static_cast<long long>(counters.delta_component_hits),
+              static_cast<long long>(counters.cold_component_solves));
+  std::printf("results bit-identical: %s\n\n", identical ? "yes" : "NO");
+
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fprintf(f,
+                   "{\"bench\":\"simulator_rebind\",\"bindings\":%d,\"groups\":%d,"
+                   "\"cold_us_per_binding\":%.1f,\"delta_us_per_binding\":%.1f,"
+                   "\"speedup\":%.2f,\"identical\":%s}\n",
+                   bindings, kGroups, cold_us, delta_us, speedup,
+                   identical ? "true" : "false");
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: delta rebind diverged from the cold rebuild (D501 material)\n");
+    return 1;
+  }
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: delta rebind speedup %.2fx is below the 1.5x floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  const int rc = RunRebindComparison(json_path);
+  if (rc != 0) {
+    return rc;
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

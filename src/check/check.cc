@@ -70,6 +70,11 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "exhaustive search with the static optimisation passes returns the same "
        "winning binding and bit-identical estimate as the unoptimised walk "
        "(checked differentially by ctcheck --diff-opt)"},
+      {"D501", "fluidsim",
+       "the incremental delta re-solve (checkpoint restore + dirty-component "
+       "water-filling) returns the same winning binding and bit-identical "
+       "estimate as a cold per-binding rebuild (checked differentially by "
+       "ctcheck --diff-sim)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},

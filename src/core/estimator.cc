@@ -76,6 +76,25 @@ struct FlowLevelEstimator::Scratch {
   std::vector<int> var_slot;        // variable index -> host slot (-1 unbound).
   std::vector<GroupSpec> specs;
 
+  // ---- Delta re-bind state (ISSUE 6) ----
+  // The query's groups are installed into the simulation once; a checkpoint
+  // is saved right after. Every later binding restores the checkpoint and
+  // patches, in place, only the members whose endpoints differ from the
+  // *checkpointed* binding (the restore reverts member resources to exactly
+  // that binding, so the diff is always taken against it).
+  bool groups_installed = false;
+  std::vector<GroupId> group_ids;   // per chain group; kInvalidGroup if empty
+  struct FlowMember {
+    GroupId gid = kInvalidGroup;
+    int member = -1;
+  };
+  std::vector<FlowMember> flow_member;       // per flow plan
+  std::vector<std::vector<int>> flows_of_var;  // var index -> flows touching it
+  std::vector<int> chk_var_slot;             // var slots of the checkpointed binding
+  std::vector<int> depth_of_var;             // walk depth per var (-1: not hinted)
+  std::vector<ResourceId> patch_resources;   // scratch for resource rewrites
+  Bytes total_bytes = 0;                     // constant per query
+
   int InternHost(const std::string& address, const StatusByAddress& st) {
     const auto it = host_index.find(address);
     if (it != host_index.end()) {
@@ -103,8 +122,11 @@ struct FlowLevelEstimator::Scratch {
   std::vector<LinkId> pending_links;
 };
 
-FlowLevelEstimator::FlowLevelEstimator(double min_available_fraction, bool reuse_scratch)
-    : min_available_fraction_(min_available_fraction), reuse_scratch_(reuse_scratch) {}
+FlowLevelEstimator::FlowLevelEstimator(double min_available_fraction, bool reuse_scratch,
+                                       bool delta_rebind)
+    : min_available_fraction_(min_available_fraction),
+      reuse_scratch_(reuse_scratch),
+      delta_rebind_(delta_rebind) {}
 
 FlowLevelEstimator::~FlowLevelEstimator() = default;
 
@@ -180,12 +202,64 @@ void FlowLevelEstimator::BeginQuery(const lang::CompiledQuery& query,
     s.sim->SetBackground(s.disk_write[i], report.disk_write_use);
   }
   s.var_slot.assign(query.variables().size(), -1);
+  s.flows_of_var.assign(query.variables().size(), {});
+  s.depth_of_var.assign(query.variables().size(), -1);
+  s.total_bytes = 0;
+  for (size_t i = 0; i < s.flows.size(); ++i) {
+    const Scratch::FlowPlan& plan = s.flows[i];
+    s.total_bytes += plan.size;
+    if (plan.src.kind == Scratch::Ep::kVar) {
+      s.flows_of_var[plan.src.index].push_back(static_cast<int>(i));
+    }
+    if (plan.dst.kind == Scratch::Ep::kVar &&
+        (plan.src.kind != Scratch::Ep::kVar || plan.src.index != plan.dst.index)) {
+      s.flows_of_var[plan.dst.index].push_back(static_cast<int>(i));
+    }
+  }
+  hint_active_ = false;
+  slots_valid_ = false;
 }
 
-void FlowLevelEstimator::EndQuery() { scratch_.reset(); }
+void FlowLevelEstimator::EndQuery() {
+  if (scratch_ != nullptr && scratch_->sim != nullptr) {
+    const FluidSimulation::SolverCounters c = scratch_->sim->solver_counters();
+    stats_.solver_recomputes += c.recomputes;
+    stats_.delta_component_hits += c.delta_component_hits;
+    stats_.cold_component_solves += c.cold_component_solves;
+  }
+  scratch_.reset();
+  hint_active_ = false;
+  slots_valid_ = false;
+}
 
 std::unique_ptr<CompletionEstimator> FlowLevelEstimator::CloneForThread() const {
-  return std::make_unique<FlowLevelEstimator>(min_available_fraction_, reuse_scratch_);
+  return std::make_unique<FlowLevelEstimator>(min_available_fraction_, reuse_scratch_,
+                                              delta_rebind_);
+}
+
+void FlowLevelEstimator::BeginHintedWalk(const std::vector<std::string>& vars_in_walk_order) {
+  if (scratch_ == nullptr) {
+    return;
+  }
+  Scratch& s = *scratch_;
+  s.depth_of_var.assign(s.query->variables().size(), -1);
+  for (size_t d = 0; d < vars_in_walk_order.size(); ++d) {
+    const int v = s.query->VariableIndex(vars_in_walk_order[d]);
+    if (v >= 0 && v < static_cast<int>(s.depth_of_var.size())) {
+      s.depth_of_var[v] = static_cast<int>(d);
+    }
+  }
+}
+
+void FlowLevelEstimator::HintChangedSuffix(size_t first_changed_depth) {
+  hint_active_ = true;
+  hint_first_depth_ = first_changed_depth;
+}
+
+SolverStats FlowLevelEstimator::TakeSolverStats() {
+  const SolverStats out = stats_;
+  stats_ = SolverStats{};
+  return out;
 }
 
 Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& query,
@@ -197,7 +271,16 @@ Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& qu
     bool miss = false;
     Scratch& s = *scratch_;
     const auto& variables = query.variables();
+    // With a valid engine hint, variables strictly above the changed suffix
+    // kept their binding since the previous call, so their cached slots are
+    // reused without the hash lookups.
+    const bool use_hint = hint_active_ && slots_valid_;
+    hint_active_ = false;  // Consumed (valid for this call only).
     for (size_t v = 0; v < variables.size(); ++v) {
+      if (use_hint && s.depth_of_var[v] >= 0 &&
+          static_cast<size_t>(s.depth_of_var[v]) < hint_first_depth_) {
+        continue;
+      }
       const auto it = binding.find(variables[v].name);
       if (it == binding.end()) {
         s.var_slot[v] = -1;  // Flows referencing it fail, as in the cold path.
@@ -214,6 +297,7 @@ Result<Estimate> FlowLevelEstimator::EstimateQuery(const lang::CompiledQuery& qu
       }
       s.var_slot[v] = host_it->second;
     }
+    slots_valid_ = !miss;
     if (!miss) {
       return EstimateWithScratch(query, binding);
     }
@@ -225,68 +309,126 @@ Result<Estimate> FlowLevelEstimator::EstimateWithScratch(const lang::CompiledQue
                                                          const Binding& binding) {
   (void)binding;
   Scratch& s = *scratch_;
-  s.sim->Reset();
   FluidSimulation& sim = *s.sim;
 
-  s.specs.clear();
-  s.specs.resize(query.groups().size());
-  for (size_t g = 0; g < query.groups().size(); ++g) {
-    s.specs[g].rate_limit = query.groups()[g].rate_limit;
-    s.specs[g].start_time = std::max<Seconds>(0, query.groups()[g].start);
-  }
-
-  Bytes total_bytes = 0;
-  for (size_t i = 0; i < s.flows.size(); ++i) {
+  auto slot_of = [&](const Scratch::Ep& ep) -> int {
+    return ep.kind == Scratch::Ep::kHost ? ep.index
+                                         : (ep.index >= 0 ? s.var_slot[ep.index] : -1);
+  };
+  // Resolves flow i's resource set under the current var_slot view into
+  // `out`. False on an unbound variable endpoint.
+  auto flow_resources = [&](size_t i, std::vector<ResourceId>& out) -> bool {
     const Scratch::FlowPlan& plan = s.flows[i];
-    auto slot_of = [&](const Scratch::Ep& ep) -> int {
-      return ep.kind == Scratch::Ep::kHost ? ep.index
-                                           : (ep.index >= 0 ? s.var_slot[ep.index] : -1);
-    };
-    FluidFlow flow;
-    flow.size = plan.size;
-    total_bytes += plan.size;
+    out.clear();
     if (plan.src.kind == Scratch::Ep::kDisk) {
       const int dst = slot_of(plan.dst);
       if (dst < 0) {
-        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+        return false;
       }
-      flow.resources = {s.disk_read[dst]};
+      out = {s.disk_read[dst]};
     } else if (plan.dst.kind == Scratch::Ep::kDisk) {
       const int src = slot_of(plan.src);
       if (src < 0) {
-        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+        return false;
       }
-      flow.resources = {s.disk_write[src]};
+      out = {s.disk_write[src]};
     } else {
       const int src = slot_of(plan.src);
       const int dst = slot_of(plan.dst);
       if (src < 0 || dst < 0) {
-        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+        return false;
       }
       if (src != dst) {
         // Same resource set and order as ResourceRegistry::NetworkPath on
         // the star; loopback transfers consume nothing (empty set).
-        flow.resources = {s.nic_up[src], s.link_up[src], s.link_down[dst], s.nic_down[dst]};
+        out = {s.nic_up[src], s.link_up[src], s.link_down[dst], s.nic_down[dst]};
       }
     }
-    s.specs[plan.group].flows.push_back(std::move(flow));
+    return true;
+  };
+
+  if (delta_rebind_ && s.groups_installed) {
+    // Delta re-bind: rewind to the checkpoint (which also reverts member
+    // resources to the checkpointed binding) and patch only the flows whose
+    // endpoints differ from it. Untouched components then re-solve as cache
+    // hits inside the simulation.
+    sim.RestoreCheckpoint();
+    for (size_t v = 0; v < s.var_slot.size(); ++v) {
+      if (s.var_slot[v] == s.chk_var_slot[v]) {
+        continue;
+      }
+      for (const int fi : s.flows_of_var[v]) {
+        const Scratch::FlowMember& fm = s.flow_member[fi];
+        if (fm.gid == kInvalidGroup) {
+          continue;
+        }
+        if (!flow_resources(fi, s.patch_resources)) {
+          return Error{"flow '" + query.flows()[fi].name + "' has an unbound variable endpoint"};
+        }
+        std::vector<ResourceId>& target = sim.MutableMemberResources(fm.gid, fm.member);
+        if (target != s.patch_resources) {
+          target = s.patch_resources;
+          sim.MarkGroupDirty(fm.gid);
+        }
+      }
+    }
+    ++stats_.delta_rebinds;
+  } else {
+    // Full (re)install: build every group from scratch, then checkpoint so
+    // subsequent bindings take the delta path.
+    s.groups_installed = false;
+    sim.Reset();
+    s.specs.clear();
+    s.specs.resize(query.groups().size());
+    for (size_t g = 0; g < query.groups().size(); ++g) {
+      s.specs[g].rate_limit = query.groups()[g].rate_limit;
+      s.specs[g].start_time = std::max<Seconds>(0, query.groups()[g].start);
+    }
+    s.flow_member.assign(s.flows.size(), Scratch::FlowMember{});
+    for (size_t i = 0; i < s.flows.size(); ++i) {
+      const Scratch::FlowPlan& plan = s.flows[i];
+      if (!flow_resources(i, s.patch_resources)) {
+        return Error{"flow '" + query.flows()[i].name + "' has an unbound variable endpoint"};
+      }
+      FluidFlow flow;
+      flow.size = plan.size;
+      flow.resources = s.patch_resources;
+      // Temporarily store the chain-group index; remapped to the admitted
+      // GroupId below.
+      s.flow_member[i].gid = plan.group;
+      s.flow_member[i].member = static_cast<int>(s.specs[plan.group].flows.size());
+      s.specs[plan.group].flows.push_back(std::move(flow));
+    }
+    s.group_ids.assign(query.groups().size(), kInvalidGroup);
+    for (size_t g = 0; g < s.specs.size(); ++g) {
+      if (s.specs[g].flows.empty()) {
+        continue;
+      }
+      s.group_ids[g] = sim.AddGroup(std::move(s.specs[g]));
+    }
+    for (Scratch::FlowMember& fm : s.flow_member) {
+      fm.gid = fm.gid >= 0 ? s.group_ids[fm.gid] : kInvalidGroup;
+    }
+    if (delta_rebind_) {
+      sim.SaveCheckpoint();
+      s.chk_var_slot = s.var_slot;
+      s.groups_installed = true;
+    }
+    ++stats_.cold_rebinds;
   }
 
-  Seconds makespan = 0;
-  for (GroupSpec& spec : s.specs) {
-    if (spec.flows.empty()) {
-      continue;
-    }
-    sim.AddGroup(std::move(spec), [&makespan](GroupId, Seconds t) {
-      makespan = std::max(makespan, t);
-    });
-  }
   if (!sim.RunUntilIdle(/*hard_deadline=*/1e9)) {
     return Error{"flow-level estimate did not converge (zero-rate flows)"};
   }
+  Seconds makespan = 0;
+  for (const GroupId gid : s.group_ids) {
+    if (gid != kInvalidGroup) {
+      makespan = std::max(makespan, sim.GroupFinishTime(gid));
+    }
+  }
   cloudtalk::Estimate estimate;
   estimate.makespan = makespan;
-  estimate.aggregate_throughput = makespan > 0 ? total_bytes * 8.0 / makespan : 0;
+  estimate.aggregate_throughput = makespan > 0 ? s.total_bytes * 8.0 / makespan : 0;
   return estimate;
 }
 
@@ -397,17 +539,20 @@ Result<Estimate> FlowLevelEstimator::EstimateCold(const lang::CompiledQuery& que
     specs[rf.group].flows.push_back(std::move(flow));
   }
 
-  Seconds makespan = 0;
+  std::vector<GroupId> ids;
+  ids.reserve(specs.size());
   for (GroupSpec& spec : specs) {
     if (spec.flows.empty()) {
       continue;
     }
-    sim.AddGroup(std::move(spec), [&makespan](GroupId, Seconds t) {
-      makespan = std::max(makespan, t);
-    });
+    ids.push_back(sim.AddGroup(std::move(spec)));
   }
   if (!sim.RunUntilIdle(/*hard_deadline=*/1e9)) {
     return Error{"flow-level estimate did not converge (zero-rate flows)"};
+  }
+  Seconds makespan = 0;
+  for (const GroupId id : ids) {
+    makespan = std::max(makespan, sim.GroupFinishTime(id));
   }
   cloudtalk::Estimate estimate;
   estimate.makespan = makespan;

@@ -50,6 +50,19 @@ struct Estimate {
   Bps aggregate_throughput = 0;   // Total bytes * 8 / makespan.
 };
 
+// Per-query solver-cost accounting surfaced to the exhaustive engine
+// (ISSUE 6). A "rebind" is one EstimateQuery served from prepared scratch:
+// delta = checkpoint restore + in-place patch of the flows a changed
+// variable touches; cold = full group re-install. Component counters come
+// from the fluid solver's per-component delta cache.
+struct SolverStats {
+  int64_t delta_rebinds = 0;
+  int64_t cold_rebinds = 0;
+  int64_t solver_recomputes = 0;
+  int64_t delta_component_hits = 0;
+  int64_t cold_component_solves = 0;
+};
+
 class CompletionEstimator {
  public:
   virtual ~CompletionEstimator() = default;
@@ -75,6 +88,22 @@ class CompletionEstimator {
   // False by default: e.g. the packet simulator's transfer references tie
   // behaviour to specific flow indices.
   virtual bool EstimatesArePermutationInvariant() const { return false; }
+
+  // ---- Odometer delta hints (ISSUE 6) ----
+  // The exhaustive engine announces its variable walk order once per query
+  // (after BeginQuery), then before each EstimateQuery reports the lowest
+  // walk depth whose binding may differ from the previous EstimateQuery on
+  // this estimator; every shallower variable is guaranteed unchanged. The
+  // hint is consumed by the next EstimateQuery. Both default to no-ops —
+  // estimators that ignore them simply re-resolve every variable.
+  virtual void BeginHintedWalk(const std::vector<std::string>& vars_in_walk_order) {
+    (void)vars_in_walk_order;
+  }
+  virtual void HintChangedSuffix(size_t first_changed_depth) { (void)first_changed_depth; }
+
+  // Drains the accumulated solver-cost counters (zeroing them). The engine
+  // collects these after EndQuery, once per shard.
+  virtual SolverStats TakeSolverStats() { return {}; }
 };
 
 class FlowLevelEstimator : public CompletionEstimator {
@@ -83,7 +112,12 @@ class FlowLevelEstimator : public CompletionEstimator {
   // at least this fraction of a busy resource. `reuse_scratch` enables the
   // per-query prepared scratch (BeginQuery); disabling it reproduces the
   // original build-everything-per-binding behaviour (benchmark baseline).
-  explicit FlowLevelEstimator(double min_available_fraction = 0.1, bool reuse_scratch = true);
+  // `delta_rebind` additionally installs the query's groups once, checkpoints
+  // the simulation, and serves every further binding by restore + in-place
+  // resource patches instead of a full re-install; results are bitwise
+  // identical (ctcheck --diff-sim fuzzes this claim).
+  explicit FlowLevelEstimator(double min_available_fraction = 0.1, bool reuse_scratch = true,
+                              bool delta_rebind = true);
   ~FlowLevelEstimator() override;
 
   Result<cloudtalk::Estimate> EstimateQuery(const lang::CompiledQuery& query, const Binding& binding,
@@ -95,6 +129,10 @@ class FlowLevelEstimator : public CompletionEstimator {
   // The fluid model folds a chain group into one shared rate; flow order
   // within a group cannot matter.
   bool EstimatesArePermutationInvariant() const override { return true; }
+
+  void BeginHintedWalk(const std::vector<std::string>& vars_in_walk_order) override;
+  void HintChangedSuffix(size_t first_changed_depth) override;
+  SolverStats TakeSolverStats() override;
 
   bool scratch_prepared() const { return scratch_ != nullptr; }
 
@@ -113,7 +151,15 @@ class FlowLevelEstimator : public CompletionEstimator {
 
   double min_available_fraction_;
   bool reuse_scratch_;
+  bool delta_rebind_;
   std::unique_ptr<Scratch> scratch_;
+  SolverStats stats_;
+  // Hint state (see CompletionEstimator::HintChangedSuffix). slots_valid_
+  // guards the skip: a variable's cached slot is only trusted if the
+  // previous EstimateQuery resolved the full binding without a miss.
+  bool hint_active_ = false;
+  size_t hint_first_depth_ = 0;
+  bool slots_valid_ = false;
 };
 
 // Substitutes variables in `endpoint` according to `binding`. Returns the

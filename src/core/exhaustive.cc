@@ -75,6 +75,7 @@ struct ShardResult {
   int64_t tried = 0;
   int64_t memo_hits = 0;
   int64_t orbit_skips = 0;
+  SolverStats solver;  // Drained from the worker's estimator after the shard.
   std::optional<Error> last_error;
 };
 
@@ -88,6 +89,23 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
   const size_t n = variables.size();
   ShardResult out;
   est.BeginQuery(*ctx.query, *ctx.status);
+
+  // Announce the odometer's walk order so a delta-capable estimator can map
+  // depths to its own variable indices (ISSUE 6).
+  {
+    std::vector<std::string> walk_order;
+    walk_order.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      walk_order.push_back(variables[i].name);
+    }
+    est.BeginHintedWalk(walk_order);
+  }
+  // Lowest depth whose slot was rewritten since the last EstimateQuery on
+  // this estimator. Conservative: a rewrite with the same value still counts
+  // as changed. Reset only after actual estimator calls — memo hits leave
+  // the estimator's view of the binding untouched, so rewrites accumulate
+  // across them.
+  size_t lowest_changed = 0;
 
   // One persistent Binding: enumeration only rewrites the address strings
   // in place (unordered_map nodes are stable).
@@ -154,7 +172,9 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
         }
       }
       if (!have) {
+        est.HintChangedSuffix(lowest_changed);
         Result<Estimate> result = est.EstimateQuery(*ctx.query, binding, *ctx.status);
+        lowest_changed = n;
         if (result.ok()) {
           estimate = result.value();
           have = true;
@@ -216,6 +236,7 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
       continue;
     }
     slot[depth]->name = ctx.pool_names[depth][choice[depth]];
+    lowest_changed = std::min(lowest_changed, depth);
     var_id[depth] = id;
     if (ctx.distinct) {
       used[id] = 1;
@@ -224,6 +245,7 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
   }
 
   est.EndQuery();
+  out.solver = est.TakeSolverStats();
   return out;
 }
 
@@ -452,6 +474,11 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     best.counters.evaluations += r.tried - r.memo_hits;
     best.counters.memo_hits += r.memo_hits;
     best.counters.orbit_skips += r.orbit_skips;
+    best.counters.delta_rebinds += r.solver.delta_rebinds;
+    best.counters.cold_rebinds += r.solver.cold_rebinds;
+    best.counters.solver_recomputes += r.solver.solver_recomputes;
+    best.counters.delta_component_hits += r.solver.delta_component_hits;
+    best.counters.cold_component_solves += r.solver.cold_component_solves;
     if (r.last_error.has_value() && !last_error.has_value()) {
       last_error = r.last_error;
     }

@@ -46,6 +46,15 @@ struct SearchCounters {
   int64_t orbit_skips = 0;      // Odometer positions skipped by O200.
   int components = 0;           // Communication components (O300 analysis).
   int threads_used = 1;         // Shards the space was actually split into.
+  // Solver-cost breakdown (ISSUE 6), drained from each worker's estimator
+  // after its shard: evaluations served by a checkpoint-restore delta rebind
+  // vs. a full group re-install, plus the fluid solver's own recompute and
+  // per-component delta-cache counters.
+  int64_t delta_rebinds = 0;
+  int64_t cold_rebinds = 0;
+  int64_t solver_recomputes = 0;
+  int64_t delta_component_hits = 0;
+  int64_t cold_component_solves = 0;
 
   int64_t scored() const { return evaluations + memo_hits; }
 };

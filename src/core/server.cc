@@ -268,6 +268,9 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     trace.Attr(bind_span, "pruned", c.bindings_pruned);
     trace.Attr(bind_span, "orbit_skips", c.orbit_skips);
     trace.Attr(bind_span, "threads", static_cast<int64_t>(c.threads_used));
+    trace.Attr(bind_span, "delta_rebinds", c.delta_rebinds);
+    trace.Attr(bind_span, "cold_rebinds", c.cold_rebinds);
+    trace.Attr(bind_span, "solver_recomputes", c.solver_recomputes);
     trace.Close(bind_span);
     reply.binding = best.value().binding;
     reply.estimate = best.value().estimate;

@@ -123,6 +123,12 @@ const std::vector<MetricInfo>& MetricCatalog() {
        "Max-min rate recomputations", "", {}},
       {"M303", MetricType::kCounter, "fluidsim", "cloudtalk_fluidsim_groups",
        "Elastic flow groups admitted", "", {}},
+      {"M304", MetricType::kCounter, "fluidsim", "cloudtalk_fluidsim_delta_hits",
+       "Water-filling components reused bitwise from the delta cache", "", {}},
+      {"M305", MetricType::kCounter, "fluidsim", "cloudtalk_fluidsim_cold_solves",
+       "Water-filling components solved cold (dirty or cache mismatch)", "", {}},
+      {"M306", MetricType::kHistogram, "fluidsim", "cloudtalk_fluidsim_dirty_chain_groups",
+       "Flow groups per cold-solved component (dirty bottleneck-chain length)", "", kFanout},
       // ---- M4xx: shared worker pool ----
       {"M400", MetricType::kGauge, "pool", "cloudtalk_pool_queue_depth",
        "Helper tasks waiting in the shared worker-pool queue", "", {}},

@@ -690,6 +690,96 @@ TEST(EstimatorScratchTest, OutOfPoolBindingFallsBackToColdPath) {
   EXPECT_EQ(with_scratch.value().makespan, reference.value().makespan);
 }
 
+// ---- Incremental delta rebind (ISSUE 6) ----
+
+TEST(EstimatorDeltaTest, DeltaRebindMatchesColdRebindBitExactly) {
+  // Same fixture as ScratchMatchesColdPathBitExactly, but the two sides
+  // differ in the rebind strategy: checkpoint restore + patch vs full group
+  // re-install per binding. Bindings walk in odometer order with the suffix
+  // hint, like the exhaustive engine drives it.
+  const Query query = MustParse(
+      "A = B = (x y z)\n"
+      "f1 0.0.0.0 -> A size 64M\n"
+      "f2 A -> disk size 32M\n"
+      "f3 A -> B size 16M\n"
+      "f4 A -> A size 8M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  status["x"] = MakeReport(1e9, 300e6, 100e6, 3e9, 0, 500e6);
+  status["y"] = MakeReport(1e9, 100e6, 600e6);
+  status["z"] = MakeReport(2e9, 0, 0);
+  FlowLevelEstimator delta(0.1, /*reuse_scratch=*/true, /*delta_rebind=*/true);
+  FlowLevelEstimator cold(0.1, /*reuse_scratch=*/true, /*delta_rebind=*/false);
+  delta.BeginQuery(compiled, status);
+  cold.BeginQuery(compiled, status);
+  delta.BeginHintedWalk({"A", "B"});
+  bool first = true;
+  for (const char* a : {"x", "y", "z"}) {
+    bool a_changed = true;
+    for (const char* b : {"x", "y", "z"}) {
+      Binding binding;
+      binding["A"] = Endpoint::Address(a);
+      binding["B"] = Endpoint::Address(b);
+      delta.HintChangedSuffix(first ? 0 : (a_changed ? 0 : 1));
+      first = false;
+      a_changed = false;
+      auto fast = delta.EstimateQuery(compiled, binding, status);
+      auto slow = cold.EstimateQuery(compiled, binding, status);
+      ASSERT_TRUE(fast.ok()) << fast.error().ToString();
+      ASSERT_TRUE(slow.ok()) << slow.error().ToString();
+      // Exact: the delta path must be indistinguishable from re-installing.
+      EXPECT_EQ(fast.value().makespan, slow.value().makespan) << a << "," << b;
+      EXPECT_EQ(fast.value().aggregate_throughput, slow.value().aggregate_throughput);
+    }
+  }
+  delta.EndQuery();
+  cold.EndQuery();
+  const SolverStats delta_stats = delta.TakeSolverStats();
+  const SolverStats cold_stats = cold.TakeSolverStats();
+  EXPECT_EQ(delta_stats.cold_rebinds, 1);  // Install only.
+  EXPECT_EQ(delta_stats.delta_rebinds, 8);
+  EXPECT_EQ(cold_stats.delta_rebinds, 0);
+  EXPECT_EQ(cold_stats.cold_rebinds, 9);
+}
+
+TEST(EstimatorDeltaTest, ExhaustiveSearchUsesDeltaRebinds) {
+  // End to end through the engine: with memoisation off every enumerated
+  // binding reaches the estimator, and all but the first per shard must be
+  // served by the delta path. The answer matches a delta-off run bitwise.
+  const Query query = MustParse(
+      "x1 = x2 = x3 = (s1 s2 s3 s4 s5 s6)\n"
+      "f1 x1 -> x2 size 50M\n"
+      "f2 x2 -> x3 size 100M\n");
+  const CompiledQuery compiled = MustCompile(query);
+  StatusByAddress status;
+  for (int i = 1; i <= 6; ++i) {
+    status["s" + std::to_string(i)] = MakeReport(1e9, 120e6 * i, 40e6 * i);
+  }
+  ExhaustiveParams params;
+  params.memoize = false;
+  FlowLevelEstimator delta(0.1, /*reuse_scratch=*/true, /*delta_rebind=*/true);
+  auto with_delta = EvaluateExhaustive(compiled, status, delta, params);
+  FlowLevelEstimator cold(0.1, /*reuse_scratch=*/true, /*delta_rebind=*/false);
+  auto without = EvaluateExhaustive(compiled, status, cold, params);
+  ASSERT_TRUE(with_delta.ok()) << with_delta.error().ToString();
+  ASSERT_TRUE(without.ok()) << without.error().ToString();
+  EXPECT_EQ(with_delta.value().estimate.makespan, without.value().estimate.makespan);
+  EXPECT_EQ(with_delta.value().estimate.aggregate_throughput,
+            without.value().estimate.aggregate_throughput);
+  for (const auto& [var, endpoint] : without.value().binding) {
+    EXPECT_EQ(with_delta.value().binding.at(var).name, endpoint.name) << var;
+  }
+  const SearchCounters& c = with_delta.value().counters;
+  EXPECT_EQ(c.scored(), 120);
+  EXPECT_EQ(c.cold_rebinds, 1);  // One install for the single serial shard.
+  EXPECT_EQ(c.delta_rebinds, c.evaluations - c.cold_rebinds);
+  EXPECT_GT(c.solver_recomputes, 0);
+  EXPECT_GT(c.delta_component_hits, 0);
+  const SearchCounters& n = without.value().counters;
+  EXPECT_EQ(n.delta_rebinds, 0);
+  EXPECT_EQ(n.cold_rebinds, n.evaluations);
+}
+
 // ---- Heuristic optimality properties (paper Section 5.1 claims) ----
 
 class SingleVariableOptimalityTest : public ::testing::TestWithParam<int> {};

@@ -417,5 +417,172 @@ TEST(FluidSimTest, ResetReplaysIdentically) {
   EXPECT_EQ(run_once(), original);
 }
 
+// ---- Checkpoint / delta re-solve (ISSUE 6) ----
+
+// Randomized retract/re-add: install a random workload, checkpoint, then for
+// several "bindings" restore + rewire a random subset of members and compare
+// the delta-solved run against a cold rebuild with the same final resource
+// sets. Rates, finish times and transferred bytes must be bit-identical —
+// the delta cache is only allowed to reuse a component when the reuse is
+// indistinguishable from solving it cold.
+class CheckpointDeltaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointDeltaPropertyTest, DeltaMatchesColdRebuildBitExactly) {
+  Rng rng(GetParam() * 7919);
+  const Topology topo = MakeSingleSwitch(GigabitCluster(8));
+  const int num_hosts = static_cast<int>(topo.hosts().size());
+
+  FluidSimulation delta_sim(&topo);
+  delta_sim.SetBackground(delta_sim.resources().NicUp(topo.hosts()[0]), 300e6);
+
+  const auto random_path = [&](const FluidSimulation& sim) {
+    const NodeId src = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts()[rng.UniformInt(0, num_hosts - 1)];
+    }
+    return sim.resources().NetworkPath(sim.topology(), src, dst);
+  };
+
+  // Install: random groups (1-3 flows each, occasional caps and delayed
+  // starts), then checkpoint the pristine pre-run state.
+  struct Installed {
+    GroupId id;
+    GroupSpec spec;  // Kept for the cold rebuilds.
+  };
+  std::vector<Installed> installed;
+  const int num_groups = static_cast<int>(rng.UniformInt(2, 6));
+  for (int g = 0; g < num_groups; ++g) {
+    GroupSpec spec;
+    const int num_flows = static_cast<int>(rng.UniformInt(1, 3));
+    for (int f = 0; f < num_flows; ++f) {
+      FluidFlow flow;
+      flow.resources = random_path(delta_sim);
+      flow.size = rng.Uniform(1, 64) * kMB;
+      spec.flows.push_back(std::move(flow));
+    }
+    if (rng.Bernoulli(0.3)) {
+      spec.rate_limit = rng.Uniform(50, 900) * kMbps;
+    }
+    if (rng.Bernoulli(0.3)) {
+      spec.start_time = rng.Uniform(0, 1);
+    }
+    Installed entry;
+    entry.spec = spec;  // Copy before the sim takes ownership.
+    entry.id = delta_sim.AddGroup(std::move(spec));
+    installed.push_back(std::move(entry));
+  }
+  delta_sim.SaveCheckpoint();
+  // The install binding's own run: its first recompute captures the
+  // checkpoint solution, arming component reuse for later restores (the
+  // same order the estimator uses).
+  ASSERT_TRUE(delta_sim.RunUntilIdle());
+
+  for (int binding = 0; binding < 6; ++binding) {
+    delta_sim.RestoreCheckpoint();
+    // Retract a random subset of members and re-add them on fresh paths. The
+    // patch diff is against the *checkpoint* (restore reverted everything
+    // else), exactly like the estimator's per-binding rebind.
+    std::vector<GroupSpec> cur_specs;
+    cur_specs.reserve(installed.size());
+    for (Installed& entry : installed) {
+      GroupSpec spec = entry.spec;
+      bool touched = false;
+      for (size_t f = 0; f < spec.flows.size(); ++f) {
+        if (!rng.Bernoulli(0.4)) {
+          continue;
+        }
+        std::vector<ResourceId> path = random_path(delta_sim);
+        spec.flows[f].resources = path;
+        delta_sim.MutableMemberResources(entry.id, static_cast<int>(f)) = std::move(path);
+        touched = true;
+      }
+      if (touched) {
+        delta_sim.MarkGroupDirty(entry.id);
+      }
+      cur_specs.push_back(std::move(spec));
+    }
+    ASSERT_TRUE(delta_sim.RunUntilIdle());
+
+    // Cold rebuild: a fresh simulation fed the same final specs in the same
+    // order, with the same background.
+    FluidSimulation cold_sim(&topo);
+    cold_sim.SetBackground(cold_sim.resources().NicUp(topo.hosts()[0]), 300e6);
+    std::vector<GroupId> cold_ids;
+    for (GroupSpec& spec : cur_specs) {
+      cold_ids.push_back(cold_sim.AddGroup(std::move(spec)));
+    }
+    ASSERT_TRUE(cold_sim.RunUntilIdle());
+
+    for (size_t g = 0; g < installed.size(); ++g) {
+      SCOPED_TRACE("binding " + std::to_string(binding) + " group " + std::to_string(g));
+      // Exact, no tolerance: bitwise equality of the final trajectory.
+      EXPECT_EQ(delta_sim.GroupFinishTime(installed[g].id),
+                cold_sim.GroupFinishTime(cold_ids[g]));
+      for (size_t f = 0; f < installed[g].spec.flows.size(); ++f) {
+        EXPECT_EQ(delta_sim.GroupTransferred(installed[g].id, static_cast<int>(f)),
+                  cold_sim.GroupTransferred(cold_ids[g], static_cast<int>(f)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, CheckpointDeltaPropertyTest, ::testing::Range(1, 16));
+
+TEST(FluidSimTest, CheckpointRestoreReplaysIdentically) {
+  // Restoring the same checkpoint twice and applying the same patch must
+  // replay the exact trajectory — the delta cache may not leak state from
+  // one restore into the next.
+  const Topology topo = MakeSingleSwitch(GigabitCluster(4));
+  FluidSimulation sim(&topo);
+  const GroupId a =
+      sim.AddGroup(NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[1], 64 * kMB));
+  const GroupId b =
+      sim.AddGroup(NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[2], 32 * kMB));
+  sim.SaveCheckpoint();
+  ASSERT_TRUE(sim.RunUntilIdle());  // Captures the checkpoint solution.
+
+  auto run_patched = [&] {
+    sim.RestoreCheckpoint();
+    sim.MutableMemberResources(b, 0) =
+        sim.resources().NetworkPath(sim.topology(), topo.hosts()[3], topo.hosts()[1]);
+    sim.MarkGroupDirty(b);
+    EXPECT_TRUE(sim.RunUntilIdle());
+    return std::make_pair(sim.GroupFinishTime(a), sim.GroupFinishTime(b));
+  };
+
+  const auto first = run_patched();
+  EXPECT_GT(first.first, 0.0);
+  EXPECT_GT(first.second, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(run_patched(), first) << "replay " << i;
+  }
+
+  // An unpatched restore replays the checkpointed workload itself, and the
+  // delta cache actually serves it (no cold component solves on the replay).
+  sim.RestoreCheckpoint();
+  const auto before = sim.solver_counters();
+  EXPECT_TRUE(sim.RunUntilIdle());
+  const auto after = sim.solver_counters();
+  EXPECT_GT(after.delta_component_hits, before.delta_component_hits);
+}
+
+TEST(FluidSimTest, RecomputeCountSurvivesReset) {
+  // The estimator reports per-query solver work by differencing
+  // recompute_count_ across bindings; Reset() (one per cold rebind) must not
+  // zero it.
+  const Topology topo = MakeSingleSwitch(GigabitCluster(4));
+  FluidSimulation sim(&topo);
+  sim.AddGroup(NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[1], 8 * kMB));
+  ASSERT_TRUE(sim.RunUntilIdle());
+  const int64_t after_first = sim.solver_counters().recomputes;
+  EXPECT_GT(after_first, 0);
+  sim.Reset();
+  EXPECT_EQ(sim.solver_counters().recomputes, after_first);
+  sim.AddGroup(NetworkTransfer(sim, topo.hosts()[0], topo.hosts()[1], 8 * kMB));
+  ASSERT_TRUE(sim.RunUntilIdle());
+  EXPECT_GT(sim.solver_counters().recomputes, after_first);
+}
+
 }  // namespace
 }  // namespace cloudtalk

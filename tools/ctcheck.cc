@@ -549,6 +549,106 @@ std::string RunDiffOptSeed(uint64_t seed, std::string* query_text) {
   return "";
 }
 
+// ---- --diff-sim: differential fuzz of the incremental delta re-solve ----
+//
+// Same generated workloads as --diff-opt, but the two sides differ in the
+// *estimator*, not the search: one FlowLevelEstimator serves every binding
+// via checkpoint restore + delta patches, the other re-installs the groups
+// cold per binding. Memoisation is disabled so every enumerated binding
+// actually reaches the estimator, and the unoptimised walk is used on both
+// sides so the enumeration order (and hence the delta chains the odometer
+// produces) is identical. Any divergence is a D501 violation.
+std::string RunDiffSimSeed(uint64_t seed, std::string* query_text) {
+  *query_text = GenerateDiffOptQuery(seed);
+  lang::DiagnosticSink sink;
+  const lang::Query query = lang::ParseWithDiagnostics(*query_text, &sink);
+  if (sink.has_errors()) {
+    return "generated query does not parse (generator bug): " +
+           sink.diagnostics().front().message;
+  }
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return "generated query does not compile (generator bug): " + compiled.error().message;
+  }
+  const StatusByAddress status = GenerateDiffOptStatus(compiled.value(), seed);
+
+  ExhaustiveParams params;
+  params.threads = query.options.eval_threads > 0 ? query.options.eval_threads : 1;
+  params.optimize = false;
+  params.memoize = false;
+  FlowLevelEstimator est_cold(/*min_available_fraction=*/0.1, /*reuse_scratch=*/true,
+                              /*delta_rebind=*/false);
+  const Result<ExhaustiveResult> cold =
+      EvaluateExhaustive(compiled.value(), status, est_cold, params);
+  FlowLevelEstimator est_delta(/*min_available_fraction=*/0.1, /*reuse_scratch=*/true,
+                               /*delta_rebind=*/true);
+  const Result<ExhaustiveResult> delta =
+      EvaluateExhaustive(compiled.value(), status, est_delta, params);
+
+  if (!cold.ok() && !delta.ok()) {
+    return "";  // Both sides agree there is no answer.
+  }
+  if (cold.ok() != delta.ok()) {
+    return std::string("only the ") + (cold.ok() ? "cold" : "delta") +
+           " estimator found a binding (" +
+           (cold.ok() ? delta.error().message : cold.error().message) + ")";
+  }
+  const ExhaustiveResult& a = cold.value();
+  const ExhaustiveResult& b = delta.value();
+  const std::string binding_a = RenderBinding(a.binding);
+  const std::string binding_b = RenderBinding(b.binding);
+  if (binding_a != binding_b) {
+    return "different winners: cold [" + binding_a + "] vs delta [" + binding_b + "]";
+  }
+  if (std::memcmp(&a.estimate.makespan, &b.estimate.makespan, sizeof(double)) != 0 ||
+      std::memcmp(&a.estimate.aggregate_throughput, &b.estimate.aggregate_throughput,
+                  sizeof(double)) != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "same winner but estimates differ: makespan %.17g vs %.17g",
+                  a.estimate.makespan, b.estimate.makespan);
+    return buf;
+  }
+  return "";
+}
+
+int RunDiffSimMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffSimSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffsim_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-sim divergence, seed " << seed << " (D501)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D501 delta re-solve divergence: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-sim\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-sim: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 int RunDiffOptMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
   if (seeds <= 0) {
     std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
@@ -590,6 +690,7 @@ void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
@@ -599,6 +700,9 @@ void PrintUsage(FILE* out) {
                "With --diff-opt, fuzzes the static optimisation passes instead: random\n"
                "queries and status snapshots are evaluated exhaustively with the passes\n"
                "off and on; any divergence is a D500 violation and the query is saved.\n"
+               "With --diff-sim, fuzzes the incremental fluid solver: every binding is\n"
+               "estimated twice, once via checkpoint-restore delta re-solve and once via\n"
+               "a cold per-binding rebuild; any divergence is a D501 violation.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -631,6 +735,7 @@ int Main(int argc, char** argv) {
   bool json = false;
   bool catalog = false;
   bool diff_opt = false;
+  bool diff_sim = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -654,6 +759,8 @@ int Main(int argc, char** argv) {
       catalog = true;
     } else if (arg == "--diff-opt") {
       diff_opt = true;
+    } else if (arg == "--diff-sim") {
+      diff_sim = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -669,6 +776,9 @@ int Main(int argc, char** argv) {
   }
   if (diff_opt) {
     return RunDiffOptMode(seeds, seed_base, out_dir, json);
+  }
+  if (diff_sim) {
+    return RunDiffSimMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,
