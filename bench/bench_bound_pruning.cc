@@ -1,0 +1,183 @@
+// ISSUE 7 acceptance: O500 branch-and-bound vs. the same plan without it.
+//
+// Workload: a busy cluster. Four fan-out shards of *distinct* sizes (so
+// O200 cannot claim the workers are interchangeable) draw workers from a
+// sixteen-host pool whose second half is nearly saturated. The first
+// complete binding the odometer reaches lives on the idle half and sets a
+// small incumbent; every prefix that pins a worker to a saturated host then
+// carries a sound lower bound far above it and is cut without simulating
+// any of its completions. Both configurations run the identical query and
+// status with the full static plan; the only difference is kOptBoundPruning:
+//   baseline — O100..O400 plan, no branch-and-bound.
+//   bounded  — the same plan plus O500.
+// The bench fails (exit non-zero) unless the two return byte-identical
+// bindings and makespans AND the bounded walk enumerates at least 2x fewer
+// bindings — the ISSUE 7 acceptance floor (this shape gives ~25x).
+//
+// Output ends with one machine-readable JSON line; pass a path argument to
+// also write that line to a file (CI stores it as BENCH_bound.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "bench/experiments.h"
+#include "src/core/estimator.h"
+#include "src/core/exhaustive.h"
+#include "src/lang/analysis.h"
+#include "src/lang/opt.h"
+#include "src/lang/parser.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+// w workers over an n-host pool, one shard each, sizes 2x apart so no two
+// workers are symmetric and every chain group's bound is its own.
+std::string SkewedShuffleQuery(int n, int w) {
+  std::ostringstream query;
+  for (int i = 1; i <= w; ++i) {
+    query << "W" << i << " = ";
+  }
+  query << "(";
+  for (int i = 1; i <= n; ++i) {
+    query << "10.0.1." << i << " ";
+  }
+  query << ")\n";
+  for (int i = 1; i <= w; ++i) {
+    query << "shard" << i << " 10.0.0.9 -> W" << i << " size " << (40 * (1 << (i - 1)))
+          << "M\n";
+  }
+  return query.str();
+}
+
+// First `idle` hosts are free; the rest run at 95% NIC utilisation, which
+// the estimator floors at the 10% availability fraction.
+StatusByAddress BusyClusterStatus(int n, int idle) {
+  StatusByAddress status;
+  auto report = [](double frac) {
+    StatusReport r;
+    r.nic_tx_cap = r.nic_rx_cap = 1e9;
+    r.nic_tx_use = frac * 1e9;
+    r.nic_rx_use = frac * 1e9;
+    r.disk_read_cap = r.disk_write_cap = 4e9;
+    return r;
+  };
+  for (int i = 1; i <= n; ++i) {
+    status["10.0.1." + std::to_string(i)] = report(i <= idle ? 0.0 : 0.95);
+  }
+  status["10.0.0.9"] = report(0.0);
+  return status;
+}
+
+struct TimedRun {
+  double us = 0;  // Best of `iters` runs.
+  ExhaustiveResult result;
+};
+
+TimedRun TimeEval(const lang::CompiledQuery& compiled, const StatusByAddress& status,
+                  const lang::PrunedSpace& plan, int iters) {
+  TimedRun out;
+  out.us = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    FlowLevelEstimator estimator;
+    ExhaustiveParams params;
+    params.optimize = true;
+    params.plan = &plan;
+    const auto begin = std::chrono::steady_clock::now();
+    Result<ExhaustiveResult> result = EvaluateExhaustive(compiled, status, estimator, params);
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n", result.error().ToString().c_str());
+      std::exit(1);
+    }
+    out.us = std::min(out.us, std::chrono::duration<double, std::micro>(end - begin).count());
+    out.result = std::move(result.value());
+  }
+  return out;
+}
+
+bool Identical(const ExhaustiveResult& a, const ExhaustiveResult& b) {
+  // Byte-identical makespan (no tolerance) and the same binding.
+  if (std::memcmp(&a.estimate.makespan, &b.estimate.makespan, sizeof(double)) != 0) {
+    return false;
+  }
+  if (a.binding.size() != b.binding.size()) {
+    return false;
+  }
+  for (const auto& [var, endpoint] : a.binding) {
+    const auto it = b.binding.find(var);
+    if (it == b.binding.end() || !(it->second == endpoint)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = 16;
+  const int w = 4;
+  const int idle = 8;
+  const int iters = bench::QuickMode() ? 2 : 5;
+
+  bench::PrintHeader("O500 bound pruning (skewed shuffle on a half-busy cluster, n=16 w=4)");
+
+  auto parsed = lang::Parse(SkewedShuffleQuery(n, w));
+  auto compiled = lang::CompiledQuery::Compile(parsed.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.error().ToString().c_str());
+    return 1;
+  }
+  const StatusByAddress status = BusyClusterStatus(n, idle);
+
+  lang::OptimizeParams opt_params;
+  opt_params.passes = lang::kOptAllPasses & ~lang::kOptBoundPruning;
+  const lang::PrunedSpace base_plan = lang::Optimize(compiled.value(), status, opt_params);
+  opt_params.passes = lang::kOptAllPasses;
+  const lang::PrunedSpace bound_plan = lang::Optimize(compiled.value(), status, opt_params);
+
+  const TimedRun base = TimeEval(compiled.value(), status, base_plan, iters);
+  const TimedRun bounded = TimeEval(compiled.value(), status, bound_plan, iters);
+
+  const bool identical = Identical(base.result, bounded.result);
+  const double reduction =
+      static_cast<double>(base.result.counters.enumerated) /
+      static_cast<double>(std::max<int64_t>(1, bounded.result.counters.enumerated));
+  const bool pruned_enough = reduction >= 2.0;
+
+  std::printf(
+      "bindings enumerated: %lld baseline vs %lld bounded (%.1fx, %lld bound prunes)\n",
+      static_cast<long long>(base.result.counters.enumerated),
+      static_cast<long long>(bounded.result.counters.enumerated), reduction,
+      static_cast<long long>(bounded.result.counters.bound_prunes));
+  std::printf("%-28s %12.0f us\n", "O100..O400 plan", base.us);
+  std::printf("%-28s %12.0f us  (%.2fx)\n", "with O500 branch-and-bound", bounded.us,
+              base.us / bounded.us);
+  std::printf("results byte-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("reduction >= 2x: %s\n", pruned_enough ? "yes" : "NO");
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"bound_pruning\",\"n\":%d,\"w\":%d,\"idle\":%d,"
+                "\"enumerated_base\":%lld,\"enumerated_bounded\":%lld,"
+                "\"bound_prunes\":%lld,\"reduction\":%.2f,"
+                "\"base_us\":%.1f,\"bounded_us\":%.1f,\"speedup\":%.2f,\"identical\":%s}",
+                n, w, idle, static_cast<long long>(base.result.counters.enumerated),
+                static_cast<long long>(bounded.result.counters.enumerated),
+                static_cast<long long>(bounded.result.counters.bound_prunes), reduction,
+                base.us, bounded.us, base.us / bounded.us, identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return (identical && pruned_enough) ? 0 : 1;
+}

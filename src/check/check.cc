@@ -75,6 +75,11 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "water-filling) returns the same winning binding and bit-identical "
        "estimate as a cold per-binding rebuild (checked differentially by "
        "ctcheck --diff-sim)"},
+      {"D502", "bound",
+       "bound soundness: every simulated binding's makespan lies inside the "
+       "[LB, UB] interval lang::BoundAnalysis computes at the estimator's "
+       "availability fraction (checked differentially by ctcheck "
+       "--diff-bound)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},
@@ -99,6 +104,15 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "tracker slot counters match the number of running attempts placed on the "
        "tracker"},
       {"I305", "mapred", "a reducer's outstanding-fetch count never goes negative"},
+      {"I401", "topology",
+       "every pair of nodes in a constructed fabric is connected (the reverse "
+       "BFS from the destination reaches the source)"},
+      {"I402", "topology",
+       "the ECMP shortest-path walk always finds a next hop strictly closer "
+       "to the destination"},
+      {"I403", "topology",
+       "a synthesized cloud tenant exposes exactly the requested number of "
+       "instances"},
       {"L401", "lock",
        "no two locks are ever acquired in opposite orders by different threads "
        "(lock-order inversion)"},

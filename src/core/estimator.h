@@ -104,6 +104,17 @@ class CompletionEstimator {
   // Drains the accumulated solver-cost counters (zeroing them). The engine
   // collects these after EndQuery, once per shard.
   virtual SolverStats TakeSolverStats() { return {}; }
+
+  // ---- Sound bound model (ISSUE 7) ----
+  // Availability fraction the estimator's rate allocation floors at (the f
+  // in avail = max(cap * f, cap - background)), or a negative value when no
+  // sound interval model of this estimator exists. A non-negative return
+  // promises: for every binding, the makespan EstimateQuery reports lies in
+  // the [LB, UB] interval lang::BoundAnalysis computes with this fraction
+  // (ctcheck --diff-bound, invariant D502). Gates the engine's O500
+  // branch-and-bound pruning and the server's admission fast path — both
+  // stay off for estimators (e.g. the packet simulator) that return -1.
+  virtual double BoundAvailabilityFraction() const { return -1; }
 };
 
 class FlowLevelEstimator : public CompletionEstimator {
@@ -133,6 +144,9 @@ class FlowLevelEstimator : public CompletionEstimator {
   void BeginHintedWalk(const std::vector<std::string>& vars_in_walk_order) override;
   void HintChangedSuffix(size_t first_changed_depth) override;
   SolverStats TakeSolverStats() override;
+  // The fluid allocation floors every resource at min_available_fraction,
+  // so BoundAnalysis built with the same fraction brackets every estimate.
+  double BoundAvailabilityFraction() const override { return min_available_fraction_; }
 
   bool scratch_prepared() const { return scratch_ != nullptr; }
 

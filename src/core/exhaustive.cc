@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/lang/bound.h"
 
 namespace cloudtalk {
 namespace {
@@ -22,6 +23,14 @@ constexpr int32_t kDiskId = -1;
 // — whether discovered exhaustively or proven statically by O100.
 constexpr const char* kNoLegalBinding =
     "no legal binding exists (distinctness or requirements unsatisfiable?)";
+
+// O500 never prunes a prefix whose lower bound reaches this ceiling: a bound
+// that large comes from a zero-availability resource (kZeroRateTime in
+// src/lang/bound.cc), i.e. a binding the estimator would *error* on rather
+// than score. The unoptimised walk reaches those bindings and records the
+// error, so the pruned walk must too — byte identity covers the failure
+// path as well as the winner.
+constexpr double kBoundPruneCeiling = 1e17;
 
 // A flow with variables resolved to either a fixed endpoint id or a
 // variable index, so a binding's signature is computed without touching the
@@ -61,6 +70,11 @@ struct EvalContext {
   // -1. Empty = no orbit constraints.
   std::vector<int32_t> orbit_prev;
   size_t orbit_strict = 0;  // 1 under distinctness: representative is strictly ascending.
+  // O500: shared bound analysis (null = branch-and-bound off), plus the
+  // analysis' interned host id per variable per candidate, so the walk feeds
+  // Cursor::Assign without string lookups.
+  const lang::BoundAnalysis* bound = nullptr;
+  std::vector<std::vector<int32_t>> bound_host_ids;
   int num_ids = 0;
   int num_groups = 0;
   bool distinct = false;
@@ -75,6 +89,7 @@ struct ShardResult {
   int64_t tried = 0;
   int64_t memo_hits = 0;
   int64_t orbit_skips = 0;
+  int64_t bound_prunes = 0;
   SolverStats solver;  // Drained from the worker's estimator after the shard.
   std::optional<Error> last_error;
 };
@@ -122,6 +137,15 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
   choice[0] = static_cast<size_t>(offset);
   std::vector<int32_t> var_id(n, 0);
   std::vector<char> used(ctx.distinct ? ctx.num_ids : 0, 0);
+
+  // O500: per-shard incremental lower-bound cursor, mirroring the odometer's
+  // slot writes. Pruning compares against the *shard-local* incumbent — each
+  // shard only ever skips bindings provably worse than something it already
+  // holds, so the deterministic merge is untouched.
+  std::optional<lang::BoundAnalysis::Cursor> cursor;
+  if (ctx.bound != nullptr) {
+    cursor.emplace(ctx.bound->MakeCursor());
+  }
 
   std::unordered_map<std::string, Estimate> memo;
   std::vector<std::vector<Tuple>> group_tuples(ctx.num_groups);
@@ -195,6 +219,9 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
       }
       // Backtrack.
       --depth;
+      if (cursor) {
+        cursor->Unassign(static_cast<int>(depth));
+      }
       if (ctx.distinct) {
         used[ctx.pool_ids[depth][choice[depth]]] = 0;
       }
@@ -207,6 +234,9 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
       }
       choice[depth] = 0;
       --depth;
+      if (cursor) {
+        cursor->Unassign(static_cast<int>(depth));
+      }
       if (ctx.distinct) {
         used[ctx.pool_ids[depth][choice[depth]]] = 0;
       }
@@ -240,6 +270,24 @@ ShardResult RunShard(const EvalContext& ctx, CompletionEstimator& est, int offse
     var_id[depth] = id;
     if (ctx.distinct) {
       used[id] = 1;
+    }
+    if (cursor) {
+      cursor->Assign(static_cast<int>(depth), ctx.bound_host_ids[depth][choice[depth]]);
+      // O500 branch-and-bound: every completion of this prefix finishes no
+      // sooner than the cursor's sound lower bound, so a prefix whose bound
+      // strictly exceeds the incumbent can neither beat nor tie the winner.
+      if (out.have_best) {
+        const Seconds lb = cursor->LowerBound();
+        if (lb > out.best_estimate.makespan && lb < kBoundPruneCeiling) {
+          out.bound_prunes += ctx.rank_weight[depth];
+          cursor->Unassign(static_cast<int>(depth));
+          if (ctx.distinct) {
+            used[id] = 0;
+          }
+          step(depth);
+          continue;
+        }
+      }
     }
     ++depth;
   }
@@ -378,6 +426,31 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     ctx.rank_weight[d - 1] = ctx.rank_weight[d] * static_cast<int64_t>(ctx.pool_ids[d].size());
   }
 
+  // O500 branch-and-bound (ISSUE 7): armed by the plan, honoured only when
+  // the estimator vouches that its makespans lie inside the BoundAnalysis
+  // interval at its availability fraction (the packet simulator returns a
+  // negative fraction and the walk stays unpruned). The analysis is rebuilt
+  // here with the estimator's *exact* fraction — the plan's own bounds may
+  // have been computed with a different one for reporting.
+  std::optional<lang::BoundAnalysis> bound;
+  if (plan != nullptr && plan->bound_pruning) {
+    const double fraction = estimator.BoundAvailabilityFraction();
+    if (fraction >= 0) {
+      lang::BoundOptions bound_options;
+      bound_options.min_available_fraction = fraction;
+      bound_options.distinct = params.distinct_bindings;
+      bound.emplace(lang::BoundAnalysis::Build(query, status, bound_options));
+      ctx.bound = &*bound;
+      ctx.bound_host_ids.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        ctx.bound_host_ids[i].reserve(ctx.pool_names[i].size());
+        for (const std::string& name : ctx.pool_names[i]) {
+          ctx.bound_host_ids[i].push_back(ctx.bound->HostId(name));
+        }
+      }
+    }
+  }
+
   bool can_memo = can_memo_estimator;
   std::vector<char> fold_flow(query.flows().size(), 0);
   if (apply_symmetry) {
@@ -474,6 +547,7 @@ Result<ExhaustiveResult> EvaluateExhaustive(const lang::CompiledQuery& query,
     best.counters.evaluations += r.tried - r.memo_hits;
     best.counters.memo_hits += r.memo_hits;
     best.counters.orbit_skips += r.orbit_skips;
+    best.counters.bound_prunes += r.bound_prunes;
     best.counters.delta_rebinds += r.solver.delta_rebinds;
     best.counters.cold_rebinds += r.solver.cold_rebinds;
     best.counters.solver_recomputes += r.solver.solver_recomputes;

@@ -18,8 +18,12 @@
 // little free CPU or memory is never bound, in both the optimized and the
 // unoptimized walk (the heuristic, by contrast, only ranks such candidates
 // last — it must always answer). With `optimize`, the src/lang/opt passes
-// additionally prune symmetric and irrelevant bindings; the winning binding
-// and estimate are byte-identical either way.
+// additionally prune symmetric and irrelevant bindings, and — when the
+// estimator vouches for a sound interval model of itself
+// (CompletionEstimator::BoundAvailabilityFraction) — the O500 pass arms
+// branch-and-bound pruning: odometer prefixes whose sound makespan lower
+// bound (src/lang/bound.h) strictly exceeds the incumbent best are skipped.
+// The winning binding and estimate are byte-identical either way.
 #ifndef CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 #define CLOUDTALK_SRC_CORE_EXHAUSTIVE_H_
 
@@ -44,6 +48,9 @@ struct SearchCounters {
   int64_t enumerated = 0;       // Legal bindings reached = evaluations + memo_hits.
   int64_t bindings_pruned = 0;  // Statically removed by the PrunedSpace plan.
   int64_t orbit_skips = 0;      // Odometer positions skipped by O200.
+  // Odometer positions under prefixes cut by O500 branch-and-bound (counted
+  // like orbit_skips: positions, not necessarily legal bindings).
+  int64_t bound_prunes = 0;
   int components = 0;           // Communication components (O300 analysis).
   int threads_used = 1;         // Shards the space was actually split into.
   // Solver-cost breakdown (ISSUE 6), drained from each worker's estimator

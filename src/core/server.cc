@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <unordered_set>
 
 #include "src/common/lock_registry.h"
 #include "src/common/logging.h"
+#include "src/lang/bound.h"
 #include "src/lang/lint.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
@@ -242,6 +244,59 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     trace.Attr(probe_span.id(), "mode", "static");
   }
 
+  // Admission bound check (ISSUE 7): sound completion-time intervals over
+  // the snapshot just gathered (src/lang/bound.h). When the evaluation's
+  // estimator vouches for the bound model — a non-negative availability
+  // fraction — a chain group whose lower bound already exceeds its deadline
+  // proves the query unanswerable for *every* binding, so it is rejected
+  // here, before any search runs. The span (with the query-level interval)
+  // is part of every reply's phase skeleton either way.
+  CompletionEstimator* bound_model = query.options.use_packet_simulator
+                                         ? packet_estimator_
+                                         : static_cast<CompletionEstimator*>(&flow_estimator_);
+  const double bound_fraction =
+      bound_model != nullptr ? bound_model->BoundAvailabilityFraction() : -1;
+  {
+    const int bound_span = trace.OpenFollowing("bound");
+    lang::BoundOptions bound_options;
+    bound_options.min_available_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
+    bound_options.distinct = config_.heuristic.distinct_bindings;
+    const lang::BoundAnalysis bounds =
+        lang::BoundAnalysis::Build(compiled.value(), status, bound_options);
+    CT_OBS_INC("M108");
+    trace.Attr(bound_span, "model", static_cast<int64_t>(bound_fraction >= 0 ? 1 : 0));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().lb);
+    trace.Attr(bound_span, "lb", buf);
+    if (std::isfinite(bounds.query_bounds().ub)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().ub);
+      trace.Attr(bound_span, "ub", buf);
+    }
+    if (bound_fraction >= 0) {
+      for (const lang::GroupBound& gb : bounds.group_bounds()) {
+        if (!gb.provably_infeasible) {
+          continue;
+        }
+        const lang::CompiledGroup& group = compiled.value().groups()[gb.group];
+        const std::string flow_name =
+            group.flow_indices.empty()
+                ? std::string("?")
+                : compiled.value().flows()[group.flow_indices.front()].name;
+        char lb_text[32], deadline_text[32];
+        std::snprintf(lb_text, sizeof(lb_text), "%.6g", gb.interval.lb);
+        std::snprintf(deadline_text, sizeof(deadline_text), "%.6g", gb.deadline);
+        trace.Attr(bound_span, "infeasible_group",
+                   static_cast<int64_t>(gb.group));
+        trace.Close(bound_span);
+        CT_OBS_INC("M109");
+        return Error{"no binding can meet the deadline: chain group of flow '" + flow_name +
+                     "' needs at least " + lb_text + "s but must finish within " +
+                     deadline_text + "s"};
+      }
+    }
+    trace.Close(bound_span);
+  }
+
   if (query.options.use_packet_simulator) {
     if (packet_estimator_ == nullptr) {
       return Error{"query requests packet-level evaluation, but no packet estimator is wired"};
@@ -253,6 +308,17 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
         query.options.eval_threads > 0 ? query.options.eval_threads : config_.eval_threads;
     params.optimize =
         query.options.optimize != 0 ? query.options.optimize > 0 : config_.optimize;
+    // Compute the static plan here (instead of inside the engine) so the
+    // bind span can report per-pass wall time and pruning attribution
+    // (PassStat); the engine consumes it unchanged.
+    lang::PrunedSpace plan;
+    if (params.optimize) {
+      lang::OptimizeParams opt_params;
+      opt_params.distinct = params.distinct_bindings && !query.options.allow_same_binding;
+      opt_params.bound_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
+      plan = lang::Optimize(compiled.value(), status, opt_params);
+      params.plan = &plan;
+    }
     const int bind_span = trace.OpenFollowing("bind");
     trace.Attr(bind_span, "mode", "exhaustive");
     Result<ExhaustiveResult> best =
@@ -267,10 +333,19 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     trace.Attr(bind_span, "enumerated", c.enumerated);
     trace.Attr(bind_span, "pruned", c.bindings_pruned);
     trace.Attr(bind_span, "orbit_skips", c.orbit_skips);
+    trace.Attr(bind_span, "bound_prunes", c.bound_prunes);
     trace.Attr(bind_span, "threads", static_cast<int64_t>(c.threads_used));
     trace.Attr(bind_span, "delta_rebinds", c.delta_rebinds);
     trace.Attr(bind_span, "cold_rebinds", c.cold_rebinds);
     trace.Attr(bind_span, "solver_recomputes", c.solver_recomputes);
+    // Per-pass attribution (exhaustive-only attrs: wall times vary run to
+    // run, and the stable-trace snapshots only pin the heuristic path).
+    if (params.plan != nullptr) {
+      for (const lang::PassStat& ps : params.plan->pass_stats) {
+        trace.Attr(bind_span, std::string("opt.") + ps.code + ".seconds", ps.wall_seconds);
+        trace.Attr(bind_span, std::string("opt.") + ps.code + ".pruned", ps.pruned_bindings);
+      }
+    }
     trace.Close(bind_span);
     reply.binding = best.value().binding;
     reply.estimate = best.value().estimate;

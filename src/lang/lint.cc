@@ -1,12 +1,14 @@
 #include "src/lang/lint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/lang/bound.h"
 #include "src/lang/opt.h"
 
 namespace cloudtalk {
@@ -444,6 +446,160 @@ void CheckStaticallyDeadFlow(const Query& query, DiagnosticSink* sink) {
   }
 }
 
+// ---- E080 / W080 / W081: bound analysis vs deadlines and the objective ----
+//
+// Backed by src/lang/bound.h on an *empty* status snapshot: every host is
+// modelled idle with unconstrained (1e15 Bps) resources — the most
+// optimistic world the solver can see. A completion-time lower bound proved
+// there holds under every real snapshot (contention only lowers
+// availability), so E080 is a sound static infeasibility proof. The upper
+// bounds W080/W081 read are idle-world ceilings and advisory: the messages
+// say so.
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", seconds);
+  return buf;
+}
+
+// Diagnostic anchor for a chain group: the first member carrying `attr`
+// (that attribute's span), else the group's first member (its flow span).
+struct GroupAnchor {
+  std::string flow;
+  Span span;
+};
+GroupAnchor AnchorForGroup(const Query& query, const CompiledQuery& compiled, int g,
+                           Attr attr) {
+  GroupAnchor anchor;
+  for (const int f : compiled.groups()[g].flow_indices) {
+    const CompiledFlow& flow = compiled.flows()[f];
+    const bool in_query =
+        flow.index >= 0 && flow.index < static_cast<int>(query.flows.size());
+    if (anchor.flow.empty()) {
+      anchor.flow = flow.name;
+      if (in_query) {
+        anchor.span = query.flows[flow.index].span;
+      }
+    }
+    if (in_query) {
+      const Span span = query.flows[flow.index].AttrSpan(attr);
+      if (span.valid()) {
+        anchor.flow = flow.name;
+        anchor.span = span;
+        break;
+      }
+    }
+  }
+  return anchor;
+}
+
+// ---- E080: deadline-infeasible group ----
+void CheckDeadlineInfeasibleGroup(const Query& query, DiagnosticSink* sink) {
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const BoundAnalysis bounds = BoundAnalysis::Build(compiled.value(), StatusByAddress{});
+  for (const GroupBound& gb : bounds.group_bounds()) {
+    if (!gb.provably_infeasible) {
+      continue;
+    }
+    const GroupAnchor anchor = AnchorForGroup(query, compiled.value(), gb.group, Attr::kEnd);
+    sink->AddError("E080", anchor.span,
+                   "chain group of flow '" + anchor.flow +
+                       "' can never meet its deadline of " + FormatSeconds(gb.deadline) +
+                       "s: even on idle hosts every binding needs at least " +
+                       FormatSeconds(gb.interval.lb) + "s",
+                   "raise the deadline, shrink the transfers, or loosen the rate limit");
+  }
+}
+
+// ---- W080: trivially satisfied deadline ----
+void CheckTriviallySatisfiedDeadline(const Query& query, DiagnosticSink* sink) {
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const BoundAnalysis bounds = BoundAnalysis::Build(compiled.value(), StatusByAddress{});
+  for (const GroupBound& gb : bounds.group_bounds()) {
+    if (!gb.trivially_satisfied) {
+      continue;
+    }
+    const GroupAnchor anchor = AnchorForGroup(query, compiled.value(), gb.group, Attr::kEnd);
+    sink->AddWarning("W080", anchor.span,
+                     "deadline of " + FormatSeconds(gb.deadline) +
+                         "s on the chain group of flow '" + anchor.flow +
+                         "' is trivially satisfied: on idle hosts no binding can take "
+                         "longer than " +
+                         FormatSeconds(gb.interval.ub) + "s",
+                     "the deadline only bites under contention; tighten it if it is "
+                     "meant to constrain placement");
+  }
+}
+
+// ---- W081: dominated objective ----
+//
+// A binding-independent chain group (literal endpoints only) whose lower
+// bound meets or exceeds every other group's upper bound pins the makespan:
+// no placement choice can change when the slowest group finishes.
+void CheckDominatedObjective(const Query& query, DiagnosticSink* sink) {
+  if (query.variables.empty()) {
+    return;
+  }
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const std::vector<CompiledGroup>& groups = compiled.value().groups();
+  if (groups.size() < 2) {
+    return;
+  }
+  std::vector<char> has_var(groups.size(), 0);
+  for (const CompiledFlow& flow : compiled.value().flows()) {
+    if (flow.src.kind == Endpoint::Kind::kVariable ||
+        flow.dst.kind == Endpoint::Kind::kVariable) {
+      has_var[flow.group] = 1;
+    }
+  }
+  if (std::count(has_var.begin(), has_var.end(), 1) == 0) {
+    return;  // No group depends on the binding; W001 covers unused variables.
+  }
+  const BoundAnalysis bounds = BoundAnalysis::Build(compiled.value(), StatusByAddress{});
+  const std::vector<GroupBound>& gb = bounds.group_bounds();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const double lb = gb[g].interval.lb;
+    if (has_var[g] != 0 || lb <= 0 || lb >= 1e17) {
+      continue;
+    }
+    bool dominates = true;
+    double slowest_other = 0;
+    for (size_t h = 0; h < groups.size(); ++h) {
+      if (h == g) {
+        continue;
+      }
+      const double ub = gb[h].interval.ub;
+      if (!(ub <= lb)) {
+        dominates = false;
+        break;
+      }
+      slowest_other = std::max(slowest_other, ub);
+    }
+    if (!dominates) {
+      continue;
+    }
+    const GroupAnchor anchor =
+        AnchorForGroup(query, compiled.value(), static_cast<int>(g), Attr::kSize);
+    sink->AddWarning("W081", anchor.span,
+                     "the makespan is pinned by the binding-independent chain group of "
+                     "flow '" +
+                         anchor.flow + "': it needs at least " + FormatSeconds(lb) +
+                         "s while every other group finishes within " +
+                         FormatSeconds(slowest_other) + "s under any binding",
+                     "placement search cannot improve the completion time; revisit the "
+                     "dominating flow's size or rate limit");
+  }
+}
+
 }  // namespace
 
 double EstimateBindingCount(const Query& query) {
@@ -495,6 +651,15 @@ const std::vector<LintRule>& LintRules() {
        CheckInterchangeableVariables},
       {"W071", Severity::kWarning, "statically-dead-flow",
        "flow resolves to zero size and transfers nothing", CheckStaticallyDeadFlow},
+      {"E080", Severity::kError, "deadline-infeasible-group",
+       "no binding can meet the group's deadline, even on idle hosts",
+       CheckDeadlineInfeasibleGroup},
+      {"W080", Severity::kWarning, "trivially-satisfied-deadline",
+       "every binding meets the deadline on idle hosts; it never constrains placement",
+       CheckTriviallySatisfiedDeadline},
+      {"W081", Severity::kWarning, "dominated-objective",
+       "a binding-independent chain group pins the makespan; search cannot improve it",
+       CheckDominatedObjective},
   };
   return kRules;
 }

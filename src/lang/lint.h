@@ -16,6 +16,9 @@
 //   W060 search-space-explosion   exhaustive binding count is intractable
 //   W070 interchangeable-variables symmetric variables enumerated redundantly
 //   W071 statically-dead-flow     flow resolves to zero size, transfers nothing
+//   E080 deadline-infeasible-group no binding can meet the deadline (bound LB)
+//   W080 trivially-satisfied-deadline every binding meets the deadline on idle hosts
+//   W081 dominated-objective      a binding-independent group pins the makespan
 //
 // Rules only *read* the query; a query with parse errors can still be
 // linted (the parser produces a best-effort partial AST).

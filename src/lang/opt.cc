@@ -1,10 +1,14 @@
 #include "src/lang/opt.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "src/lang/bound.h"
 
 namespace cloudtalk {
 namespace lang {
@@ -403,6 +407,28 @@ void RunDeadFlowFolding(PassContext* ctx, PrunedSpace* plan, DiagnosticSink* sin
   std::sort(plan->dead_flows.begin(), plan->dead_flows.end());
 }
 
+// ---- O500: branch-and-bound arming ----
+void RunBoundPruning(PassContext* ctx, PrunedSpace* plan, DiagnosticSink* sink) {
+  BoundOptions options;
+  options.min_available_fraction = ctx->params.bound_fraction;
+  options.distinct = ctx->params.distinct;
+  const BoundAnalysis analysis = BoundAnalysis::Build(*ctx->query, *ctx->status, options);
+  plan->bound_pruning = true;
+  plan->bound_lb = analysis.query_bounds().lb;
+  plan->bound_ub = analysis.query_bounds().ub;
+  char lb[32], ub[32];
+  std::snprintf(lb, sizeof(lb), "%.6g", plan->bound_lb);
+  if (std::isfinite(plan->bound_ub)) {
+    std::snprintf(ub, sizeof(ub), "%.6g", plan->bound_ub);
+  } else {
+    std::snprintf(ub, sizeof(ub), "inf");
+  }
+  Note(sink, "O500", Span{},
+       std::string("sound makespan bounds: every binding completes within [") + lb + "s, " +
+           ub + "s]; branch-and-bound pruning armed for the exhaustive walk (prefixes "
+           "whose lower bound exceeds the incumbent best makespan are skipped)");
+}
+
 }  // namespace
 
 bool SatisfiesRequirements(const VarComm& var, const StatusReport& report) {
@@ -544,6 +570,10 @@ const std::vector<OptPass>& OptPasses() {
       {"O400", "dead-flow-folding",
        "drop zero-size flows and binding-independent chain groups from the memo signature",
        kOptDeadFlowFolding},
+      {"O500", "bound-pruning",
+       "arm branch-and-bound pruning: skip odometer prefixes whose sound makespan lower "
+       "bound exceeds the incumbent",
+       kOptBoundPruning},
   };
   return kPasses;
 }
@@ -570,18 +600,48 @@ PrunedSpace Optimize(const CompiledQuery& query, const StatusByAddress& status,
   plan.orbit_prev.assign(n, -1);
   plan.component_of.assign(n, -1);
 
+  constexpr double kCap = 1e18;
+  // Capped kept/pinned product: the static binding space the current plan
+  // leaves (0 once proven infeasible).
+  const auto static_space = [&]() -> double {
+    if (plan.infeasible) {
+      return 0;
+    }
+    double space = n == 0 ? 0 : 1;
+    for (size_t v = 0; v < n; ++v) {
+      const double after = plan.pinned[v] >= 0 ? 1 : std::max<double>(1, plan.kept[v].size());
+      space = std::min(kCap, space * after);
+    }
+    return space;
+  };
+  const auto run_timed = [&](const char* code, auto&& fn) {
+    const double before = static_space();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    PassStat stat;
+    stat.code = code;
+    stat.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double pruned = before - static_space();
+    stat.pruned_bindings = pruned > 0 ? static_cast<int64_t>(std::min(pruned, 9e18)) : 0;
+    plan.pass_stats.push_back(stat);
+  };
+
   // O400 runs before O300 so component analysis sees the dead-flow set.
   if ((params.passes & kOptDeadFlowFolding) != 0) {
-    RunDeadFlowFolding(&ctx, &plan, sink);
+    run_timed("O400", [&] { RunDeadFlowFolding(&ctx, &plan, sink); });
   }
   if ((params.passes & kOptDomainPruning) != 0) {
-    RunDomainPruning(&ctx, &plan, sink);
+    run_timed("O100", [&] { RunDomainPruning(&ctx, &plan, sink); });
   }
   if (!plan.infeasible && (params.passes & kOptInterchangeable) != 0) {
-    RunInterchangeable(&ctx, &plan, sink);
+    run_timed("O200", [&] { RunInterchangeable(&ctx, &plan, sink); });
   }
   if (!plan.infeasible && (params.passes & kOptComponentSplit) != 0) {
-    RunComponentSplit(&ctx, &plan, sink);
+    run_timed("O300", [&] { RunComponentSplit(&ctx, &plan, sink); });
+  }
+  if (!plan.infeasible && (params.passes & kOptBoundPruning) != 0) {
+    run_timed("O500", [&] { RunBoundPruning(&ctx, &plan, sink); });
   }
 
   // A pinned variable's pool collapses to one candidate, so orbit
@@ -596,18 +656,12 @@ PrunedSpace Optimize(const CompiledQuery& query, const StatusByAddress& status,
     }
   }
 
-  constexpr double kCap = 1e18;
   plan.space_before = n == 0 ? 0 : 1;
-  plan.space_after = plan.space_before;
   for (size_t v = 0; v < n; ++v) {
     plan.space_before = std::min(
         kCap, plan.space_before * std::max<double>(1, ctx.candidates[v].size()));
-    const double after = plan.pinned[v] >= 0 ? 1 : std::max<double>(1, plan.kept[v].size());
-    plan.space_after = std::min(kCap, plan.space_after * after);
   }
-  if (plan.infeasible) {
-    plan.space_after = 0;
-  }
+  plan.space_after = static_space();
   const double pruned = plan.space_before - plan.space_after;
   plan.bindings_pruned = pruned > 0 ? static_cast<int64_t>(std::min(pruned, 9e18)) : 0;
   return plan;

@@ -26,6 +26,11 @@
 //   O400 dead-flow-folding     zero-size flows and binding-independent
 //                              (literal-only) chain groups are dropped from
 //                              the engine's memo signature
+//   O500 bound-pruning         sound makespan lower bounds (src/lang/bound.h)
+//                              arm branch-and-bound pruning in the engine:
+//                              an odometer prefix whose lower bound strictly
+//                              exceeds the incumbent makespan is skipped
+//                              (SearchCounters::bound_prunes)
 //
 // The contract every pass obeys — and tests/opt_test.cc enforces
 // differentially — is byte-identity: for any query and status, exhaustive
@@ -40,6 +45,7 @@
 #define CLOUDTALK_SRC_LANG_OPT_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,14 +67,31 @@ inline constexpr uint32_t kOptDomainPruning = 1u << 0;       // O100
 inline constexpr uint32_t kOptInterchangeable = 1u << 1;     // O200
 inline constexpr uint32_t kOptComponentSplit = 1u << 2;      // O300
 inline constexpr uint32_t kOptDeadFlowFolding = 1u << 3;     // O400
+inline constexpr uint32_t kOptBoundPruning = 1u << 4;        // O500
 inline constexpr uint32_t kOptAllPasses =
-    kOptDomainPruning | kOptInterchangeable | kOptComponentSplit | kOptDeadFlowFolding;
+    kOptDomainPruning | kOptInterchangeable | kOptComponentSplit | kOptDeadFlowFolding |
+    kOptBoundPruning;
 
 struct OptimizeParams {
   // Effective distinct-bindings semantics of the evaluation the plan is
   // for (ExhaustiveParams::distinct_bindings minus `option allow_same`).
   bool distinct = true;
   uint32_t passes = kOptAllPasses;
+  // Availability fraction the O500 *report* computes its bounds with (the
+  // engine rebuilds the analysis with the exact fraction its estimator
+  // confesses via CompletionEstimator::BoundAvailabilityFraction, so this
+  // only affects the note text and PrunedSpace::bound_lb/bound_ub).
+  double bound_fraction = 0.1;
+};
+
+// Per executed pass: wall time and the static binding-space reduction it is
+// responsible for (the capped kept/pinned product delta — orbit and
+// branch-and-bound reductions are runtime counters, so O200/O500 report 0
+// here and account through SearchCounters instead).
+struct PassStat {
+  const char* code = "";
+  double wall_seconds = 0;
+  int64_t pruned_bindings = 0;
 };
 
 // The plan. Candidate indices refer to the variable's *address candidates*:
@@ -106,12 +129,24 @@ struct PrunedSpace {
   int components = 0;
   std::vector<int32_t> component_of;  // Per variable; -1 for inert variables.
 
+  // O500: arm the engine's branch-and-bound pruning (sound lower bounds on
+  // odometer prefixes vs. the incumbent makespan; see src/lang/bound.h).
+  // The engine honours this only when its estimator reports a non-negative
+  // BoundAvailabilityFraction. bound_lb/bound_ub are the query-level bounds
+  // at the fraction OptimizeParams::bound_fraction, for reporting.
+  bool bound_pruning = false;
+  double bound_lb = 0;
+  double bound_ub = std::numeric_limits<double>::infinity();
+
   // Static accounting: bindings an unpruned odometer would enumerate vs.
   // the pruned/pinned one (capped products, ignoring distinctness and orbit
   // constraints), and their difference as the engine-visible counter.
   double space_before = 0;
   double space_after = 0;
   int64_t bindings_pruned = 0;
+
+  // Per-pass wall time and static pruning attribution, in execution order.
+  std::vector<PassStat> pass_stats;
 };
 
 struct OptPass {

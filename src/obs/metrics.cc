@@ -97,6 +97,11 @@ const std::vector<MetricInfo>& MetricCatalog() {
        "Candidate pools shrunk by Section 4.3 sampling", "", {}},
       {"M107", MetricType::kCounter, "server", "cloudtalk_server_quotes",
        "Quote() pricing requests", "", {}},
+      {"M108", MetricType::kCounter, "server", "cloudtalk_server_bound_checks",
+       "Admission bound analyses computed over the gathered status snapshot", "", {}},
+      {"M109", MetricType::kCounter, "server", "cloudtalk_server_bound_rejections",
+       "Queries rejected before search: a group's sound lower bound exceeds its deadline",
+       "", {}},
       // ---- M2xx: probing and status transports ----
       {"M200", MetricType::kHistogram, "probe", "cloudtalk_probe_rtt_seconds",
        "Ping RTT measured by probing::NetworkProber, per target host", "host", kRtt},

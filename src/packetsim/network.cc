@@ -1,7 +1,6 @@
 #include "src/packetsim/network.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <set>
 

@@ -1,9 +1,10 @@
 #include "src/topology/topology.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <limits>
+
+#include "src/check/check.h"
 
 namespace cloudtalk {
 
@@ -45,7 +46,7 @@ NodeId Topology::AddHost(std::string name, const HostCaps& caps, int rack) {
 }
 
 LinkId Topology::AddLink(NodeId from, NodeId to, Bps capacity, Seconds delay) {
-  assert(from != to);
+  CT_DCHECK(from != to);
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{id, from, to, capacity, delay});
   out_links_[from].push_back(id);
@@ -66,12 +67,12 @@ NodeId Topology::HostByIp(const std::string& ip) const {
 }
 
 LinkId Topology::UplinkOf(NodeId host) const {
-  assert(node(host).kind == NodeKind::kHost);
+  CT_DCHECK(node(host).kind == NodeKind::kHost);
   return out_links_[host].empty() ? kInvalidLink : out_links_[host].front();
 }
 
 LinkId Topology::DownlinkOf(NodeId host) const {
-  assert(node(host).kind == NodeKind::kHost);
+  CT_DCHECK(node(host).kind == NodeKind::kHost);
   return in_links_[host].empty() ? kInvalidLink : in_links_[host].front();
 }
 
@@ -111,7 +112,10 @@ std::vector<LinkId> Topology::PathBetween(NodeId src, NodeId dst, uint64_t ecmp_
     return path;
   }
   const std::vector<int>& dist = DistanceTo(dst);
-  assert(dist[src] != std::numeric_limits<int>::max() && "no route between nodes");
+  CT_INVARIANT(dist[src] != std::numeric_limits<int>::max(), "I401",
+               "no route between nodes")
+      .With("src", src)
+      .With("dst", dst);
   NodeId cur = src;
   while (cur != dst) {
     // Collect all next hops on shortest paths, then break ties with the salt
@@ -129,7 +133,9 @@ std::vector<LinkId> Topology::PathBetween(NodeId src, NodeId dst, uint64_t ecmp_
         best_hash = h;
       }
     }
-    assert(best != kInvalidLink);
+    CT_INVARIANT(best != kInvalidLink, "I402", "shortest-path walk is stuck")
+        .With("at", cur)
+        .With("dst", dst);
     path.push_back(best);
     cur = links_[best].to;
   }
@@ -206,7 +212,10 @@ Topology MakeEc2(const Ec2Params& params) {
   vl2.host_caps.disk_read = params.disk_read;
   vl2.host_caps.disk_write = params.disk_write;
   Topology topo = MakeVl2(vl2);
-  assert(static_cast<int>(topo.hosts().size()) == params.num_instances);
+  CT_INVARIANT(static_cast<int>(topo.hosts().size()) == params.num_instances, "I403",
+               "tenant host count mismatch")
+      .With("hosts", topo.hosts().size())
+      .With("requested", params.num_instances);
   return topo;
 }
 

@@ -155,7 +155,8 @@ TEST_F(CheckTest, ViolationJsonEscapesAndNests) {
 TEST_F(CheckTest, CatalogCoversEveryEmittedCode) {
   const char* used[] = {"D000", "D500", "I101", "I102", "I103", "I104", "I105",
                         "I106", "I201", "I202", "I203", "I204", "I205", "I301",
-                        "I302", "I303", "I304", "I305", "L401", "L402"};
+                        "I302", "I303", "I304", "I305", "I401", "I402", "I403",
+                        "L401", "L402"};
   for (const char* code : used) {
     const check::InvariantInfo* info = check::FindInvariant(code);
     ASSERT_NE(info, nullptr) << code;

@@ -16,6 +16,8 @@
 #include "src/core/reservations.h"
 #include "src/core/server.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/status/status_server.h"
 #include "src/status/transport.h"
 
@@ -989,6 +991,65 @@ TEST_F(ServerTest, PacketOptionWithoutEstimatorFails) {
   auto reply = server.Answer("option packet\nA = (" + Ip(1) + ")\nf1 A -> " + Ip(0) +
                              " size 1M\n");
   EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(ServerTest, BoundAdmissionRejectsImpossibleDeadline) {
+  CloudTalkServer server = MakeServer();
+  // Feasible on idle (unconstrained) hosts — so lint's E080 stays quiet —
+  // but provably impossible on the cluster's real 1 Gbps NICs: the
+  // admission bound check must reject before any search runs.
+  auto reply = server.Answer("f1 " + Ip(0) + " -> " + Ip(1) + " size 8000G end 1\n");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.error().message.find("no binding can meet the deadline"),
+            std::string::npos)
+      << reply.error().ToString();
+}
+
+TEST_F(ServerTest, ExhaustiveBindSpanCarriesPassAttribution) {
+  // Any CompletionEstimator works as the wired "packet" model here; the
+  // test only exercises the exhaustive branch's trace attribution.
+  FlowLevelEstimator packet_stand_in;
+  ServerConfig config;
+  CloudTalkServer server(config, directory_.get(), transport_.get(),
+                         [this] { return now_; }, &packet_stand_in);
+  auto reply = server.Answer("option packet\nA = (" + Ip(1) + " " + Ip(2) + " " + Ip(3) +
+                             ")\nf1 A -> " + Ip(0) + " size 64M\n");
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_TRUE(reply.value().used_exhaustive);
+  if (!obs::kObsEnabled) {
+    return;
+  }
+  const obs::Trace& trace = reply.value().trace;
+  bool saw_bound = false, saw_bind = false;
+  for (const obs::TraceSpan& span : trace.spans) {
+    const auto attrs = trace.AttrsOf(span.id);
+    const auto has = [&attrs](const std::string& key) {
+      return std::any_of(attrs.begin(), attrs.end(),
+                         [&key](const std::pair<std::string, std::string>& kv) {
+                           return kv.first == key;
+                         });
+    };
+    if (span.name() == "bound") {
+      saw_bound = true;
+      // The wired estimator vouches for the bound model.
+      EXPECT_NE(std::find(attrs.begin(), attrs.end(),
+                          std::make_pair(std::string("model"), std::string("1"))),
+                attrs.end());
+      EXPECT_TRUE(has("lb"));
+    } else if (span.name() == "bind") {
+      saw_bind = true;
+      EXPECT_NE(std::find(attrs.begin(), attrs.end(),
+                          std::make_pair(std::string("mode"), std::string("exhaustive"))),
+                attrs.end());
+      // The branch-and-bound counter and the per-pass attribution (the
+      // same numbers `ctopt --report` prints) ride on the bind span.
+      EXPECT_TRUE(has("bound_prunes"));
+      EXPECT_TRUE(has("opt.O100.seconds"));
+      EXPECT_TRUE(has("opt.O500.pruned"));
+    }
+  }
+  EXPECT_TRUE(saw_bound);
+  EXPECT_TRUE(saw_bind);
 }
 
 TEST_F(ServerTest, WarningOnlyQueryAnsweredWithWarningsAttached) {

@@ -107,6 +107,20 @@ std::vector<RuleCase> RuleCases() {
       {"W071",
        "f1 vm1 -> vm2 size 0\n",
        "f1 vm1 -> vm2 size 1M\n"},
+      {"E080",
+       // The rate cap bounds the chain from below even on idle hosts; no
+       // binding can beat size/rate, so the deadline is provably dead.
+       "f1 vm1 -> vm2 size 10G rate 1M end 1\n",
+       "f1 vm1 -> vm2 size 10G rate 1M\n"},
+      {"W080",
+       "f1 vm1 -> vm2 size 1M end 100\n",
+       "f1 vm1 -> vm2 size 1M\n"},
+      {"W081",
+       // `big` never depends on the binding and dwarfs the variable group.
+       "A = (vm1 vm2)\nbig vm8 -> vm9 size 10G\nsmall A -> vm3 size 1M\n",
+       // Equal sizes: the variable group's upper bound exceeds big's lower
+       // bound, so the objective is not provably pinned.
+       "A = (vm1 vm2)\nbig vm8 -> vm9 size 1M\nsmall A -> vm3 size 1M\n"},
   };
 }
 

@@ -158,7 +158,7 @@ TEST(OptAnalysisTest, InterchangeableClassesRequiresFullSymmetry) {
 
 TEST(OptPassTest, RegistryIsStableAndOrdered) {
   const auto& passes = lang::OptPasses();
-  ASSERT_EQ(passes.size(), 4u);
+  ASSERT_EQ(passes.size(), 5u);
   uint32_t all = 0;
   for (size_t i = 1; i < passes.size(); ++i) {
     EXPECT_LT(std::string(passes[i - 1].code), passes[i].code);

@@ -16,9 +16,14 @@
 // divergence (different winner, or a non-bit-identical estimate) as a D500
 // violation, saving the query text for replay with ctopt.
 //
+// `--diff-bound` fuzzes the sound bound analysis (src/lang/bound.h): every
+// legal binding of a generated query is simulated and its makespan checked
+// against the static [LB, UB] interval; any escape is a D502 violation.
+//
 // Usage:
 //   ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --replay scenario.ctsc [--json]
 //   ctcheck --catalog [--json]
 #include <algorithm>
@@ -27,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +40,7 @@
 #include "src/check/check.h"
 #include "src/common/rng.h"
 #include "src/core/exhaustive.h"
+#include "src/lang/bound.h"
 #include "src/lang/parser.h"
 #include "src/fluidsim/fluid_simulation.h"
 #include "src/harness/cluster.h"
@@ -612,6 +619,150 @@ std::string RunDiffSimSeed(uint64_t seed, std::string* query_text) {
   return "";
 }
 
+// ---- --diff-bound: differential fuzz of the sound bound analysis ----
+//
+// Same generated workloads as --diff-opt, but the oracle is *soundness*
+// rather than identity: every legal binding's simulated makespan must lie
+// inside the [LB, UB] interval lang::BoundAnalysis computes for that
+// binding's full pin set — and inside the query-level interval with nothing
+// pinned (the two nest by monotonicity). Estimator errors (no legal rate
+// allocation) are skipped: bounds only promise to bracket successful
+// estimates. Any escape is a D502 violation and the query is saved.
+std::string RunDiffBoundSeed(uint64_t seed, std::string* query_text) {
+  *query_text = GenerateDiffOptQuery(seed);
+  lang::DiagnosticSink sink;
+  const lang::Query query = lang::ParseWithDiagnostics(*query_text, &sink);
+  if (sink.has_errors()) {
+    return "generated query does not parse (generator bug): " +
+           sink.diagnostics().front().message;
+  }
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return "generated query does not compile (generator bug): " + compiled.error().message;
+  }
+  const StatusByAddress status = GenerateDiffOptStatus(compiled.value(), seed);
+
+  const lang::CompiledQuery& cq = compiled.value();
+  const lang::BoundAnalysis bounds =
+      lang::BoundAnalysis::Build(cq, status, lang::BoundOptions{});
+  const auto& variables = cq.variables();
+  const size_t n = variables.size();
+
+  std::vector<std::vector<std::string>> names(n);
+  std::vector<std::vector<int32_t>> ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const lang::Endpoint& e : variables[i].pool) {
+      if (e.kind == lang::Endpoint::Kind::kAddress) {
+        names[i].push_back(e.name);
+        ids[i].push_back(bounds.HostId(e.name));
+      }
+    }
+    if (names[i].empty()) {
+      return "";  // Unanswerable variable; nothing to bound.
+    }
+  }
+
+  const bool distinct = !query.options.allow_same_binding;
+  FlowLevelEstimator estimator;  // Default fraction 0.1 = BoundOptions default.
+  estimator.BeginQuery(cq, status);
+  Binding binding;
+  for (size_t i = 0; i < n; ++i) {
+    binding[variables[i].name] = lang::Endpoint::Address("");
+  }
+  std::vector<lang::Endpoint*> slot(n);
+  for (size_t i = 0; i < n; ++i) {
+    slot[i] = &binding[variables[i].name];
+  }
+  std::vector<int32_t> var_host(n, -1);
+  std::string violation;
+
+  const std::function<void(size_t)> walk = [&](size_t d) {
+    if (!violation.empty()) {
+      return;
+    }
+    if (d == n) {
+      const Result<Estimate> est = estimator.EstimateQuery(cq, binding, status);
+      if (!est.ok()) {
+        return;
+      }
+      const double makespan = est.value().makespan;
+      const lang::BoundInterval interval = bounds.BindingBounds(var_host);
+      const bool in_pinned = interval.Contains(makespan);
+      const bool in_query = bounds.query_bounds().Contains(makespan);
+      if (!in_pinned || !in_query) {
+        char buf[320];
+        std::snprintf(buf, sizeof(buf),
+                      "binding [%s]: makespan %.17g escapes the %s interval "
+                      "[%.17g, %.17g]",
+                      RenderBinding(binding).c_str(), makespan,
+                      in_pinned ? "query-level" : "fully-pinned",
+                      in_pinned ? bounds.query_bounds().lb : interval.lb,
+                      in_pinned ? bounds.query_bounds().ub : interval.ub);
+        violation = buf;
+      }
+      return;
+    }
+    for (size_t c = 0; c < names[d].size(); ++c) {
+      if (distinct) {
+        bool clash = false;
+        for (size_t p = 0; p < d; ++p) {
+          if (var_host[p] == ids[d][c]) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) {
+          continue;
+        }
+      }
+      slot[d]->name = names[d][c];
+      var_host[d] = ids[d][c];
+      walk(d + 1);
+      var_host[d] = -1;
+    }
+  };
+  walk(0);
+  estimator.EndQuery();
+  return violation;
+}
+
+int RunDiffBoundMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffBoundSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffbound_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-bound divergence, seed " << seed << " (D502)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D502 bound soundness violation: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-bound\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-bound: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 int RunDiffSimMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
   if (seeds <= 0) {
     std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
@@ -691,6 +842,7 @@ void PrintUsage(FILE* out) {
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
@@ -703,6 +855,9 @@ void PrintUsage(FILE* out) {
                "With --diff-sim, fuzzes the incremental fluid solver: every binding is\n"
                "estimated twice, once via checkpoint-restore delta re-solve and once via\n"
                "a cold per-binding rebuild; any divergence is a D501 violation.\n"
+               "With --diff-bound, fuzzes the sound bound analysis: every legal binding\n"
+               "is simulated and its makespan checked against the static [LB, UB]\n"
+               "interval; any escape is a D502 violation and the query is saved.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -736,6 +891,7 @@ int Main(int argc, char** argv) {
   bool catalog = false;
   bool diff_opt = false;
   bool diff_sim = false;
+  bool diff_bound = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -761,6 +917,8 @@ int Main(int argc, char** argv) {
       diff_opt = true;
     } else if (arg == "--diff-sim") {
       diff_sim = true;
+    } else if (arg == "--diff-bound") {
+      diff_bound = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -779,6 +937,9 @@ int Main(int argc, char** argv) {
   }
   if (diff_sim) {
     return RunDiffSimMode(seeds, seed_base, out_dir, json);
+  }
+  if (diff_bound) {
+    return RunDiffBoundMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,

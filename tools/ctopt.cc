@@ -19,6 +19,7 @@
 // Exit code: 0 = ok, 1 = identity check failed (a pass is unsound — file a
 // bug), 2 = unusable input or usage error.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -177,7 +178,30 @@ std::string PlanJson(const PrunedSpace& plan) {
      << ",\"space_before\":" << plan.space_before << ",\"space_after\":" << plan.space_after
      << ",\"bindings_pruned\":" << plan.bindings_pruned
      << ",\"components\":" << plan.components << ",\"pinned\":" << pinned
-     << ",\"dead_flows\":" << plan.dead_flows.size() << "}";
+     << ",\"dead_flows\":" << plan.dead_flows.size()
+     << ",\"bound_pruning\":" << (plan.bound_pruning ? "true" : "false");
+  if (plan.bound_pruning) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", plan.bound_lb);
+    os << ",\"bound_lb\":" << buf << ",\"bound_ub\":";
+    if (std::isfinite(plan.bound_ub)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", plan.bound_ub);
+      os << buf;
+    } else {
+      os << "null";
+    }
+  }
+  // Per-pass attribution in execution order: wall time (run-dependent; not
+  // for snapshots) and the static binding-space reduction each pass owns.
+  os << ",\"passes\":[";
+  for (size_t i = 0; i < plan.pass_stats.size(); ++i) {
+    const cloudtalk::lang::PassStat& ps = plan.pass_stats[i];
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6g", ps.wall_seconds);
+    os << (i ? "," : "") << "{\"code\":\"" << ps.code << "\",\"wall_seconds\":" << seconds
+       << ",\"pruned_bindings\":" << ps.pruned_bindings << "}";
+  }
+  os << "]}";
   return os.str();
 }
 
