@@ -1,0 +1,317 @@
+// ISSUE 8 acceptance: the canonical answer cache must turn repeat
+// submissions of a semantically-equivalent query into cheap hits.
+//
+// Workload: three paper queries (HDFS write pipeline, replica selection,
+// reduce placement), each re-submitted 8x per round under deterministic
+// alpha-renaming, flow reordering, and arithmetic respelling — the
+// spellings differ, the canonical form does not. The first submission of a
+// round is answered cold (the cache is invalidated first, as a status
+// refresh would); the other 7 must be served from the cache. The bench
+// fails unless
+//   (a) every repeat actually hits (checked via the canon trace span),
+//   (b) hit replies are byte-identical to the round's cold reply after
+//       mapping variable names through the canonicalization certificate
+//       (binding endpoints, score values, estimate bits, probe counters),
+//   (c) the median cold/hit answer-latency ratio is at least 5x.
+//
+// Output ends with one machine-readable JSON line; pass a path argument to
+// also write that line to a file (CI stores it as BENCH_canon.json).
+// Exit code: 0 = all three hold, 1 = a bound failed, 2 = setup failure.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "src/harness/cluster.h"
+#include "src/lang/canon.h"
+#include "src/lang/parser.h"
+#include "src/obs/trace.h"
+#include "src/topology/topology.h"
+
+using namespace cloudtalk;
+
+namespace {
+
+constexpr int kVariants = 8;  // Submissions per round: 1 cold + 7 respelled.
+
+std::string PoolText(int first, int last) {
+  std::ostringstream pool;
+  for (int i = first; i <= last; ++i) {
+    pool << (i > first ? " " : "") << "10.0.0." << i;
+  }
+  return pool.str();
+}
+
+// Equivalent spellings of "size 256M" / "size 1G": identical after constant
+// folding (binary suffixes are powers of two, so the products are exact).
+const char* Size256M(int variant) { return variant % 2 == 0 ? "256M" : "2*128M"; }
+const char* Size1G(int variant) { return variant % 2 == 0 ? "1G" : "4*256M"; }
+
+// Declarations stay first (variables must be declared before use); the flow
+// statements are rotated and every name carries a per-variant suffix.
+std::string Assemble(const std::string& decls, std::vector<std::string> flows, int variant) {
+  std::rotate(flows.begin(), flows.begin() + variant % flows.size(), flows.end());
+  std::string text = decls;
+  for (const std::string& flow : flows) {
+    text += flow;
+  }
+  return text;
+}
+
+struct Workload {
+  const char* name;
+  std::function<std::string(int variant)> spell;
+};
+
+std::vector<Workload> MakeWorkloads(int hosts) {
+  const std::string pool = PoolText(1, hosts);
+  const std::string half_pool = PoolText(1, hosts / 2);
+  const std::string client = "10.0.0." + std::to_string(hosts + 1);
+  std::vector<Workload> workloads;
+
+  // Section 5.3 HDFS write pipeline: 3 variables, 6 chained flows.
+  workloads.push_back({"hdfs_write", [pool, client](int v) {
+    const std::string s = v == 0 ? "" : "_" + std::to_string(v);
+    const std::string decls = "r1" + s + " = r2" + s + " = r3" + s + " = (" + pool + ")\n";
+    const std::string sz = Size256M(v);
+    return Assemble(decls,
+                    {"f1" + s + " " + client + " -> r1" + s + " size " + sz +
+                         " rate r(f2" + s + ")\n",
+                     "f2" + s + " r1" + s + " -> disk size " + sz + " rate r(f1" + s + ")\n",
+                     "f3" + s + " r1" + s + " -> r2" + s + " size " + sz + " rate r(f4" + s +
+                         ") transfer t(f2" + s + ")\n",
+                     "f4" + s + " r2" + s + " -> disk size " + sz + " rate r(f3" + s + ")\n",
+                     "f5" + s + " r2" + s + " -> r3" + s + " size " + sz + " rate r(f6" + s +
+                         ") transfer t(f4" + s + ")\n",
+                     "f6" + s + " r3" + s + " -> disk size " + sz + " rate r(f5" + s + ")\n"},
+                    v);
+  }});
+
+  // Figure 2 replica selection: one variable over the whole cluster.
+  workloads.push_back({"replica_read", [pool, client](int v) {
+    const std::string s = v == 0 ? "" : "_" + std::to_string(v);
+    return std::string("A") + s + " = (" + pool + ")\n" + "get" + s + " A" + s + " -> " +
+           client + " size " + Size256M(v) + "\n";
+  }});
+
+  // Section 5.3 reduce placement: two variables, incoming shuffle + spill.
+  workloads.push_back({"reduce_place", [half_pool](int v) {
+    const std::string s = v == 0 ? "" : "_" + std::to_string(v);
+    const std::string decls =
+        "option noreserve\nx1" + s + " = x2" + s + " = (" + half_pool + ")\n";
+    const std::string sz = Size1G(v);
+    return Assemble(decls,
+                    {"f1" + s + " 0.0.0.0 -> x1" + s + " size " + sz + " rate r(f2" + s + ")\n",
+                     "f2" + s + " x1" + s + " -> disk size " + sz + " rate r(f1" + s + ")\n",
+                     "f3" + s + " 0.0.0.0 -> x2" + s + " size " + sz + " rate r(f4" + s + ")\n",
+                     "f4" + s + " x2" + s + " -> disk size " + sz + " rate r(f3" + s + ")\n"},
+                    v);
+  }});
+  return workloads;
+}
+
+// Binding and scores translated into the canonical vocabulary, plus the
+// raw bits of the numeric payload — equality here is the "byte-identical
+// after name mapping" acceptance check.
+struct MappedPayload {
+  std::map<std::string, std::string> binding;         // canonical var -> endpoint
+  std::map<std::string, uint64_t> scores;             // canonical var -> value bits
+  uint64_t makespan_bits = 0;
+  uint64_t throughput_bits = 0;
+  int probes_sent = 0;
+  int probes_answered = 0;
+
+  bool operator==(const MappedPayload& other) const {
+    return binding == other.binding && scores == other.scores &&
+           makespan_bits == other.makespan_bits && throughput_bits == other.throughput_bits &&
+           probes_sent == other.probes_sent && probes_answered == other.probes_answered;
+  }
+};
+
+uint64_t Bits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+bool MapPayload(const QueryReply& reply, const lang::CanonicalQuery& canon,
+                MappedPayload* out) {
+  std::map<std::string, std::string> to_canonical(canon.variable_map.begin(),
+                                                  canon.variable_map.end());
+  for (const auto& [var, endpoint] : reply.binding) {
+    const auto it = to_canonical.find(var);
+    if (it == to_canonical.end()) {
+      return false;
+    }
+    out->binding[it->second] = endpoint.name;
+  }
+  for (const auto& [var, score] : reply.scores) {
+    const auto it = to_canonical.find(var);
+    if (it == to_canonical.end()) {
+      return false;
+    }
+    out->scores[it->second] = Bits(score);
+  }
+  out->makespan_bits = Bits(reply.estimate.makespan);
+  out->throughput_bits = Bits(reply.estimate.aggregate_throughput);
+  out->probes_sent = reply.probe_stats.requests_sent;
+  out->probes_answered = reply.probe_stats.replies_received;
+  return true;
+}
+
+struct WorkloadResult {
+  const char* name = nullptr;
+  double cold_us = 0;
+  double hit_us = 0;
+  double speedup = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int hosts = 64;
+  const int rounds = bench::QuickMode() ? 20 : 80;
+
+  bench::PrintHeader("Canonical answer cache on repeated re-spelled queries");
+
+  SingleSwitchParams params;
+  params.num_hosts = hosts + 1;  // Pool hosts plus a client endpoint.
+  params.host_caps.nic_up = params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = params.host_caps.disk_write = 4 * kGbps;
+  ClusterOptions options;
+  options.server.eval_threads = 1;
+  options.server.answer_cache = true;
+  // Reservation-free: a pending pseudo-reservation would (correctly) make
+  // the repeats uncacheable, and this bench measures the cache, not the
+  // oscillation damper.
+  options.server.reservation_hold = 0;
+  Cluster cluster(MakeSingleSwitch(params), options);
+  cluster.StartStatusSweep();
+  cluster.MeasureNow();
+
+  const std::vector<Workload> workloads = MakeWorkloads(hosts);
+
+  // Pre-spell and pre-canonicalize every variant; certificate lookup must
+  // not count against the measured answer latency.
+  struct Prepared {
+    std::vector<std::string> texts;
+    std::vector<lang::CanonicalQuery> canons;
+  };
+  std::vector<Prepared> prepared(workloads.size());
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    for (int v = 0; v < kVariants; ++v) {
+      const std::string text = workloads[w].spell(v);
+      const Result<lang::Query> query = lang::Parse(text);
+      if (!query.ok()) {
+        std::fprintf(stderr, "%s variant %d does not parse: %s\n", workloads[w].name, v,
+                     query.error().ToString().c_str());
+        return 2;
+      }
+      Result<lang::CanonicalQuery> canon = lang::Canonicalize(query.value());
+      if (!canon.ok()) {
+        std::fprintf(stderr, "%s variant %d does not canonicalize: %s\n", workloads[w].name,
+                     v, canon.error().ToString().c_str());
+        return 2;
+      }
+      if (v > 0 && canon.value().text != prepared[w].canons[0].text) {
+        std::fprintf(stderr, "%s variant %d is not equivalent to variant 0\n",
+                     workloads[w].name, v);
+        return 2;
+      }
+      prepared[w].texts.push_back(text);
+      prepared[w].canons.push_back(std::move(canon.value()));
+    }
+  }
+
+  bool identical = true;
+  bool all_hits = true;
+  std::vector<WorkloadResult> results;
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    std::vector<double> cold_us;
+    std::vector<double> hit_us;
+    for (int round = 0; round < rounds; ++round) {
+      cluster.cloudtalk().InvalidateAnswerCache();
+      MappedPayload cold_payload;
+      for (int v = 0; v < kVariants; ++v) {
+        const auto begin = std::chrono::steady_clock::now();
+        const Result<QueryReply> reply = cluster.cloudtalk().Answer(prepared[w].texts[v]);
+        const auto end = std::chrono::steady_clock::now();
+        if (!reply.ok()) {
+          std::fprintf(stderr, "%s rejected: %s\n", workloads[w].name,
+                       reply.error().ToString().c_str());
+          return 2;
+        }
+        const double us = std::chrono::duration<double, std::micro>(end - begin).count();
+        (v == 0 ? cold_us : hit_us).push_back(us);
+        if (v > 0 &&
+            obs::FormatTrace(reply.value().trace).find("cache=hit") == std::string::npos) {
+          all_hits = false;
+        }
+        MappedPayload payload;
+        if (!MapPayload(reply.value(), prepared[w].canons[v], &payload)) {
+          std::fprintf(stderr, "%s variant %d: binding var missing from certificate\n",
+                       workloads[w].name, v);
+          return 2;
+        }
+        if (v == 0) {
+          cold_payload = payload;
+        } else if (!(payload == cold_payload)) {
+          identical = false;
+        }
+      }
+    }
+    WorkloadResult result;
+    result.name = workloads[w].name;
+    result.cold_us = Median(cold_us);
+    result.hit_us = Median(hit_us);
+    result.speedup = result.hit_us > 0 ? result.cold_us / result.hit_us : 0;
+    results.push_back(result);
+  }
+
+  double min_speedup = results.empty() ? 0 : results[0].speedup;
+  std::printf("%-16s %12s %12s %10s\n", "query", "cold us", "hit us", "speedup");
+  for (const WorkloadResult& result : results) {
+    std::printf("%-16s %12.1f %12.1f %9.1fx\n", result.name, result.cold_us, result.hit_us,
+                result.speedup);
+    min_speedup = std::min(min_speedup, result.speedup);
+  }
+  const bool pass = identical && all_hits && min_speedup >= 5.0;
+  std::printf("%-16s %35.1fx  (bound: >=5x; hits %s, payloads %s)\n", "minimum", min_speedup,
+              all_hits ? "all served from cache" : "MISSED",
+              identical ? "byte-identical" : "DIVERGED");
+
+  std::string json = "{\"bench\":\"canon_cache\",\"hosts\":" + std::to_string(hosts) +
+                     ",\"rounds\":" + std::to_string(rounds) + ",\"queries\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char entry[192];
+    std::snprintf(entry, sizeof(entry),
+                  "%s{\"name\":\"%s\",\"cold_us\":%.1f,\"hit_us\":%.1f,\"speedup\":%.2f}",
+                  i > 0 ? "," : "", results[i].name, results[i].cold_us, results[i].hit_us,
+                  results[i].speedup);
+    json += entry;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "],\"min_speedup\":%.2f,\"all_hits\":%s,\"payloads_identical\":%s,"
+                "\"pass\":%s}",
+                min_speedup, all_hits ? "true" : "false", identical ? "true" : "false",
+                pass ? "true" : "false");
+  json += tail;
+  std::printf("%s\n", json.c_str());
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 2;
+    }
+  }
+  return pass ? 0 : 1;
+}

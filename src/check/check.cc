@@ -80,6 +80,12 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "[LB, UB] interval lang::BoundAnalysis computes at the estimator's "
        "availability fraction (checked differentially by ctcheck "
        "--diff-bound)"},
+      {"D503", "canon",
+       "canonicalization soundness: canon is idempotent, equivalence-preserving "
+       "mutations (renaming, reordering, respelling, dead clauses) leave the "
+       "canonical bytes unchanged, and the canonical form is answered exactly "
+       "like the original after mapping names back (checked differentially by "
+       "ctcheck --diff-canon)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},
@@ -113,6 +119,8 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
       {"I403", "topology",
        "a synthesized cloud tenant exposes exactly the requested number of "
        "instances"},
+      {"I404", "result", "Result<T>::value() is only called on a result holding a value"},
+      {"I405", "result", "Result<T>::error() is only called on a failed result"},
       {"L401", "lock",
        "no two locks are ever acquired in opposite orders by different threads "
        "(lock-order inversion)"},

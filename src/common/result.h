@@ -2,13 +2,19 @@
 //
 // The repository avoids exceptions on hot paths; errors carry a
 // human-readable message and, when they originate in the parser, a position.
+//
+// Accessing the wrong arm (value() of a failed result, error() of a
+// successful one) is a caller bug; it fires I404/I405 under
+// CLOUDTALK_INVARIANTS with the offending state attached, and is unchecked
+// in release builds (same cost profile as the assert() it replaces).
 #ifndef CLOUDTALK_SRC_COMMON_RESULT_H_
 #define CLOUDTALK_SRC_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "src/check/check.h"
 
 namespace cloudtalk {
 
@@ -35,20 +41,22 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    // Argument-free on purpose: .With() operands are evaluated even when the
+    // condition holds, and value() sits on parser hot paths.
+    CT_INVARIANT(ok(), "I404", "Result::value() called on an error result");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CT_INVARIANT(ok(), "I404", "Result::value() called on an error result");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CT_INVARIANT(ok(), "I404", "Result::value() called on an error result");
     return std::move(*value_);
   }
 
   const Error& error() const {
-    assert(!ok());
+    CT_INVARIANT(!ok(), "I405", "Result::error() called on an ok result");
     return *error_;
   }
 

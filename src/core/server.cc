@@ -8,11 +8,54 @@
 #include "src/common/lock_registry.h"
 #include "src/common/logging.h"
 #include "src/lang/bound.h"
+#include "src/lang/canon.h"
 #include "src/lang/lint.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
 
 namespace cloudtalk {
+
+namespace {
+
+// Rewrites the variable names a reply carries (binding keys and score
+// labels) through `rename`; names outside the map pass through unchanged.
+QueryReply MapReplyNames(const QueryReply& in,
+                         const std::unordered_map<std::string, std::string>& rename) {
+  QueryReply out = in;
+  auto mapped = [&rename](const std::string& name) {
+    const auto it = rename.find(name);
+    return it != rename.end() ? it->second : name;
+  };
+  out.binding.clear();
+  for (const auto& [var, endpoint] : in.binding) {
+    out.binding.emplace(mapped(var), endpoint);
+  }
+  for (auto& [var, score] : out.scores) {
+    (void)score;
+    var = mapped(var);
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::string> ForwardMap(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::unordered_map<std::string, std::string> map;
+  for (const auto& [from, to] : pairs) {
+    map.emplace(from, to);
+  }
+  return map;
+}
+
+std::unordered_map<std::string, std::string> ReverseMap(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::unordered_map<std::string, std::string> map;
+  for (const auto& [from, to] : pairs) {
+    map.emplace(to, from);
+  }
+  return map;
+}
+
+}  // namespace
 
 #if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
 namespace {
@@ -45,6 +88,47 @@ CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory
 Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
   CT_OBS_INC("M100");
   obs::TraceContext trace("answer");
+  // Fast path: a spelling answered before skips the language front end
+  // entirely — parse/lint/canon are pure functions of the bytes, so the
+  // memoized certificate and warnings stand in for a re-run. The skeleton
+  // spans are still emitted (near-zero duration) so hit traces keep the
+  // guaranteed parse/lint/canon prefix.
+  if (config_.answer_cache) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto memo_it = frontend_memo_.find(query_text);
+    if (memo_it != frontend_memo_.end()) {
+      const FrontendMemo& memo = memo_it->second;
+      if (memo.pools_ok && CacheableOptions(memo.reserve, memo.use_packet)) {
+        const auto it = answer_cache_.find(memo.canonical_text);
+        if (it != answer_cache_.end() && it->second.epoch == cache_epoch_) {
+          // A memoized miss is not counted here: the slow path repeats the
+          // lookup after re-canonicalizing and counts it exactly once.
+          CT_OBS_INC("M110");
+          CT_OBS_INC("M111");
+          const int parse_span = trace.OpenFollowing("parse");
+          trace.Attr(parse_span, "bytes", static_cast<int64_t>(query_text.size()));
+          const int lint_span = trace.Transition(parse_span, "lint");
+          trace.Attr(lint_span, "diagnostics", static_cast<int64_t>(memo.warnings.size()));
+          const int canon_span = trace.Transition(lint_span, "canon");
+          char hash_text[17];
+          std::snprintf(hash_text, sizeof(hash_text), "%016llx",
+                        static_cast<unsigned long long>(memo.hash));
+          trace.Attr(canon_span, "hash", hash_text);
+          trace.Attr(canon_span, "cache", "hit");
+          trace.Close(canon_span);
+          QueryReply reply = MapReplyNames(it->second.reply, ReverseMap(memo.variable_map));
+          if (!memo.warnings.empty()) {
+            reply.warnings = memo.warnings;
+          }
+          reply.trace = trace.Finish();
+          if (!reply.trace.empty()) {
+            CT_OBS_OBSERVE("M102", reply.trace.spans[0].duration);
+          }
+          return reply;
+        }
+      }
+    }
+  }
   lang::DiagnosticSink sink;
   const int parse_span = trace.OpenFollowing("parse");
   lang::Query query = lang::ParseWithDiagnostics(query_text, &sink);
@@ -57,10 +141,83 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
     CT_OBS_INC("M101");
     return sink.ToLegacyError();
   }
+
+  // Canonicalize (ISSUE 8). The span is part of every reply's phase
+  // skeleton: the hash identifies the query up to renaming/reordering even
+  // when the answer cache is off. A cacheable repeat is answered here,
+  // skipping compile/probe/search entirely; `lookup_epoch` is re-checked at
+  // store time so a status refresh racing the answer can never publish a
+  // stale entry.
+  const int canon_span = trace.OpenFollowing("canon");
+  const Result<lang::CanonicalQuery> canon = lang::Canonicalize(query);
+  const char* cache_state = "off";
+  bool store = false;
+  uint64_t lookup_epoch = 0;
+  if (canon.ok()) {
+    char hash_text[17];
+    std::snprintf(hash_text, sizeof(hash_text), "%016llx",
+                  static_cast<unsigned long long>(canon.value().hash));
+    trace.Attr(canon_span, "hash", hash_text);
+    if (config_.answer_cache) {
+      // Memoize the front-end result for this exact spelling (pure in the
+      // query bytes, so never invalidated; the cap bounds memory on
+      // adversarial workloads that never repeat a spelling).
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (frontend_memo_.size() >= kFrontendMemoCap) {
+        frontend_memo_.clear();
+      }
+      FrontendMemo& memo = frontend_memo_[query_text];
+      memo.canonical_text = canon.value().text;
+      memo.hash = canon.value().hash;
+      memo.variable_map = canon.value().variable_map;
+      memo.warnings = sink.diagnostics();
+      memo.pools_ok = PoolsWithinSampleThreshold(query);
+      memo.reserve = query.options.reserve;
+      memo.use_packet = query.options.use_packet_simulator;
+    }
+    if (CacheableQuery(query)) {
+      CT_OBS_INC("M110");
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      lookup_epoch = cache_epoch_;
+      const auto it = answer_cache_.find(canon.value().text);
+      if (it != answer_cache_.end() && it->second.epoch == cache_epoch_) {
+        CT_OBS_INC("M111");
+        trace.Attr(canon_span, "cache", "hit");
+        trace.Close(canon_span);
+        QueryReply reply =
+            MapReplyNames(it->second.reply, ReverseMap(canon.value().variable_map));
+        if (!sink.empty()) {
+          reply.warnings = sink.diagnostics();
+        }
+        reply.trace = trace.Finish();
+        if (!reply.trace.empty()) {
+          CT_OBS_OBSERVE("M102", reply.trace.spans[0].duration);
+        }
+        return reply;
+      }
+      cache_state = "miss";
+      store = true;
+    }
+  }
+  trace.Attr(canon_span, "cache", cache_state);
+  trace.Close(canon_span);
+
   Result<QueryReply> reply = AnswerTraced(query, trace);
   if (!reply.ok()) {
     CT_OBS_INC("M101");
     return reply;
+  }
+  if (store) {
+    // Cache the reply in the canonical name space, stripped of the
+    // per-request parts (trace, warnings), so any equivalent spelling can
+    // be served from it.
+    CachedAnswer entry;
+    entry.epoch = lookup_epoch;
+    entry.reply = MapReplyNames(reply.value(), ForwardMap(canon.value().variable_map));
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_epoch_ == lookup_epoch) {
+      answer_cache_[canon.value().text] = std::move(entry);
+    }
   }
   if (!sink.empty()) {
     // Warning-only queries are answered, but the findings travel with the
@@ -72,6 +229,45 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
     CT_OBS_OBSERVE("M102", reply.value().trace.spans[0].duration);
   }
   return reply;
+}
+
+bool CloudTalkServer::CacheableQuery(const lang::Query& query) const {
+  return config_.answer_cache && PoolsWithinSampleThreshold(query) &&
+         CacheableOptions(query.options.reserve, query.options.use_packet_simulator);
+}
+
+bool CloudTalkServer::PoolsWithinSampleThreshold(const lang::Query& query) const {
+  // Sampled pools draw from the server RNG: two cold answers need not agree,
+  // so a cached one cannot stand in for either.
+  for (const lang::VarDecl& decl : query.variables) {
+    if (static_cast<int>(decl.values.size()) > config_.sample_threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CloudTalkServer::CacheableOptions(bool reserve, bool use_packet_simulator) const {
+  // Reservations are time-varying state the exhaustive path ignores but the
+  // heuristic path both reads (the filter) and writes (option reserve).
+  if (config_.reservation_hold > 0 && !use_packet_simulator) {
+    if (reserve) {
+      return false;  // A cold answer would mutate the reservation table.
+    }
+    if (reservations_.ActiveCount(clock_()) > 0) {
+      return false;  // The binding depends on when reservations expire.
+    }
+  }
+  return true;
+}
+
+void CloudTalkServer::InvalidateAnswerCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_epoch_;
+  if (!answer_cache_.empty()) {
+    answer_cache_.clear();
+    CT_OBS_INC("M112");
+  }
 }
 
 Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {

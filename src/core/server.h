@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/check/check.h"
@@ -65,6 +66,19 @@ struct ServerConfig {
   // reported without killing the run; tests use kThrow. Meaningless when
   // CLOUDTALK_INVARIANTS is compiled out.
   check::OnViolation invariant_policy = check::OnViolation::kAbort;
+  // Canonical answer cache (ISSUE 8): Answer() canonicalizes every query
+  // (src/lang/canon) and, when enabled, serves a semantically repeated
+  // query — renamed, reordered, or respelled — from the cached reply with
+  // names mapped back through the certificate. Entries are keyed on the
+  // canonical text (which embeds the option set) plus a status epoch; the
+  // owner of the status plane must call InvalidateAnswerCache() whenever
+  // host status changes (the simulation harness does so on every
+  // measurement sweep). Off by default: only turn it on when that
+  // invalidation contract is wired. Queries whose answers are not a pure
+  // function of (canonical text, status snapshot) — sampled pools, pending
+  // reservations, reserving heuristic answers — bypass the cache either
+  // way.
+  bool answer_cache = false;
 };
 
 struct QueryReply {
@@ -142,6 +156,11 @@ class CloudTalkServer {
   // Accumulated probe traffic (Section 5.5 overhead accounting).
   ProbeStats total_probe_stats() const;
 
+  // Drops every cached answer (M112 counts the events that discarded
+  // something). The status plane must call this whenever host status
+  // changes; cheap when the cache is empty or disabled.
+  void InvalidateAnswerCache();
+
   const ServerConfig& config() const { return config_; }
   ReservationTable& reservations() { return reservations_; }
 
@@ -157,6 +176,16 @@ class CloudTalkServer {
                                std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats,
                                obs::TraceContext& trace);
 
+  // True when the query's answer is a pure function of (canonical text,
+  // status snapshot) under the current configuration, so a cached reply is
+  // guaranteed byte-identical to the cold answer it replaces. Split so the
+  // front-end memo can store the query-shape half (PoolsWithinSampleThreshold
+  // is pure) and re-evaluate the time-varying half (CacheableOptions reads
+  // the reservation table) on every lookup.
+  bool CacheableQuery(const lang::Query& query) const;
+  bool PoolsWithinSampleThreshold(const lang::Query& query) const;
+  bool CacheableOptions(bool reserve, bool use_packet_simulator) const;
+
   ServerConfig config_;
   const Directory* directory_;
   ProbeTransport* transport_;
@@ -169,6 +198,34 @@ class CloudTalkServer {
   ProbeStats total_stats_;
   std::mutex rng_mutex_;
   Rng rng_;
+
+  // Canonical answer cache (ServerConfig::answer_cache). Replies are stored
+  // in the canonical name space (trace and warnings stripped); the epoch
+  // guards against a status refresh racing an in-flight answer.
+  struct CachedAnswer {
+    uint64_t epoch = 0;
+    QueryReply reply;
+  };
+  std::mutex cache_mutex_;
+  uint64_t cache_epoch_ = 0;
+  std::unordered_map<std::string, CachedAnswer> answer_cache_;
+
+  // Front-end memo (answer_cache only): parse, lint, and canonicalization
+  // are pure functions of the query bytes, so a spelling seen before skips
+  // the whole language front end and goes straight to the answer-cache
+  // lookup. Holds no status-dependent data, so InvalidateAnswerCache()
+  // deliberately leaves it alone; bounded by clearing at the cap.
+  struct FrontendMemo {
+    std::string canonical_text;
+    uint64_t hash = 0;
+    std::vector<std::pair<std::string, std::string>> variable_map;
+    std::vector<lang::Diagnostic> warnings;
+    bool pools_ok = false;    // PoolsWithinSampleThreshold at memo time.
+    bool reserve = false;     // query.options.reserve
+    bool use_packet = false;  // query.options.use_packet_simulator
+  };
+  static constexpr size_t kFrontendMemoCap = 4096;
+  std::unordered_map<std::string, FrontendMemo> frontend_memo_;
 };
 
 }  // namespace cloudtalk

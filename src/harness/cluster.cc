@@ -79,6 +79,13 @@ void Cluster::MeasureNow() {
   for (auto& server : status_servers_) {
     server->Measure();
   }
+  // Every CloudTalk server's canonical answer cache is keyed on the status
+  // epoch this sweep just advanced (ServerConfig::answer_cache contract).
+  cloudtalk_->InvalidateAnswerCache();
+  for (auto& [host, server] : per_host_servers_) {
+    (void)host;
+    server->InvalidateAnswerCache();
+  }
 }
 
 void Cluster::SweepTick() {

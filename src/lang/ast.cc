@@ -1,6 +1,8 @@
 #include "src/lang/ast.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace cloudtalk {
@@ -116,23 +118,35 @@ void CollectFlowRefs(const Expr& expr, std::vector<std::pair<Attr, std::string>>
 namespace {
 
 // Prints a literal compactly, using K/M/G binary suffixes for exact powers.
+// Distinct doubles always print distinctly (shortest round-tripping form):
+// canonical-text equality (src/lang/canon) relies on the rendering being
+// injective. The long long casts are guarded — they are undefined for
+// magnitudes at or beyond 2^63.
 std::string FormatLiteral(double value) {
+  constexpr double kMaxExact = 9.2e18;  // Safely inside the long long range.
   const double kSuffixes[3] = {1024.0 * 1024.0 * 1024.0, 1024.0 * 1024.0, 1024.0};
   const char kNames[3] = {'G', 'M', 'K'};
   for (int i = 0; i < 3; ++i) {
-    if (value >= kSuffixes[i] && std::fmod(value, kSuffixes[i]) == 0.0) {
+    if (value >= kSuffixes[i] && value / kSuffixes[i] < kMaxExact &&
+        std::fmod(value, kSuffixes[i]) == 0.0) {
       std::ostringstream os;
       os << static_cast<long long>(value / kSuffixes[i]) << kNames[i];
       return os.str();
     }
   }
-  std::ostringstream os;
-  if (value == static_cast<long long>(value)) {
+  if (std::abs(value) < kMaxExact && value == static_cast<long long>(value)) {
+    std::ostringstream os;
     os << static_cast<long long>(value);
-  } else {
-    os << value;
+    return os.str();
   }
-  return os.str();
+  char buf[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
 }
 
 }  // namespace

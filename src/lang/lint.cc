@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "src/lang/bound.h"
+#include "src/lang/canon.h"
 #include "src/lang/opt.h"
 
 namespace cloudtalk {
@@ -355,6 +356,107 @@ void CheckContradictoryRateChain(const Query& query, DiagnosticSink* sink) {
   }
 }
 
+// ---- W090: duplicate constraint ----
+//
+// Two members of one chain group carrying the *identical* literal rate (or
+// deadline) are redundant restatements: compilation takes the per-group
+// minimum, so one of them adds nothing. W050 covers conflicting (unequal)
+// rates; this rule covers exact duplicates, which W050 deliberately skips.
+void CheckDuplicateConstraint(const Query& query, DiagnosticSink* sink) {
+  const std::vector<int> group = ChainGroupOf(query);
+  for (const Attr attr : {Attr::kRate, Attr::kEnd}) {
+    // (group, value) -> first flow carrying it.
+    std::unordered_map<int, std::vector<std::pair<double, int>>> first_by_group;
+    for (size_t i = 0; i < query.flows.size(); ++i) {
+      const Expr* value_expr = query.flows[i].FindAttr(attr);
+      if (value_expr == nullptr || !IsConstantExpr(*value_expr)) {
+        continue;
+      }
+      const double value = EvalConstant(*value_expr);
+      if (value <= 0) {
+        continue;  // Non-positive limits/deadlines are ignored by analysis.
+      }
+      std::vector<std::pair<double, int>>& seen = first_by_group[group[i]];
+      const auto it = std::find_if(seen.begin(), seen.end(),
+                                   [value](const auto& e) { return e.first == value; });
+      if (it == seen.end()) {
+        seen.emplace_back(value, static_cast<int>(i));
+        continue;
+      }
+      const FlowDef& flow = query.flows[i];
+      const FlowDef& original = query.flows[it->second];
+      const std::string rendered = attr == Attr::kRate
+                                       ? "rate " + FormatRate(value)
+                                       : "end " + FormatCount(value) + "s";
+      sink->AddWarning("W090", flow.AttrSpan(attr),
+                       rendered + " on flow '" + flow.name +
+                           "' duplicates the identical constraint on flow '" +
+                           original.name + "' in the same chain group",
+                       "chained flows share one " +
+                           std::string(attr == Attr::kRate ? "rate limit" : "deadline") +
+                           "; drop the restatement");
+    }
+  }
+}
+
+// ---- W091: subsumed constraint ----
+//
+// A looser literal deadline on a chain group member is subsumed by a
+// tighter one elsewhere in the group (compilation keeps the minimum).
+// The rate-attribute analogue is W050's territory; deadlines are covered
+// here so the two rules never double-report.
+void CheckSubsumedConstraint(const Query& query, DiagnosticSink* sink) {
+  const std::vector<int> group = ChainGroupOf(query);
+  struct LiteralEnd {
+    int flow = 0;
+    double value = 0;  // Seconds.
+  };
+  std::unordered_map<int, std::vector<LiteralEnd>> by_group;
+  for (size_t i = 0; i < query.flows.size(); ++i) {
+    const Expr* end = query.flows[i].FindAttr(Attr::kEnd);
+    if (end == nullptr || !IsConstantExpr(*end)) {
+      continue;
+    }
+    const double value = EvalConstant(*end);
+    if (value > 0) {
+      by_group[group[i]].push_back({static_cast<int>(i), value});
+    }
+  }
+  for (const auto& [g, ends] : by_group) {
+    (void)g;
+    if (ends.size() < 2) {
+      continue;
+    }
+    const auto tightest = std::min_element(
+        ends.begin(), ends.end(),
+        [](const LiteralEnd& a, const LiteralEnd& b) { return a.value < b.value; });
+    for (const LiteralEnd& end : ends) {
+      if (end.value == tightest->value) {
+        continue;
+      }
+      const FlowDef& flow = query.flows[end.flow];
+      const FlowDef& winner = query.flows[tightest->flow];
+      sink->AddWarning("W091", flow.AttrSpan(Attr::kEnd),
+                       "deadline " + FormatCount(end.value) + "s on flow '" + flow.name +
+                           "' is subsumed by the tighter deadline " +
+                           FormatCount(tightest->value) + "s on flow '" + winner.name +
+                           "' in the same chain group",
+                       "chained flows share one deadline and the earliest wins; drop "
+                       "the looser constraint");
+    }
+  }
+}
+
+// ---- W092: equivalent to earlier query (batch mode) ----
+//
+// Registered so --rules and the documentation catalogue list the code; the
+// actual check needs the whole input batch and lives in
+// FindEquivalentQueries(), driven by the ctlint CLI.
+void CheckEquivalentToEarlierQuery(const Query& query, DiagnosticSink* sink) {
+  (void)query;
+  (void)sink;
+}
+
 // ---- W060: search-space explosion ----
 void CheckSearchSpaceExplosion(const Query& query, DiagnosticSink* sink) {
   if (!query.options.use_packet_simulator) {
@@ -660,8 +762,35 @@ const std::vector<LintRule>& LintRules() {
       {"W081", Severity::kWarning, "dominated-objective",
        "a binding-independent chain group pins the makespan; search cannot improve it",
        CheckDominatedObjective},
+      {"W090", Severity::kWarning, "duplicate-constraint",
+       "identical literal rate/deadline restated in one chain group",
+       CheckDuplicateConstraint},
+      {"W091", Severity::kWarning, "subsumed-constraint",
+       "looser deadline subsumed by a tighter one in the same chain group",
+       CheckSubsumedConstraint},
+      {"W092", Severity::kWarning, "equivalent-to-earlier-query",
+       "query is semantically equivalent to an earlier input (batch mode)",
+       CheckEquivalentToEarlierQuery},
   };
   return kRules;
+}
+
+std::vector<BatchEquivalence> FindEquivalentQueries(const std::vector<const Query*>& queries) {
+  std::vector<BatchEquivalence> result(queries.size());
+  std::unordered_map<std::string, int> first_by_text;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<CanonicalQuery> canon = Canonicalize(*queries[i]);
+    if (!canon.ok()) {
+      continue;  // Not renameable (duplicate names etc.); never matches.
+    }
+    result[i].hash = canon.value().hash;
+    const auto [it, inserted] =
+        first_by_text.try_emplace(canon.value().text, static_cast<int>(i));
+    if (!inserted) {
+      result[i].equivalent_to = it->second;
+    }
+  }
+  return result;
 }
 
 void RunLint(const Query& query, DiagnosticSink* sink) {

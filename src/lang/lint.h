@@ -19,12 +19,16 @@
 //   E080 deadline-infeasible-group no binding can meet the deadline (bound LB)
 //   W080 trivially-satisfied-deadline every binding meets the deadline on idle hosts
 //   W081 dominated-objective      a binding-independent group pins the makespan
+//   W090 duplicate-constraint     identical rate/deadline restated in a chain group
+//   W091 subsumed-constraint      looser deadline subsumed by a tighter one
+//   W092 equivalent-to-earlier-query batch input duplicates an earlier query
 //
 // Rules only *read* the query; a query with parse errors can still be
 // linted (the parser produces a best-effort partial AST).
 #ifndef CLOUDTALK_SRC_LANG_LINT_H_
 #define CLOUDTALK_SRC_LANG_LINT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/lang/ast.h"
@@ -55,6 +59,17 @@ double EstimateBindingCount(const Query& query);
 // Binding counts above this trigger W060 on exhaustive (option packet)
 // queries.
 inline constexpr double kSearchSpaceWarnThreshold = 100000.0;
+
+// W092 helper (batch mode): for each query, the index of the earliest
+// semantically equivalent predecessor in the batch (-1 when none) and its
+// canonical content hash (0 when the query cannot be canonicalized).
+// Per-query lint rules cannot see across inputs, so the ctlint CLI drives
+// this directly.
+struct BatchEquivalence {
+  int equivalent_to = -1;
+  uint64_t hash = 0;
+};
+std::vector<BatchEquivalence> FindEquivalentQueries(const std::vector<const Query*>& queries);
 
 }  // namespace lang
 }  // namespace cloudtalk

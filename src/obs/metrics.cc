@@ -102,6 +102,12 @@ const std::vector<MetricInfo>& MetricCatalog() {
       {"M109", MetricType::kCounter, "server", "cloudtalk_server_bound_rejections",
        "Queries rejected before search: a group's sound lower bound exceeds its deadline",
        "", {}},
+      {"M110", MetricType::kCounter, "server", "cloudtalk_server_canon_lookups",
+       "Canonical answer-cache lookups (cache enabled and the query was cacheable)", "", {}},
+      {"M111", MetricType::kCounter, "server", "cloudtalk_server_canon_hits",
+       "Queries answered from the canonical answer cache", "", {}},
+      {"M112", MetricType::kCounter, "server", "cloudtalk_server_canon_invalidations",
+       "Answer-cache invalidation events that discarded at least one cached answer", "", {}},
       // ---- M2xx: probing and status transports ----
       {"M200", MetricType::kHistogram, "probe", "cloudtalk_probe_rtt_seconds",
        "Ping RTT measured by probing::NetworkProber, per target host", "host", kRtt},

@@ -972,6 +972,100 @@ TEST_F(ServerTest, ProbeStatsAccumulate) {
   EXPECT_EQ(server.total_probe_stats().bytes_sent, 6 * 64);
 }
 
+TEST_F(ServerTest, AnswerCacheServesEquivalentSpelling) {
+  ServerConfig config;
+  config.answer_cache = true;
+  config.reservation_hold = 0;  // Reservation-free answers are cache-pure.
+  CloudTalkServer server = MakeServer(config);
+  const std::string original = "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) +
+                               " size 2*128M\nf2 " + Ip(3) + " -> " + Ip(4) + " size 1M\n";
+  // The same query renamed, reordered, and with the size pre-folded.
+  const std::string respelled = "Pool = (" + Ip(1) + " " + Ip(2) + ")\ncopy " + Ip(3) +
+                                " -> " + Ip(4) + " size 1M\nwrite Pool -> " + Ip(0) +
+                                " size 256M\n";
+  auto cold = server.Answer(original);
+  ASSERT_TRUE(cold.ok()) << cold.error().ToString();
+  const int cold_probes = server.total_probe_stats().requests_sent;
+  EXPECT_GT(cold_probes, 0);
+
+  auto hit = server.Answer(respelled);
+  ASSERT_TRUE(hit.ok()) << hit.error().ToString();
+  // Served from the canonical cache: no new probes went out...
+  EXPECT_EQ(server.total_probe_stats().requests_sent, cold_probes);
+  // ...the binding speaks the respelled query's vocabulary...
+  ASSERT_EQ(hit.value().binding.count("Pool"), 1u);
+  EXPECT_EQ(hit.value().binding.at("Pool").name, cold.value().binding.at("A").name);
+  // ...and the payload matches the cold answer apart from the renaming.
+  EXPECT_EQ(hit.value().probe_stats.requests_sent, cold.value().probe_stats.requests_sent);
+  ASSERT_EQ(hit.value().scores.size(), cold.value().scores.size());
+  for (size_t i = 0; i < hit.value().scores.size(); ++i) {
+    EXPECT_EQ(hit.value().scores[i].second, cold.value().scores[i].second);
+  }
+}
+
+TEST_F(ServerTest, AnswerCacheMemoizesRepeatedSpelling) {
+  // A spelling seen before skips the language front end via the memo; the
+  // reply must still carry that spelling's lint warnings, and invalidation
+  // must still force a cold re-answer (the memo never caches status).
+  ServerConfig config;
+  config.answer_cache = true;
+  config.reservation_hold = 0;
+  CloudTalkServer server = MakeServer(config);
+  // Duplicate pool entry: the query is answerable but carries W011.
+  const std::string query = "A = (" + Ip(1) + " " + Ip(2) + " " + Ip(1) + ")\nf1 A -> " +
+                            Ip(0) + " size 1M\n";
+  auto cold = server.Answer(query);
+  ASSERT_TRUE(cold.ok()) << cold.error().ToString();
+  ASSERT_EQ(cold.value().warnings.size(), 1u);
+  EXPECT_EQ(cold.value().warnings[0].code, "W011");
+  const int cold_probes = server.total_probe_stats().requests_sent;
+
+  auto memoized = server.Answer(query);
+  ASSERT_TRUE(memoized.ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, cold_probes);  // Hit.
+  ASSERT_EQ(memoized.value().warnings.size(), 1u);
+  EXPECT_EQ(memoized.value().warnings[0].code, "W011");
+  EXPECT_EQ(memoized.value().binding.at("A").name, cold.value().binding.at("A").name);
+
+  server.InvalidateAnswerCache();
+  ASSERT_TRUE(server.Answer(query).ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, 2 * cold_probes);
+}
+
+TEST_F(ServerTest, AnswerCacheInvalidationForcesReprobe) {
+  ServerConfig config;
+  config.answer_cache = true;
+  config.reservation_hold = 0;
+  CloudTalkServer server = MakeServer(config);
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 1M\n";
+  ASSERT_TRUE(server.Answer(query).ok());
+  const int cold_probes = server.total_probe_stats().requests_sent;
+  ASSERT_TRUE(server.Answer(query).ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, cold_probes);  // Hit.
+  server.InvalidateAnswerCache();  // Status changed: the entry is stale.
+  ASSERT_TRUE(server.Answer(query).ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, 2 * cold_probes);
+}
+
+TEST_F(ServerTest, AnswerCacheLeavesReservingQueriesCold) {
+  // With reservations live (default hold, default `option reserve`), answers
+  // mutate and read time-varying state, so the cache must stand aside: the
+  // second identical query still probes and still avoids the first pick.
+  ServerConfig config;
+  config.answer_cache = true;
+  CloudTalkServer server = MakeServer(config);
+  const std::string query =
+      "A = (" + Ip(1) + " " + Ip(2) + ")\nf1 A -> " + Ip(0) + " size 256M\n";
+  auto first = server.Answer(query);
+  ASSERT_TRUE(first.ok());
+  const int cold_probes = server.total_probe_stats().requests_sent;
+  auto second = server.Answer(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(server.total_probe_stats().requests_sent, 2 * cold_probes);
+  EXPECT_NE(second.value().binding.at("A").name, first.value().binding.at("A").name);
+}
+
 TEST_F(ServerTest, SymbolicAliasesResolve) {
   CloudTalkServer server = MakeServer();
   const NodeId h1 = topo_.hosts()[1];

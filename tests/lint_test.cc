@@ -121,12 +121,30 @@ std::vector<RuleCase> RuleCases() {
        // Equal sizes: the variable group's upper bound exceeds big's lower
        // bound, so the objective is not provably pinned.
        "A = (vm1 vm2)\nbig vm8 -> vm9 size 1M\nsmall A -> vm3 size 1M\n"},
+      {"W090",
+       // Compilation takes the per-group minimum rate, so restating the
+       // identical cap on a second chain member adds nothing.
+       "w vm1 -> vm2 size 8M rate 10M\nvm2 -> vm3 transfer t(w) rate 10M\n",
+       // A different value is a real (if redundant-looking) tightening and
+       // belongs to W050's subsumption analysis, not W090.
+       "w vm1 -> vm2 size 8M rate 10M\nvm2 -> vm3 transfer t(w) rate 5M\n"},
+      {"W091",
+       // Chained flows share one deadline and the earliest wins: 20s is
+       // subsumed by the 10s on the first member.
+       "w vm1 -> vm2 size 8M end 10\nvm2 -> vm3 transfer t(w) end 20\n",
+       "w vm1 -> vm2 size 8M end 10\nvm2 -> vm3 transfer t(w)\n"},
+      // W092 is batch-only (a per-query check cannot see earlier inputs);
+      // the empty pair is skipped below and BatchEquivalenceTest covers it.
+      {"W092", "", ""},
   };
 }
 
 TEST(LintRuleTest, EachRuleFiresOnBadAndStaysQuietOnGood) {
   for (const RuleCase& c : RuleCases()) {
     SCOPED_TRACE(c.code);
+    if (c.bad.empty()) {
+      continue;  // Batch-only rule; see BatchEquivalenceTest.
+    }
     const DiagnosticSink bad = Analyze(c.bad);
     const Diagnostic* d = FindCode(bad, c.code);
     ASSERT_NE(d, nullptr) << "rule " << c.code << " did not fire on:\n" << c.bad;
@@ -149,6 +167,44 @@ TEST(LintRuleTest, RegistryCoversEveryDocumentedCode) {
               rules[i].code[0] == 'E' ? Severity::kError : Severity::kWarning);
     EXPECT_NE(rules[i].check, nullptr);
   }
+}
+
+// ---- W092: batch equivalence across independently-clean queries ----
+
+TEST(BatchEquivalenceTest, FlagsRenamedReorderedDuplicate) {
+  DiagnosticSink s1, s2, s3;
+  const Query a = ParseWithDiagnostics(
+      "A = (vm1 vm2)\ncopy A -> vm3 size 64M rate 100M\nvm4 -> vm5 size 2*16M\n", &s1);
+  const Query b = ParseWithDiagnostics(
+      "A = (vm1 vm2)\ncopy A -> vm3 size 64M rate 100M\n", &s2);
+  // Same query as `a` under renaming, flow reordering, and constant folding.
+  const Query c = ParseWithDiagnostics(
+      "Src = (vm1 vm2)\nvm4 -> vm5 size 32M\nxfer Src -> vm3 size 64M rate 100M\n", &s3);
+  ASSERT_FALSE(s1.has_errors() || s2.has_errors() || s3.has_errors());
+
+  const std::vector<BatchEquivalence> eq = FindEquivalentQueries({&a, &b, &c});
+  ASSERT_EQ(eq.size(), 3u);
+  EXPECT_EQ(eq[0].equivalent_to, -1);
+  EXPECT_EQ(eq[1].equivalent_to, -1);
+  EXPECT_EQ(eq[2].equivalent_to, 0);
+  EXPECT_EQ(eq[2].hash, eq[0].hash);
+  EXPECT_NE(eq[1].hash, eq[0].hash);
+}
+
+TEST(BatchEquivalenceTest, UncanonicalizableQueryNeverMatches) {
+  // Duplicate flow names make a query ambiguous and Canonicalize refuses it;
+  // even two identical ambiguous copies must not pair up. Parser recovery
+  // repairs duplicate names, so build the ambiguous ASTs directly.
+  DiagnosticSink s1, s2;
+  Query a = ParseWithDiagnostics("f vm1 -> vm2 size 1M\ng vm1 -> vm2 size 1M\n", &s1);
+  Query b = ParseWithDiagnostics("f vm1 -> vm2 size 1M\ng vm1 -> vm2 size 1M\n", &s2);
+  ASSERT_FALSE(s1.has_errors() || s2.has_errors());
+  a.flows[1].name = "f";
+  b.flows[1].name = "f";
+  const std::vector<BatchEquivalence> eq = FindEquivalentQueries({&a, &b});
+  ASSERT_EQ(eq.size(), 2u);
+  EXPECT_EQ(eq[0].equivalent_to, -1);
+  EXPECT_EQ(eq[1].equivalent_to, -1);
 }
 
 // ---- Acceptance: two distinct rules, one query, both with positions ----

@@ -32,6 +32,7 @@
 #include "src/lang/diagnostics.h"
 #include "src/lang/opt.h"
 #include "src/lang/parser.h"
+#include "tools/cli_common.h"
 
 namespace {
 
@@ -307,27 +308,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int exit_code = 0;
-  for (const std::string& file : options.files) {
-    std::string source;
-    std::string display_name = file;
-    if (file == "-") {
-      std::ostringstream buffer;
-      buffer << std::cin.rdbuf();
-      source = buffer.str();
-      display_name = "<stdin>";
-    } else {
-      std::ifstream in(file);
-      if (!in) {
-        std::cerr << "ctbound: cannot open '" << file << "'\n";
-        exit_code = std::max(exit_code, 2);
-        continue;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      source = buffer.str();
-    }
-    exit_code = std::max(exit_code, BoundOne(source, display_name, options));
-  }
-  return exit_code;
+  return cloudtalk::cli::ForEachInput(
+      "ctbound", options.files, /*open_error_exit=*/2,
+      [&options](const std::string& source, const std::string& display_name) {
+        return BoundOne(source, display_name, options);
+      });
 }

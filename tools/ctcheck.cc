@@ -23,7 +23,9 @@
 // Usage:
 //   ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --replay scenario.ctsc [--json]
 //   ctcheck --catalog [--json]
 #include <algorithm>
@@ -41,6 +43,7 @@
 #include "src/common/rng.h"
 #include "src/core/exhaustive.h"
 #include "src/lang/bound.h"
+#include "src/lang/canon.h"
 #include "src/lang/parser.h"
 #include "src/fluidsim/fluid_simulation.h"
 #include "src/harness/cluster.h"
@@ -837,12 +840,245 @@ int RunDiffOptMode(int seeds, uint64_t seed_base, const std::string& out_dir, bo
   return violating > 0 ? 1 : 0;
 }
 
+// ---- --diff-canon: differential fuzz of semantic canonicalization ----
+//
+// Same generated workloads as --diff-opt, three oracles per seed (D503):
+//  1. canon(canon(q)) == canon(q) (idempotence, byte-for-byte);
+//  2. an equivalence-preserving mutation of q (alpha-renaming, flow
+//     reordering, literal unfolding, duplicated pool entries, dead clauses)
+//     canonicalizes to the same bytes;
+//  3. the canonical form, evaluated exhaustively against the same status
+//     snapshot, returns the original's winning binding (names mapped back
+//     through the certificate) with a bit-identical estimate — the
+//     invariance claim the server's answer cache rests on.
+
+// Renames every variable and explicitly named flow by appending a suffix,
+// updating declarations, requirements, variable endpoints, and flow
+// references. A pure alpha-conversion: the query's meaning is unchanged.
+void AlphaRenameQuery(lang::Query* query) {
+  std::unordered_map<std::string, std::string> flow_rename;
+  for (lang::FlowDef& flow : query->flows) {
+    if (flow.explicit_name) {
+      flow_rename[flow.name] = flow.name + "x";
+    }
+  }
+  const auto rename_expr = [&flow_rename](lang::Expr* root) {
+    std::vector<lang::Expr*> stack = {root};
+    while (!stack.empty()) {
+      lang::Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == lang::Expr::Kind::kRef) {
+        const auto it = flow_rename.find(e->ref_flow);
+        if (it != flow_rename.end()) {
+          e->ref_flow = it->second;
+        }
+      } else if (e->kind == lang::Expr::Kind::kBinary) {
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+      }
+    }
+  };
+  for (lang::VarDecl& decl : query->variables) {
+    for (std::string& name : decl.names) {
+      name += "x";
+    }
+  }
+  for (lang::Requirement& requirement : query->requirements) {
+    requirement.var += "x";
+  }
+  for (lang::FlowDef& flow : query->flows) {
+    const auto it = flow_rename.find(flow.name);
+    if (it != flow_rename.end()) {
+      flow.name = it->second;
+    }
+    for (lang::Endpoint* e : {&flow.src, &flow.dst}) {
+      if (e->kind == lang::Endpoint::Kind::kVariable) {
+        e->name += "x";
+      }
+    }
+    for (lang::AttrValue& attr : flow.attrs) {
+      rename_expr(attr.value.get());
+    }
+  }
+}
+
+// Applies one random equivalence-preserving mutation in place.
+void MutateEquivalent(lang::Query* query, Rng& rng) {
+  switch (rng.UniformInt(0, 4)) {
+    case 0:
+      AlphaRenameQuery(query);
+      break;
+    case 1:
+      std::reverse(query->flows.begin(), query->flows.end());
+      break;
+    case 2:
+      // Unfold one literal: `v` -> `v*1`, which folds back bit-identically.
+      for (lang::FlowDef& flow : query->flows) {
+        for (lang::AttrValue& attr : flow.attrs) {
+          if (attr.value->kind == lang::Expr::Kind::kLiteral) {
+            attr.value = lang::Expr::Binary('*', std::move(attr.value),
+                                            lang::Expr::Literal(1));
+            return;
+          }
+        }
+      }
+      break;
+    case 3:
+      // Duplicate pool entries are deduplicated keep-first.
+      if (!query->variables.empty() && !query->variables.front().values.empty()) {
+        lang::VarDecl& decl = query->variables.front();
+        decl.values.push_back(decl.values.front());
+        decl.value_spans.clear();
+      }
+      break;
+    case 4:
+      // A dead clause: `start 0` is the attribute's default.
+      for (lang::FlowDef& flow : query->flows) {
+        if (flow.FindAttr(lang::Attr::kStart) == nullptr) {
+          flow.attrs.push_back({lang::Attr::kStart, lang::Expr::Literal(0), lang::Span{}});
+          return;
+        }
+      }
+      break;
+  }
+}
+
+std::string RunDiffCanonSeed(uint64_t seed, std::string* query_text) {
+  *query_text = GenerateDiffOptQuery(seed);
+  lang::DiagnosticSink sink;
+  const lang::Query query = lang::ParseWithDiagnostics(*query_text, &sink);
+  if (sink.has_errors()) {
+    return "generated query does not parse (generator bug): " +
+           sink.diagnostics().front().message;
+  }
+  Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return "generated query does not compile (generator bug): " + compiled.error().message;
+  }
+  const Result<lang::CanonicalQuery> canon = lang::Canonicalize(query);
+  if (!canon.ok()) {
+    return "error-free query failed to canonicalize: " + canon.error().message;
+  }
+
+  // Oracle 1: idempotence.
+  const Result<lang::CanonicalQuery> twice = lang::Canonicalize(canon.value().query);
+  if (!twice.ok()) {
+    return "canonical form failed to re-canonicalize: " + twice.error().message;
+  }
+  if (twice.value().text != canon.value().text) {
+    return "canon is not idempotent: [" + canon.value().text + "] re-canonicalizes to [" +
+           twice.value().text + "]";
+  }
+
+  // Oracle 2: equivalence-preserving mutations keep the canonical bytes.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  lang::DiagnosticSink mutant_sink;
+  lang::Query mutant = lang::ParseWithDiagnostics(*query_text, &mutant_sink);
+  const int mutations = static_cast<int>(rng.UniformInt(1, 3));
+  for (int i = 0; i < mutations; ++i) {
+    MutateEquivalent(&mutant, rng);
+  }
+  const Result<lang::CanonicalQuery> mutated = lang::Canonicalize(mutant);
+  if (!mutated.ok()) {
+    return "mutated-equivalent query failed to canonicalize: " + mutated.error().message;
+  }
+  if (mutated.value().text != canon.value().text) {
+    return "equivalent mutation changed the canonical form: [" + canon.value().text +
+           "] vs [" + mutated.value().text + "]";
+  }
+
+  // Oracle 3: the canonical form is answered exactly like the original.
+  Result<lang::CompiledQuery> canon_compiled =
+      lang::CompiledQuery::Compile(canon.value().query);
+  if (!canon_compiled.ok()) {
+    return "canonical form does not compile: " + canon_compiled.error().message;
+  }
+  const StatusByAddress status = GenerateDiffOptStatus(compiled.value(), seed);
+  ExhaustiveParams params;
+  params.threads = 1;
+  params.optimize = false;
+  FlowLevelEstimator est_original;
+  const Result<ExhaustiveResult> original =
+      EvaluateExhaustive(compiled.value(), status, est_original, params);
+  FlowLevelEstimator est_canonical;
+  const Result<ExhaustiveResult> canonical =
+      EvaluateExhaustive(canon_compiled.value(), status, est_canonical, params);
+  if (original.ok() != canonical.ok()) {
+    return std::string("only the ") + (original.ok() ? "original" : "canonical") +
+           " form found a binding (" +
+           (original.ok() ? canonical.error().message : original.error().message) + ")";
+  }
+  if (!original.ok()) {
+    return "";  // Both forms agree there is no answer.
+  }
+  Binding mapped;
+  for (const auto& [var, endpoint] : canonical.value().binding) {
+    const std::string* name = canon.value().OriginalVariable(var);
+    mapped[name != nullptr ? *name : var] = endpoint;
+  }
+  const std::string binding_a = RenderBinding(original.value().binding);
+  const std::string binding_b = RenderBinding(mapped);
+  if (binding_a != binding_b) {
+    return "different winners: original [" + binding_a + "] vs canonical [" + binding_b +
+           "]";
+  }
+  const Estimate& a = original.value().estimate;
+  const Estimate& b = canonical.value().estimate;
+  if (std::memcmp(&a.makespan, &b.makespan, sizeof(double)) != 0 ||
+      std::memcmp(&a.aggregate_throughput, &b.aggregate_throughput, sizeof(double)) != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "same winner but estimates differ: makespan %.17g vs %.17g", a.makespan,
+                  b.makespan);
+    return buf;
+  }
+  return "";
+}
+
+int RunDiffCanonMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffCanonSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffcanon_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-canon divergence, seed " << seed << " (D503)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D503 canonicalization violation: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-canon\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-canon: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-opt [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
@@ -858,6 +1094,10 @@ void PrintUsage(FILE* out) {
                "With --diff-bound, fuzzes the sound bound analysis: every legal binding\n"
                "is simulated and its makespan checked against the static [LB, UB]\n"
                "interval; any escape is a D502 violation and the query is saved.\n"
+               "With --diff-canon, fuzzes semantic canonicalization: canon must be\n"
+               "idempotent, equivalence-preserving mutations must not change the\n"
+               "canonical bytes, and the canonical form must be answered exactly like\n"
+               "the original; any divergence is a D503 violation and the query is saved.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -892,6 +1132,7 @@ int Main(int argc, char** argv) {
   bool diff_opt = false;
   bool diff_sim = false;
   bool diff_bound = false;
+  bool diff_canon = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -919,6 +1160,8 @@ int Main(int argc, char** argv) {
       diff_sim = true;
     } else if (arg == "--diff-bound") {
       diff_bound = true;
+    } else if (arg == "--diff-canon") {
+      diff_canon = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -940,6 +1183,9 @@ int Main(int argc, char** argv) {
   }
   if (diff_bound) {
     return RunDiffBoundMode(seeds, seed_base, out_dir, json);
+  }
+  if (diff_canon) {
+    return RunDiffCanonMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,

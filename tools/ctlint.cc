@@ -2,7 +2,10 @@
 //
 // Runs the full diagnostics pipeline — lexer, parser (with recovery), lint
 // rules, semantic compilation — over each input and reports every finding
-// with source position, rule code, and fix-it hint.
+// with source position, rule code, and fix-it hint. With more than one
+// input, also cross-checks the batch for semantically equivalent queries
+// (rule W092): two inputs whose canonical forms are byte-identical answer
+// from one cache entry and usually indicate accidental duplication.
 //
 //   ctlint query.ct             clang-style text diagnostics
 //   ctlint --json query.ct      machine-readable output for CI
@@ -12,23 +15,28 @@
 //
 // Exit code is the maximum severity across all inputs: 0 clean, 1 warnings,
 // 2 errors (with --werror, warnings exit 2 as well).
-#include <fstream>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/lang/analysis.h"
 #include "src/lang/diagnostics.h"
 #include "src/lang/lint.h"
 #include "src/lang/parser.h"
+#include "tools/cli_common.h"
 
 namespace {
 
+using cloudtalk::lang::BatchEquivalence;
 using cloudtalk::lang::CompiledQuery;
 using cloudtalk::lang::DiagnosticSink;
 using cloudtalk::lang::Query;
 using cloudtalk::lang::Severity;
+using cloudtalk::lang::Span;
 
 struct Options {
   bool json = false;
@@ -43,6 +51,8 @@ void PrintUsage(std::ostream& os) {
         "Static analyzer for CloudTalk query files. Reports every syntax\n"
         "error, semantic error, and lint finding with line:column, a stable\n"
         "rule code, and a fix-it hint (see docs/LANGUAGE.md, 'Diagnostics').\n"
+        "With several inputs, semantically equivalent queries are flagged\n"
+        "(W092) by canonical-form comparison.\n"
         "\n"
         "  --json    machine-readable output (one JSON object per input)\n"
         "  --werror  treat warnings as errors\n"
@@ -59,27 +69,67 @@ void PrintRules() {
   }
 }
 
-// Runs the pipeline over one query text; returns the exit code contribution.
-int LintOne(const std::string& source, const std::string& display_name,
-            const Options& options) {
+// One input's pipeline state, kept so the batch-equivalence pass can append
+// W092 findings before anything is rendered.
+struct LintedInput {
+  std::string source;
+  std::string display_name;
+  Query query;
   DiagnosticSink sink;
-  const Query query = cloudtalk::lang::ParseWithDiagnostics(source, &sink);
-  cloudtalk::lang::RunLint(query, &sink);
-  if (!sink.has_errors()) {
+};
+
+LintedInput LintOne(std::string source, std::string display_name) {
+  LintedInput input;
+  input.source = std::move(source);
+  input.display_name = std::move(display_name);
+  input.query = cloudtalk::lang::ParseWithDiagnostics(input.source, &input.sink);
+  cloudtalk::lang::RunLint(input.query, &input.sink);
+  if (!input.sink.has_errors()) {
     // Surface residual semantic errors (unresolvable sizes etc.) that only
     // full compilation finds. Skipped when errors exist: the AST is partial.
-    (void)CompiledQuery::Compile(query, &sink);
+    (void)CompiledQuery::Compile(input.query, &input.sink);
   }
+  return input;
+}
+
+// W092: flag every input whose canonical form is byte-identical to an
+// earlier one in the batch.
+void CheckBatchEquivalence(std::vector<LintedInput>* inputs) {
+  std::vector<const Query*> queries;
+  queries.reserve(inputs->size());
+  for (const LintedInput& input : *inputs) {
+    queries.push_back(&input.query);
+  }
+  const std::vector<BatchEquivalence> equivalence =
+      cloudtalk::lang::FindEquivalentQueries(queries);
+  for (size_t i = 0; i < inputs->size(); ++i) {
+    if (equivalence[i].equivalent_to < 0) {
+      continue;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(equivalence[i].hash));
+    (*inputs)[i].sink.AddWarning(
+        "W092", Span{1, 1, 1},
+        "query is semantically equivalent to earlier input '" +
+            (*inputs)[equivalence[i].equivalent_to].display_name + "'",
+        std::string("the canonical forms are byte-identical (hash ") + hash +
+            "); the server answers both from one cache entry");
+  }
+}
+
+int Render(LintedInput* input, const Options& options) {
   if (options.werror) {
-    sink.PromoteWarnings();
+    input->sink.PromoteWarnings();
   }
-  sink.SortByPosition();
+  input->sink.SortByPosition();
   if (options.json) {
-    std::cout << DiagnosticsToJson(sink.diagnostics(), display_name) << "\n";
-  } else if (!sink.empty()) {
-    std::cout << FormatDiagnostics(sink.diagnostics(), source, display_name);
+    std::cout << DiagnosticsToJson(input->sink.diagnostics(), input->display_name) << "\n";
+  } else if (!input->sink.empty()) {
+    std::cout << FormatDiagnostics(input->sink.diagnostics(), input->source,
+                                   input->display_name);
   }
-  switch (sink.max_severity()) {
+  switch (input->sink.max_severity()) {
     case Severity::kError:
       return 2;
     case Severity::kWarning:
@@ -120,26 +170,21 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  std::vector<LintedInput> inputs;
   for (const std::string& file : options.files) {
     std::string source;
-    std::string display_name = file;
-    if (file == "-") {
-      std::ostringstream buffer;
-      buffer << std::cin.rdbuf();
-      source = buffer.str();
-      display_name = "<stdin>";
-    } else {
-      std::ifstream in(file);
-      if (!in) {
-        std::cerr << "ctlint: cannot open '" << file << "'\n";
-        exit_code = std::max(exit_code, 2);
-        continue;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      source = buffer.str();
+    std::string display_name;
+    if (!cloudtalk::cli::ReadInput("ctlint", file, &source, &display_name)) {
+      exit_code = std::max(exit_code, 2);
+      continue;
     }
-    exit_code = std::max(exit_code, LintOne(source, display_name, options));
+    inputs.push_back(LintOne(std::move(source), std::move(display_name)));
+  }
+  if (inputs.size() > 1) {
+    CheckBatchEquivalence(&inputs);
+  }
+  for (LintedInput& input : inputs) {
+    exit_code = std::max(exit_code, Render(&input, options));
   }
   return exit_code;
 }

@@ -33,6 +33,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/topology/topology.h"
+#include "tools/cli_common.h"
 
 namespace {
 
@@ -173,28 +174,11 @@ int main(int argc, char** argv) {
   cluster.StartStatusSweep();
   cluster.MeasureNow();
 
-  int exit_code = 0;
-  for (const std::string& file : options.files) {
-    std::string source;
-    std::string display_name = file;
-    if (file == "-") {
-      std::ostringstream buffer;
-      buffer << std::cin.rdbuf();
-      source = buffer.str();
-      display_name = "<stdin>";
-    } else {
-      std::ifstream in(file);
-      if (!in) {
-        std::cerr << "ctstat: cannot open '" << file << "'\n";
-        exit_code = std::max(exit_code, 2);
-        continue;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      source = buffer.str();
-    }
-    exit_code = std::max(exit_code, AnswerOne(cluster, source, display_name, options));
-  }
+  int exit_code = cloudtalk::cli::ForEachInput(
+      "ctstat", options.files, /*open_error_exit=*/2,
+      [&options, &cluster](const std::string& source, const std::string& display_name) {
+        return AnswerOne(cluster, source, display_name, options);
+      });
   if (options.prom) {
     std::cout << cloudtalk::obs::Registry::Instance().RenderPrometheus();
   }
