@@ -86,6 +86,13 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "canonical bytes unchanged, and the canonical form is answered exactly "
        "like the original after mapping names back (checked differentially by "
        "ctcheck --diff-canon)"},
+      {"D504", "scope",
+       "footprint soundness: probing only the hosts the static scope analysis "
+       "places in the footprint yields byte-identical answers to probing every "
+       "sampled pool entry and literal endpoint, and queries with disjoint "
+       "reservation footprints commute — either admission order yields "
+       "byte-identical replies (checked differentially by ctcheck "
+       "--diff-scope)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},
@@ -121,6 +128,16 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "instances"},
       {"I404", "result", "Result<T>::value() is only called on a result holding a value"},
       {"I405", "result", "Result<T>::error() is only called on a failed result"},
+      {"I406", "probing",
+       "rack inference assigns every probed host a non-negative rack label"},
+      {"I407", "harness",
+       "a measurement sweep reports status for every host in the cluster"},
+      {"I408", "scope",
+       "every literal flow endpoint is inside the computed footprint (the bound "
+       "analysis and the estimators read its status for every binding)"},
+      {"I409", "server",
+       "an admission-gate release always matches a scope that is still in "
+       "flight"},
       {"L401", "lock",
        "no two locks are ever acquired in opposite orders by different threads "
        "(lock-order inversion)"},

@@ -55,6 +55,18 @@ std::unordered_map<std::string, std::string> ReverseMap(
   return map;
 }
 
+bool Intersects(const std::unordered_set<std::string>& a,
+                const std::unordered_set<std::string>& b) {
+  const std::unordered_set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::unordered_set<std::string>& large = a.size() <= b.size() ? b : a;
+  for (const std::string& s : small) {
+    if (large.count(s) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 #if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
@@ -66,6 +78,10 @@ LockId StatsLockId() {
 }
 LockId RngLockId() {
   static const LockId id = LockRegistry::Instance().Register("server.rng");
+  return id;
+}
+LockId AdmissionLockId() {
+  static const LockId id = LockRegistry::Instance().Register("server.admission");
   return id;
 }
 
@@ -98,7 +114,7 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
     const auto memo_it = frontend_memo_.find(query_text);
     if (memo_it != frontend_memo_.end()) {
       const FrontendMemo& memo = memo_it->second;
-      if (memo.pools_ok && CacheableOptions(memo.reserve, memo.use_packet)) {
+      if (CacheableEffects(memo.effects)) {
         const auto it = answer_cache_.find(memo.canonical_text);
         if (it != answer_cache_.end() && it->second.epoch == cache_epoch_) {
           // A memoized miss is not counted here: the slow path repeats the
@@ -153,6 +169,9 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
   const char* cache_state = "off";
   bool store = false;
   uint64_t lookup_epoch = 0;
+  // Statically inferred effect set (src/lang/scope): pure in the query
+  // bytes, so it rides in the front-end memo and gates the answer cache.
+  const lang::ScopeEffects effects = lang::AnalyzeEffects(query);
   if (canon.ok()) {
     char hash_text[17];
     std::snprintf(hash_text, sizeof(hash_text), "%016llx",
@@ -171,11 +190,9 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
       memo.hash = canon.value().hash;
       memo.variable_map = canon.value().variable_map;
       memo.warnings = sink.diagnostics();
-      memo.pools_ok = PoolsWithinSampleThreshold(query);
-      memo.reserve = query.options.reserve;
-      memo.use_packet = query.options.use_packet_simulator;
+      memo.effects = effects;
     }
-    if (CacheableQuery(query)) {
+    if (config_.answer_cache && CacheableEffects(effects)) {
       CT_OBS_INC("M110");
       std::lock_guard<std::mutex> lock(cache_mutex_);
       lookup_epoch = cache_epoch_;
@@ -231,27 +248,16 @@ Result<QueryReply> CloudTalkServer::Answer(const std::string& query_text) {
   return reply;
 }
 
-bool CloudTalkServer::CacheableQuery(const lang::Query& query) const {
-  return config_.answer_cache && PoolsWithinSampleThreshold(query) &&
-         CacheableOptions(query.options.reserve, query.options.use_packet_simulator);
-}
-
-bool CloudTalkServer::PoolsWithinSampleThreshold(const lang::Query& query) const {
+bool CloudTalkServer::CacheableEffects(const lang::ScopeEffects& effects) const {
   // Sampled pools draw from the server RNG: two cold answers need not agree,
   // so a cached one cannot stand in for either.
-  for (const lang::VarDecl& decl : query.variables) {
-    if (static_cast<int>(decl.values.size()) > config_.sample_threshold) {
-      return false;
-    }
+  if (effects.max_pool_size > config_.sample_threshold) {
+    return false;
   }
-  return true;
-}
-
-bool CloudTalkServer::CacheableOptions(bool reserve, bool use_packet_simulator) const {
   // Reservations are time-varying state the exhaustive path ignores but the
-  // heuristic path both reads (the filter) and writes (option reserve).
-  if (config_.reservation_hold > 0 && !use_packet_simulator) {
-    if (reserve) {
+  // heuristic path both reads (the filter) and writes (the reserve effect).
+  if (config_.reservation_hold > 0 && !effects.uses_packet_engine) {
+    if (effects.reserves) {
       return false;  // A cold answer would mutate the reservation table.
     }
     if (reservations_.ActiveCount(clock_()) > 0) {
@@ -280,6 +286,7 @@ Result<QueryReply> CloudTalkServer::AnswerParsed(const lang::Query& query) {
 }
 
 StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compiled,
+                                              const lang::ScopeAnalysis* scope,
                                               std::vector<lang::VarComm>* sampled_vars,
                                               ProbeStats* stats, obs::TraceContext& trace) {
   *sampled_vars = compiled.variables();
@@ -332,13 +339,22 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
   // covers address assembly, resolution, and the scatter-gather itself.
   const int probe_span = trace.Transition(sample_span, "probe");
 
-  // Address set to probe: sampled pools plus literal flow endpoints.
+  // Address set to probe: sampled pools plus literal flow endpoints, minus
+  // the hosts the footprint analysis proves no evaluation engine reads
+  // (ISSUE 9). Sampling above still ran over the full variable set so the
+  // RNG stream is identical with pruning on or off.
   std::vector<std::string> addresses;
   std::unordered_set<std::string> seen;
+  int64_t skipped = 0;
   auto add = [&](const lang::Endpoint& e) {
-    if (e.kind == lang::Endpoint::Kind::kAddress && seen.insert(e.name).second) {
-      addresses.push_back(e.name);
+    if (e.kind != lang::Endpoint::Kind::kAddress || !seen.insert(e.name).second) {
+      return;
     }
+    if (scope != nullptr && !scope->InFootprint(e.name)) {
+      ++skipped;
+      return;
+    }
+    addresses.push_back(e.name);
   };
   for (const lang::VarComm& var : *sampled_vars) {
     for (const lang::Endpoint& e : var.pool) {
@@ -391,12 +407,57 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
       status[address] = StatusReport::Idle(node, directory_->CapsOf(node));
     }
   }
+  if (skipped > 0) {
+    CT_OBS_ADD("M113", skipped);
+  }
   trace.Attr(probe_span, "fanout", static_cast<int64_t>(targets.size()));
   trace.Attr(probe_span, "replies",
              static_cast<int64_t>(static_cast<int>(targets.size()) - missing));
   trace.Attr(probe_span, "missing", static_cast<int64_t>(missing));
+  trace.Attr(probe_span, "skipped", skipped);
   trace.Close(probe_span);
   return status;
+}
+
+uint64_t CloudTalkServer::AdmitScope(const lang::ScopeAnalysis& scope) {
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  const int slots = std::max(1, config_.admission_slots);
+  admission_cv_.wait(lock, [&] {
+    if (static_cast<int>(admitted_.size()) >= slots) {
+      return false;
+    }
+    for (const AdmittedScope& in_flight : admitted_) {
+      if ((in_flight.reserves || scope.effects.reserves) &&
+          Intersects(*in_flight.candidates, scope.candidates)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  CT_LOCK_TRACE(AdmissionLockId());
+  AdmittedScope entry;
+  entry.ticket = ++next_ticket_;
+  entry.reserves = scope.effects.reserves;
+  entry.candidates = &scope.candidates;
+  admitted_.push_back(entry);
+  return entry.ticket;
+}
+
+void CloudTalkServer::ReleaseScope(uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    CT_LOCK_TRACE(AdmissionLockId());
+    const auto it =
+        std::find_if(admitted_.begin(), admitted_.end(),
+                     [ticket](const AdmittedScope& a) { return a.ticket == ticket; });
+    CT_INVARIANT(it != admitted_.end(), "I409",
+                 "admission release does not match any in-flight scope")
+        .With("ticket", std::to_string(ticket));
+    if (it != admitted_.end()) {
+      admitted_.erase(it);
+    }
+  }
+  admission_cv_.notify_all();
 }
 
 Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
@@ -408,26 +469,61 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     return compiled.error();
   }
 
+  // Static footprint & effect analysis (ISSUE 9, src/lang/scope): which
+  // hosts the answer can depend on, and whether answering reserves. Drives
+  // the probe filter below and the concurrent admission gate.
+  const lang::ScopeAnalysis scope = lang::AnalyzeScope(compiled.value());
+  {
+    const int scope_span = trace.OpenFollowing("scope");
+    trace.Attr(scope_span, "footprint", static_cast<int64_t>(scope.footprint.size()));
+    trace.Attr(scope_span, "excluded", static_cast<int64_t>(scope.excluded.size()));
+    trace.Attr(scope_span, "effects", lang::EffectsName(scope.effects));
+    trace.Close(scope_span);
+  }
+
+  // Concurrent admission (ROADMAP item 1 pilot): hold a slot for the rest
+  // of the evaluation. Queries with disjoint reservation footprints proceed
+  // in parallel; conflicting ones queue here. With reservations disabled
+  // every pair commutes, so the gate is bypassed entirely.
+  const uint64_t admission_ticket = config_.reservation_hold > 0 ? AdmitScope(scope) : 0;
+  struct AdmissionGuard {
+    CloudTalkServer* server;
+    uint64_t ticket;
+    ~AdmissionGuard() {
+      if (ticket != 0) {
+        server->ReleaseScope(ticket);
+      }
+    }
+  } admission_guard{this, admission_ticket};
+
   QueryReply reply;
   StatusByAddress status;
   std::vector<lang::VarComm> variables = compiled.value().variables();
+  const lang::ScopeAnalysis* probe_scope = config_.scope_probe_pruning ? &scope : nullptr;
   if (query.options.use_dynamic_load) {
-    status = GatherStatus(compiled.value(), &variables, &reply.probe_stats, trace);
+    status = GatherStatus(compiled.value(), probe_scope, &variables, &reply.probe_stats, trace);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     CT_LOCK_TRACE(StatsLockId());
     total_stats_.Accumulate(reply.probe_stats);
   } else {
     // Static evaluation: endpoints idle at their nominal capacities. The
     // sample and probe spans still appear (every reply carries the full
-    // phase skeleton), recording that both phases were no-ops.
+    // phase skeleton), recording that both phases were no-ops. The
+    // footprint filter applies here too: an inert variable's hosts get no
+    // synthetic idle status, matching what the engines can read.
     {
       obs::TraceContext::Scoped sample_span(&trace, "sample");
       trace.Attr(sample_span.id(), "mode", "static");
     }
     obs::TraceContext::Scoped probe_span(&trace, "probe");
+    std::unordered_set<std::string> skipped_hosts;
     for (const lang::VarComm& var : variables) {
       for (const lang::Endpoint& e : var.pool) {
         if (e.kind != lang::Endpoint::Kind::kAddress) {
+          continue;
+        }
+        if (probe_scope != nullptr && !probe_scope->InFootprint(e.name)) {
+          skipped_hosts.insert(e.name);
           continue;
         }
         const NodeId node = directory_->Resolve(e.name);
@@ -436,8 +532,13 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
         }
       }
     }
+    const int64_t skipped = static_cast<int64_t>(skipped_hosts.size());
+    if (skipped > 0) {
+      CT_OBS_ADD("M113", skipped);
+    }
     trace.Attr(probe_span.id(), "fanout", static_cast<int64_t>(0));
     trace.Attr(probe_span.id(), "mode", "static");
+    trace.Attr(probe_span.id(), "skipped", skipped);
   }
 
   // Admission bound check (ISSUE 7): sound completion-time intervals over
@@ -601,7 +702,10 @@ Result<QuoteReply> CloudTalkServer::Quote(const std::string& query_text) {
   ProbeStats stats;
   std::vector<lang::VarComm> variables = compiled.value().variables();
   obs::TraceContext quote_trace("quote");
-  StatusByAddress status = GatherStatus(compiled.value(), &variables, &stats, quote_trace);
+  const lang::ScopeAnalysis scope = lang::AnalyzeScope(compiled.value());
+  StatusByAddress status =
+      GatherStatus(compiled.value(), config_.scope_probe_pruning ? &scope : nullptr,
+                   &variables, &stats, quote_trace);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     CT_LOCK_TRACE(StatsLockId());

@@ -16,11 +16,13 @@
 #ifndef CLOUDTALK_SRC_CORE_SERVER_H_
 #define CLOUDTALK_SRC_CORE_SERVER_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/check/check.h"
@@ -33,6 +35,7 @@
 #include "src/core/heuristic.h"
 #include "src/core/reservations.h"
 #include "src/lang/analysis.h"
+#include "src/lang/scope.h"
 #include "src/status/sampling.h"
 #include "src/status/transport.h"
 
@@ -79,6 +82,19 @@ struct ServerConfig {
   // reservations, reserving heuristic answers — bypass the cache either
   // way.
   bool answer_cache = false;
+  // Scope-based probe pruning (ISSUE 9): skip probing hosts the static
+  // footprint analysis (src/lang/scope) proves no evaluation engine can
+  // read. Sound — the D504 differential contract fuzzes byte-identity
+  // against full probing — and on by default; off reverts to probing every
+  // sampled pool entry and literal endpoint.
+  bool scope_probe_pruning = true;
+  // Concurrent admission gate (ISSUE 9, the two-slot pilot of the admission
+  // arbiter in ROADMAP item 1): up to this many queries evaluate
+  // concurrently when their reservation footprints are disjoint; queries
+  // whose candidate sets intersect (and at least one reserves) serialize.
+  // Only engaged when reservation_hold > 0 — with reservations disabled
+  // every pair of queries commutes and the gate would be pure overhead.
+  int admission_slots = 2;
 };
 
 struct QueryReply {
@@ -96,9 +112,9 @@ struct QueryReply {
   // e.g. W050 contradictory-rate-chain here got an answer, but probably not
   // the one it meant to ask for.
   std::vector<lang::Diagnostic> warnings;
-  // Query-lifecycle spans (ISSUE 5): parse, lint, compile, sample, probe
-  // (one child per contacted host), bind, reserve — with wall times and
-  // per-phase attributes. Empty when observability is compiled out
+  // Query-lifecycle spans (ISSUE 5): parse, lint, canon, compile, scope,
+  // sample, probe (one child per contacted host), bound, bind, reserve —
+  // with wall times and per-phase attributes. Empty when observability is compiled out
   // (CLOUDTALK_OBS=OFF) or runtime-disabled. Render with obs::FormatTrace
   // or obs::TraceToJson; `tools/ctstat` does both.
   obs::Trace trace;
@@ -169,22 +185,32 @@ class CloudTalkServer {
   // gather status, bind, reserve — recording one span per phase in `trace`.
   Result<QueryReply> AnswerTraced(const lang::Query& query, obs::TraceContext& trace);
 
-  // Gathers status for the addresses the query can touch. Applies sampling.
+  // Gathers status for the addresses the query can touch. Applies sampling,
+  // then drops addresses outside `scope`'s footprint (pass nullptr to probe
+  // everything — the pruning ablation and `ctcheck --diff-scope` baseline).
   // Records the `sample` and `probe` spans (one `probe.host` child per
-  // contacted target) in `trace`.
+  // contacted target, M113 counting the skipped ones) in `trace`.
   StatusByAddress GatherStatus(const lang::CompiledQuery& compiled,
+                               const lang::ScopeAnalysis* scope,
                                std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats,
                                obs::TraceContext& trace);
 
   // True when the query's answer is a pure function of (canonical text,
   // status snapshot) under the current configuration, so a cached reply is
-  // guaranteed byte-identical to the cold answer it replaces. Split so the
-  // front-end memo can store the query-shape half (PoolsWithinSampleThreshold
-  // is pure) and re-evaluate the time-varying half (CacheableOptions reads
-  // the reservation table) on every lookup.
-  bool CacheableQuery(const lang::Query& query) const;
-  bool PoolsWithinSampleThreshold(const lang::Query& query) const;
-  bool CacheableOptions(bool reserve, bool use_packet_simulator) const;
+  // guaranteed byte-identical to the cold answer it replaces. The
+  // query-shape half is the statically inferred effect set (pure in the
+  // query bytes, so the front-end memo stores it); the time-varying half —
+  // pending reservations held by other queries — is re-read here on every
+  // lookup.
+  bool CacheableEffects(const lang::ScopeEffects& effects) const;
+
+  // Concurrent admission gate. AdmitScope blocks until no admitted query's
+  // reservation footprint conflicts with `scope` (lang::ReservationConflict
+  // semantics) and a slot is free, then returns a ticket; ReleaseScope
+  // (invariant I409: the ticket must be in flight) frees it. `scope` must
+  // outlive the admission.
+  uint64_t AdmitScope(const lang::ScopeAnalysis& scope);
+  void ReleaseScope(uint64_t ticket);
 
   ServerConfig config_;
   const Directory* directory_;
@@ -220,12 +246,23 @@ class CloudTalkServer {
     uint64_t hash = 0;
     std::vector<std::pair<std::string, std::string>> variable_map;
     std::vector<lang::Diagnostic> warnings;
-    bool pools_ok = false;    // PoolsWithinSampleThreshold at memo time.
-    bool reserve = false;     // query.options.reserve
-    bool use_packet = false;  // query.options.use_packet_simulator
+    lang::ScopeEffects effects;  // AnalyzeEffects — pure in the query bytes.
   };
   static constexpr size_t kFrontendMemoCap = 4096;
   std::unordered_map<std::string, FrontendMemo> frontend_memo_;
+
+  // Concurrent admission gate state: the scopes currently evaluating. Each
+  // entry borrows the candidate set from the admitting frame's
+  // ScopeAnalysis (alive until ReleaseScope by construction).
+  struct AdmittedScope {
+    uint64_t ticket = 0;
+    bool reserves = false;
+    const std::unordered_set<std::string>* candidates = nullptr;
+  };
+  std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  std::vector<AdmittedScope> admitted_;
+  uint64_t next_ticket_ = 0;
 };
 
 }  // namespace cloudtalk

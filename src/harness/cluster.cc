@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/check/check.h"
+
 namespace cloudtalk {
 
 StatusReport FluidUsageSource::Snapshot(NodeId host) {
@@ -79,6 +81,13 @@ void Cluster::MeasureNow() {
   for (auto& server : status_servers_) {
     server->Measure();
   }
+  // I407: the constructor built one status server per topology host, so a
+  // sweep that measured them all covered the whole cluster — a gap here
+  // would silently serve stale status for the missing host.
+  CT_INVARIANT(status_servers_.size() == topo_.hosts().size(), "I407",
+               "measurement sweep did not cover every cluster host")
+      .With("status_servers", status_servers_.size())
+      .With("hosts", topo_.hosts().size());
   // Every CloudTalk server's canonical answer cache is keyed on the status
   // epoch this sweep just advanced (ServerConfig::answer_cache contract).
   cloudtalk_->InvalidateAnswerCache();

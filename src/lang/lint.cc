@@ -11,6 +11,7 @@
 #include "src/lang/bound.h"
 #include "src/lang/canon.h"
 #include "src/lang/opt.h"
+#include "src/lang/scope.h"
 
 namespace cloudtalk {
 namespace lang {
@@ -702,6 +703,99 @@ void CheckDominatedObjective(const Query& query, DiagnosticSink* sink) {
   }
 }
 
+// ---- W100: unused pool host ----
+//
+// A host listed in a pool whose every drawing variable is inert (no flows,
+// no disk, no requirements) is provably outside the query footprint: no
+// evaluation engine reads its status and the server never probes it
+// (src/lang/scope.h).
+void CheckUnusedPoolHost(const Query& query, DiagnosticSink* sink) {
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  const ScopeAnalysis scope = AnalyzeScope(compiled.value());
+  if (scope.excluded.empty()) {
+    return;
+  }
+  const std::unordered_set<std::string> excluded(scope.excluded.begin(), scope.excluded.end());
+  std::unordered_set<std::string> reported;
+  for (const VarDecl& decl : query.variables) {
+    for (size_t i = 0; i < decl.values.size(); ++i) {
+      const Endpoint& value = decl.values[i];
+      if (value.kind != Endpoint::Kind::kAddress || excluded.count(value.name) == 0 ||
+          !reported.insert(value.name).second) {
+        continue;
+      }
+      const Span span = i < decl.value_spans.size() ? decl.value_spans[i] : decl.span;
+      sink->AddWarning("W100", span,
+                       "host '" + value.name +
+                           "' is outside every query footprint: each variable drawing "
+                           "from this pool is never used by a flow or requirement",
+                       "the server will never probe it; remove the host or use the "
+                       "variable in a flow");
+    }
+  }
+}
+
+// ---- W101: footprint exceeds pool ----
+//
+// A flow that pins a literal host which also sits in a pool makes the
+// pool's effective footprint larger than the pool suggests: the binding
+// search may place a variable on a host that already carries the pinned
+// traffic. The one intentional shape is priority binding (Listing 1), where
+// the literal is the single peer of the pool variable *on the same flow*;
+// that pairing is exempt.
+void CheckFootprintExceedsPool(const Query& query, DiagnosticSink* sink) {
+  const Result<CompiledQuery> compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    return;
+  }
+  // address -> variables whose pool contains it.
+  std::unordered_map<std::string, std::vector<const VarComm*>> pooled;
+  for (const VarComm& var : compiled.value().variables()) {
+    for (const Endpoint& e : var.pool) {
+      if (e.kind == Endpoint::Kind::kAddress) {
+        pooled[e.name].push_back(&var);
+      }
+    }
+  }
+  if (pooled.empty()) {
+    return;
+  }
+  for (const FlowDef& flow : query.flows) {
+    struct Side {
+      const Endpoint* literal;
+      const Endpoint* other;
+      const Span* span;
+    };
+    for (const Side& side : {Side{&flow.src, &flow.dst, &flow.src_span},
+                             Side{&flow.dst, &flow.src, &flow.dst_span}}) {
+      if (side.literal->kind != Endpoint::Kind::kAddress) {
+        continue;
+      }
+      const auto it = pooled.find(side.literal->name);
+      if (it == pooled.end()) {
+        continue;
+      }
+      for (const VarComm* var : it->second) {
+        // Priority binding: the literal is this very flow's peer of the
+        // pool variable it belongs to.
+        if (side.other->kind == Endpoint::Kind::kVariable && side.other->name == var->name) {
+          continue;
+        }
+        sink->AddWarning("W101", *side.span,
+                         "literal endpoint '" + side.literal->name +
+                             "' is also a binding candidate of pool variable '" + var->name +
+                             "': the flow's fixed footprint reaches into the pool",
+                         "a binding may collide with the pinned traffic; remove the host "
+                         "from the pool or address the variable instead");
+        break;  // One finding per flow endpoint is enough.
+      }
+    }
+  }
+}
+
 }  // namespace
 
 double EstimateBindingCount(const Query& query) {
@@ -771,6 +865,12 @@ const std::vector<LintRule>& LintRules() {
       {"W092", Severity::kWarning, "equivalent-to-earlier-query",
        "query is semantically equivalent to an earlier input (batch mode)",
        CheckEquivalentToEarlierQuery},
+      {"W100", Severity::kWarning, "unused-pool-host",
+       "pool host provably outside every query footprint; never probed",
+       CheckUnusedPoolHost},
+      {"W101", Severity::kWarning, "footprint-exceeds-pool",
+       "literal flow endpoint doubles as a binding candidate of a pool variable",
+       CheckFootprintExceedsPool},
   };
   return kRules;
 }

@@ -22,6 +22,8 @@
 //   W090 duplicate-constraint     identical rate/deadline restated in a chain group
 //   W091 subsumed-constraint      looser deadline subsumed by a tighter one
 //   W092 equivalent-to-earlier-query batch input duplicates an earlier query
+//   W100 unused-pool-host          pool host outside every footprint, never probed
+//   W101 footprint-exceeds-pool    literal endpoint doubles as a binding candidate
 //
 // Rules only *read* the query; a query with parse errors can still be
 // linted (the parser produces a best-effort partial AST).

@@ -1,0 +1,191 @@
+#include "src/lang/scope.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/check/check.h"
+
+namespace cloudtalk {
+namespace lang {
+
+namespace {
+
+// A variable is active when some evaluation engine can read the status of
+// its candidates: it communicates over the network, touches disk, or
+// carries a scalar requirement. Everything else is inert — its binding is a
+// pure function of pool order.
+bool IsActive(const VarComm& var) {
+  return !var.rx_from.empty() || !var.tx_to.empty() || var.reads_disk || var.writes_disk ||
+         var.cpu_required > 0 || var.mem_required > 0;
+}
+
+uint8_t VariableFields(const VarComm& var) {
+  uint8_t fields = 0;
+  if (!var.rx_from.empty()) {
+    fields |= kScopeFieldNetIn;
+  }
+  if (!var.tx_to.empty()) {
+    fields |= kScopeFieldNetOut;
+  }
+  if (var.reads_disk || var.writes_disk) {
+    fields |= kScopeFieldDisk;
+  }
+  if (var.cpu_required > 0 || var.mem_required > 0) {
+    fields |= kScopeFieldCpu;
+  }
+  return fields;
+}
+
+}  // namespace
+
+ScopeEffects AnalyzeEffects(const Query& query) {
+  ScopeEffects effects;
+  // Packet-level evaluation skips the reservation table on both sides (no
+  // filter, no writes), so the reserve effect only materializes on the
+  // heuristic path.
+  effects.uses_packet_engine = query.options.use_packet_simulator;
+  effects.reserves = query.options.reserve && !query.options.use_packet_simulator;
+  effects.samples = query.options.use_dynamic_load;
+  effects.pure = !effects.reserves;
+  for (const VarDecl& decl : query.variables) {
+    effects.max_pool_size =
+        std::max(effects.max_pool_size, static_cast<int>(decl.values.size()));
+  }
+  return effects;
+}
+
+ScopeAnalysis AnalyzeScope(const CompiledQuery& compiled) {
+  ScopeAnalysis scope;
+  scope.effects = AnalyzeEffects(compiled.query());
+
+  // Accumulate per-host roles and field bits; std::map keeps the footprint
+  // sorted by address without a second pass.
+  struct HostInfo {
+    uint8_t fields = 0;
+    bool candidate = false;
+    bool endpoint = false;
+  };
+  std::map<std::string, HostInfo> hosts;
+  std::unordered_set<std::string> mentioned;
+
+  for (const VarComm& var : compiled.variables()) {
+    const bool active = IsActive(var);
+    const uint8_t fields = active ? VariableFields(var) : 0;
+    for (const Endpoint& e : var.pool) {
+      if (e.kind != Endpoint::Kind::kAddress) {
+        continue;
+      }
+      mentioned.insert(e.name);
+      // Every pool address is reservation-visible: the heuristic's
+      // reservation filter prefers unreserved candidates for *all*
+      // variables (inert ones included), and a bound endpoint of any
+      // variable gets reserved. Only active variables contribute to the
+      // status footprint, though.
+      scope.candidates.insert(e.name);
+      if (active) {
+        HostInfo& info = hosts[e.name];
+        info.candidate = true;
+        info.fields |= fields;
+      }
+    }
+    if (!active) {
+      scope.inert_variables.push_back(var.name);
+    }
+  }
+  for (const CompiledFlow& flow : compiled.flows()) {
+    if (flow.src.kind == Endpoint::Kind::kAddress) {
+      mentioned.insert(flow.src.name);
+      HostInfo& info = hosts[flow.src.name];
+      info.endpoint = true;
+      info.fields |= kScopeFieldNetOut;
+    }
+    if (flow.dst.kind == Endpoint::Kind::kAddress) {
+      mentioned.insert(flow.dst.name);
+      HostInfo& info = hosts[flow.dst.name];
+      info.endpoint = true;
+      info.fields |= kScopeFieldNetIn;
+    }
+  }
+
+  scope.footprint.reserve(hosts.size());
+  for (const auto& [address, info] : hosts) {
+    ScopeHost host;
+    host.address = address;
+    host.fields = info.fields;
+    host.candidate = info.candidate;
+    host.endpoint = info.endpoint;
+    scope.footprint.push_back(std::move(host));
+    scope.footprint_set.insert(address);
+  }
+  for (const std::string& address : mentioned) {
+    if (scope.footprint_set.count(address) == 0) {
+      scope.excluded.push_back(address);
+    }
+  }
+  std::sort(scope.excluded.begin(), scope.excluded.end());
+
+  // I408: a literal flow endpoint can never be excluded — the bound
+  // analysis and the estimators read its status for every binding.
+  for (const CompiledFlow& flow : compiled.flows()) {
+    for (const Endpoint* e : {&flow.src, &flow.dst}) {
+      if (e->kind == Endpoint::Kind::kAddress) {
+        CT_INVARIANT(scope.InFootprint(e->name), "I408",
+                     "literal flow endpoint outside the computed footprint")
+            .With("flow", flow.name)
+            .With("endpoint", e->name);
+      }
+    }
+  }
+  return scope;
+}
+
+bool ReservationConflict(const ScopeAnalysis& a, const ScopeAnalysis& b) {
+  if (!a.effects.reserves && !b.effects.reserves) {
+    return false;  // Two readers never interleave observably.
+  }
+  const ScopeAnalysis& small = a.candidates.size() <= b.candidates.size() ? a : b;
+  const ScopeAnalysis& large = a.candidates.size() <= b.candidates.size() ? b : a;
+  for (const std::string& address : small.candidates) {
+    if (large.candidates.count(address) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EffectsName(const ScopeEffects& effects) {
+  std::string name;
+  if (effects.reserves) {
+    name += "reserve";
+  }
+  if (effects.samples) {
+    name += name.empty() ? "sample" : ",sample";
+  }
+  return name.empty() ? "pure" : name;
+}
+
+std::string ScopeFieldNames(uint8_t fields) {
+  std::string name;
+  const auto append = [&name](const char* field) {
+    if (!name.empty()) {
+      name += ',';
+    }
+    name += field;
+  };
+  if (fields & kScopeFieldCpu) {
+    append("cpu");
+  }
+  if (fields & kScopeFieldNetIn) {
+    append("net-in");
+  }
+  if (fields & kScopeFieldNetOut) {
+    append("net-out");
+  }
+  if (fields & kScopeFieldDisk) {
+    append("disk");
+  }
+  return name.empty() ? "-" : name;
+}
+
+}  // namespace lang
+}  // namespace cloudtalk

@@ -1,0 +1,151 @@
+// Static footprint & effect analysis for CloudTalk queries (ISSUE 9).
+//
+// AnalyzeScope abstractly interprets a compiled query and computes, with no
+// status information at all, three things the server and the tools key on:
+//
+//   * the **host footprint** — the set of addresses whose status can
+//     influence the answer. A host is in the footprint when it is a binding
+//     candidate of an *active* variable (one that appears as a flow
+//     endpoint, touches disk, or carries a cpu/mem requirement) or a
+//     literal flow endpoint. Hosts mentioned only in pools of inert
+//     variables are provably outside every footprint: no evaluation engine
+//     ever looks their status up, so the server can skip probing them
+//     (M113 scope_probe_skips) and ctlint flags them (W100).
+//   * the **status-field read set** per footprint host — which of
+//     cpu / net-in / net-out / disk the evaluation can read for it. Pool
+//     candidates inherit the fields their variable's communication pattern
+//     touches (the heuristic's score_candidate reads exactly those);
+//     literal endpoints read net-out as a source and net-in as a sink.
+//   * the **effect set** — whether answering reserves endpoints, samples
+//     fresh status, or is pure. This replaces the server's former ad-hoc
+//     `CacheableQuery` gating: the answer cache now keys on the inferred
+//     purity bits.
+//
+// Soundness of the footprint (the claim `ctcheck --diff-scope` fuzzes as
+// invariant D504) rests on how each status consumer treats the excluded
+// hosts:
+//
+//   * heuristic (src/core/heuristic.cc): score_candidate only consults the
+//     status of the candidate address being scored, and only when the
+//     variable has network peers, disk access, or scalar requirements. An
+//     inert variable's candidates are all scored kMaxScore without any
+//     lookup, so its binding (pool order + distinct-bindings bookkeeping)
+//     is status-free.
+//   * bound analysis (src/lang/bound.cc): interns every pool address and
+//     literal endpoint, but the availability of a host reachable only
+//     through an inert variable's pool is never consumed — inert variables
+//     feed no chain-group member, so neither the per-member cap/floor rules
+//     nor the cross-group serialisation rule touch it.
+//   * estimators (flow-level and packet): read status only for hosts that
+//     resolve from a flow endpoint — a bound variable's host (a candidate
+//     of an active variable) or a literal endpoint. Both are in the
+//     footprint.
+//   * optimizer (src/lang/opt.cc): O100 consults SatisfiesRequirements for
+//     candidates of variables with requirements; such variables are active.
+//
+// Note the footprint is deliberately *not* refined with O100 domain
+// pruning: that pass reads probed usage, so folding it in would make the
+// footprint depend on the very probes it is meant to avoid. The static
+// analysis here is sound before the first probe is sent.
+#ifndef CLOUDTALK_SRC_LANG_SCOPE_H_
+#define CLOUDTALK_SRC_LANG_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/lang/analysis.h"
+#include "src/lang/ast.h"
+
+namespace cloudtalk {
+namespace lang {
+
+// What answering the query does to server state, inferred statically from
+// the AST (no compilation needed, so the server's front-end memo can cache
+// these bits alongside the canonical form).
+struct ScopeEffects {
+  // Answering mutates the reservation table. `option noreserve` clears it;
+  // packet-level evaluation never reserves regardless of the option.
+  bool reserves = false;
+  // Answering probes fresh status (`option dynamic`, the default). Static
+  // queries evaluate against nominal idle capacities instead.
+  bool samples = false;
+  // `option packet`: the exhaustive engine answers, which ignores the
+  // reservation table entirely.
+  bool uses_packet_engine = false;
+  // No reservation effect: the answer is a function of (canonical text,
+  // status snapshot) alone, except for sampling randomness on oversized
+  // pools (max_pool_size) and reservations held by *other* queries — both
+  // re-checked by the server at cache-lookup time.
+  bool pure = false;
+  // Largest declared pool; pools above the server's sample threshold draw
+  // from its RNG, so their answers are not reproducible.
+  int max_pool_size = 0;
+};
+
+// Status fields the evaluation can read for one footprint host.
+enum ScopeField : uint8_t {
+  kScopeFieldCpu = 1 << 0,     // cpu/mem requirement checks (Section 7)
+  kScopeFieldNetIn = 1 << 1,   // NIC rx capacity/usage
+  kScopeFieldNetOut = 1 << 2,  // NIC tx capacity/usage
+  kScopeFieldDisk = 1 << 3,    // disk read/write capacity/usage
+};
+
+struct ScopeHost {
+  std::string address;
+  uint8_t fields = 0;      // ScopeField bits.
+  bool candidate = false;  // Binding candidate of an active variable.
+  bool endpoint = false;   // Literal flow endpoint.
+};
+
+struct ScopeAnalysis {
+  ScopeEffects effects;
+
+  // The footprint, sorted by address (deterministic for tools/snapshots),
+  // plus a set view for O(1) membership tests on the probing hot path.
+  std::vector<ScopeHost> footprint;
+  std::unordered_set<std::string> footprint_set;
+
+  // Addresses the reservation table can be read or written for: every pool
+  // candidate of every variable — inert ones included, because the
+  // heuristic's reservation filter steers *all* bindings away from reserved
+  // hosts and any bound endpoint gets reserved. This is what the concurrent
+  // admission gate intersects — two queries whose candidate sets are
+  // disjoint cannot observe each other's reservations in either order.
+  std::unordered_set<std::string> candidates;
+
+  // Hosts mentioned in the query but provably outside the footprint
+  // (sorted), and the inert variables that mention them (declaration
+  // order). Both drive ctlint W100 and the ctscope report.
+  std::vector<std::string> excluded;
+  std::vector<std::string> inert_variables;
+
+  bool InFootprint(const std::string& address) const {
+    return footprint_set.count(address) > 0;
+  }
+};
+
+// Effect inference alone, from the parsed AST. Pure in the query bytes.
+ScopeEffects AnalyzeEffects(const Query& query);
+
+// The full analysis over a compiled query. Status-free; safe to run before
+// any probe. Checks invariant I408 (every literal flow endpoint is inside
+// the computed footprint) on the way out.
+ScopeAnalysis AnalyzeScope(const CompiledQuery& compiled);
+
+// True when answering `a` and `b` concurrently could interleave through the
+// reservation table: at least one of them reserves and their candidate sets
+// intersect. Disjoint queries commute — any admission order yields
+// byte-identical replies (the D504 concurrency half).
+bool ReservationConflict(const ScopeAnalysis& a, const ScopeAnalysis& b);
+
+// "reserve,sample", "sample", "reserve", or "pure" — for traces and tools.
+std::string EffectsName(const ScopeEffects& effects);
+// "cpu,net-in,net-out,disk" subset for one host's field bits ("-" if none).
+std::string ScopeFieldNames(uint8_t fields);
+
+}  // namespace lang
+}  // namespace cloudtalk
+
+#endif  // CLOUDTALK_SRC_LANG_SCOPE_H_

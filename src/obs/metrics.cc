@@ -108,6 +108,9 @@ const std::vector<MetricInfo>& MetricCatalog() {
        "Queries answered from the canonical answer cache", "", {}},
       {"M112", MetricType::kCounter, "server", "cloudtalk_server_canon_invalidations",
        "Answer-cache invalidation events that discarded at least one cached answer", "", {}},
+      {"M113", MetricType::kCounter, "server", "cloudtalk_server_scope_probe_skips",
+       "Hosts not probed because the static footprint analysis proved no evaluation "
+       "engine reads their status", "", {}},
       // ---- M2xx: probing and status transports ----
       {"M200", MetricType::kHistogram, "probe", "cloudtalk_probe_rtt_seconds",
        "Ping RTT measured by probing::NetworkProber, per target host", "host", kRtt},

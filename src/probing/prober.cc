@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "src/check/check.h"
 #include "src/obs/metrics.h"
 
 namespace cloudtalk {
@@ -68,6 +69,13 @@ std::vector<int> InferRacks(const std::vector<std::vector<int>>& hops) {
         rack[j] = rack[i];
       }
     }
+  }
+  // I406: the seeding loop visits every host, so no label can stay -1 —
+  // downstream grouping (Section 5 rack-aware placement) indexes by label.
+  for (int i = 0; i < n; ++i) {
+    CT_INVARIANT(rack[i] >= 0, "I406", "rack inference left a host unlabelled")
+        .With("host_index", i)
+        .With("hosts", n);
   }
   return rack;
 }

@@ -1148,12 +1148,13 @@ TEST_F(ServerTest, ExhaustiveBindSpanCarriesPassAttribution) {
 
 TEST_F(ServerTest, WarningOnlyQueryAnsweredWithWarningsAttached) {
   CloudTalkServer server = MakeServer();
-  // Self-flow (W020) plus an unused variable (W001): suspect but legal.
+  // Self-flow (W020) plus an unused variable (W001, and its scope-analysis
+  // twin W100 on the never-probed pool host): suspect but legal.
   auto reply = server.Answer("A = (" + Ip(1) + " " + Ip(2) + ")\nunused = (" + Ip(3) +
                              ")\nf1 A -> A size 1M\n");
   ASSERT_TRUE(reply.ok()) << reply.error().ToString();
   EXPECT_FALSE(reply.value().binding.empty());
-  ASSERT_EQ(reply.value().warnings.size(), 2u);
+  ASSERT_EQ(reply.value().warnings.size(), 3u);
   std::vector<std::string> codes;
   for (const lang::Diagnostic& d : reply.value().warnings) {
     codes.push_back(d.code);
@@ -1161,6 +1162,7 @@ TEST_F(ServerTest, WarningOnlyQueryAnsweredWithWarningsAttached) {
   }
   EXPECT_NE(std::find(codes.begin(), codes.end(), "W001"), codes.end());
   EXPECT_NE(std::find(codes.begin(), codes.end(), "W020"), codes.end());
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "W100"), codes.end());
 }
 
 TEST_F(ServerTest, CleanQueryCarriesNoWarnings) {

@@ -136,6 +136,18 @@ std::vector<RuleCase> RuleCases() {
       // W092 is batch-only (a per-query check cannot see earlier inputs);
       // the empty pair is skipped below and BatchEquivalenceTest covers it.
       {"W092", "", ""},
+      {"W100",
+       // A is inert: no flow, disk, or requirement ever reads its
+       // candidates' status, so vm1/vm2 are outside every footprint.
+       "A = (vm1 vm2)\nf1 vm3 -> vm4 size 1M\n",
+       "A = (vm1 vm2)\nf1 A -> vm4 size 1M\n"},
+      {"W101",
+       // vm1 is pinned by f2 yet also a binding candidate of A on an
+       // unrelated flow: the fixed footprint reaches into A's pool.
+       "A = (vm1 vm2)\nB = (vm3 vm4)\nf1 A -> vm5 size 1M\nf2 B -> vm1 size 1M\n",
+       // Priority binding (the literal is the pool variable's own peer on
+       // the same flow) is the intentional shape and stays exempt.
+       "A = (vm1 vm2)\nf1 A -> vm1 size 1M\n"},
   };
 }
 
@@ -216,12 +228,19 @@ TEST(LintTest, TwoIndependentDiagnosticsOnOneQuery) {
       "f1 A -> A size 10M\n";
   const DiagnosticSink sink = Analyze(source);
   EXPECT_EQ(sink.error_count(), 0);
-  EXPECT_EQ(sink.warning_count(), 2);
+  // W001 (unused variable), W020 (self flow), and W100 (vm3 provably
+  // outside every footprint — the scope-analysis view of the same defect).
+  EXPECT_EQ(sink.warning_count(), 3);
 
   const Diagnostic* w001 = FindCode(sink, "W001");
   ASSERT_NE(w001, nullptr);
   EXPECT_EQ(w001->span.line, 2);
   EXPECT_EQ(w001->span.column, 1);
+
+  const Diagnostic* w100 = FindCode(sink, "W100");
+  ASSERT_NE(w100, nullptr);
+  EXPECT_EQ(w100->span.line, 2);
+  EXPECT_EQ(w100->span.column, 11);  // The pool entry `vm3`.
 
   const Diagnostic* w020 = FindCode(sink, "W020");
   ASSERT_NE(w020, nullptr);

@@ -26,6 +26,7 @@
 //   ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-scope [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --replay scenario.ctsc [--json]
 //   ctcheck --catalog [--json]
 #include <algorithm>
@@ -1072,6 +1073,225 @@ int RunDiffCanonMode(int seeds, uint64_t seed_base, const std::string& out_dir, 
   return violating > 0 ? 1 : 0;
 }
 
+// ---- --diff-scope: differential fuzz of the footprint analysis ----
+//
+// Two oracles per seed (D504):
+//  1. footprint identity: a generated query (active variables plus an inert
+//     slice-wide "catalog" pool whose hosts the scope analysis excludes) is
+//     answered on two identically seeded simulated clusters, one probing
+//     only the static footprint and one probing everything; the replies
+//     must be identical and footprint probing must never send more probes.
+//  2. disjoint commutation: two queries drawing from disjoint host slices
+//     are answered in both orders on twin cluster pairs with reservations
+//     armed; neither query's reply may depend on the admission order — the
+//     property the server's concurrent admission gate rests on.
+
+constexpr int kDiffScopeHosts = 16;
+
+// Single-switch hosts are 10.0.0.1 .. 10.0.0.N (rack 0), index 0-based.
+std::string DiffScopeHost(int index) { return "10.0.0." + std::to_string(index + 1); }
+
+// Generates a query whose pool and literal addresses stay inside the host
+// slice [lo, hi]: one or two active variables with flows, an inert
+// slice-wide pool, and occasional requirements / static / noreserve.
+std::string GenerateDiffScopeQuery(uint64_t seed, int lo, int hi) {
+  Rng rng(seed ^ 0xa0761d6478bd642full);
+  std::ostringstream q;
+  if (rng.Bernoulli(0.2)) {
+    q << "option noreserve\n";
+  }
+  if (rng.Bernoulli(0.2)) {
+    q << "option static\n";
+  }
+  const int span = hi - lo + 1;
+  const auto slice_pool = [&](int min_size) {
+    const int k = static_cast<int>(rng.UniformInt(std::min(min_size, span), span));
+    std::string out = "(";
+    bool first = true;
+    for (const int idx : rng.SampleWithoutReplacement(span, k)) {
+      out += (first ? "" : " ") + DiffScopeHost(lo + idx);
+      first = false;
+    }
+    return out + ")";
+  };
+  const int actives = static_cast<int>(rng.UniformInt(1, 2));
+  std::vector<std::string> vars;
+  for (int i = 0; i < actives; ++i) {
+    vars.push_back(std::string(1, static_cast<char>('A' + i)));
+    q << vars.back() << " = " << slice_pool(2) << "\n";
+  }
+  // The inert variable: declared, never used by a flow or requirement — its
+  // hosts are exactly the probes the identity oracle must prove harmless.
+  q << "catalog = " << slice_pool(2) << "\n";
+  if (rng.Bernoulli(0.3)) {
+    q << vars.front() << " requires cpu " << rng.UniformInt(1, 4) << "\n";
+  }
+  int flow_id = 0;
+  for (const std::string& var : vars) {
+    const std::string literal =
+        DiffScopeHost(lo + static_cast<int>(rng.UniformInt(0, span - 1)));
+    q << "f" << flow_id++ << " ";
+    if (rng.Bernoulli(0.5)) {
+      q << literal << " -> " << var;
+    } else {
+      q << var << " -> " << literal;
+    }
+    q << " size " << rng.UniformInt(1, 64) << "M";
+    if (rng.Bernoulli(0.25)) {
+      q << " rate " << rng.UniformInt(1, 8) * 100 << "M";
+    }
+    q << "\n";
+  }
+  if (actives == 2 && rng.Bernoulli(0.5)) {
+    q << "x " << vars[0] << " -> " << vars[1] << " size " << rng.UniformInt(1, 32) << "M\n";
+  }
+  return q.str();
+}
+
+Cluster MakeDiffScopeCluster(uint64_t seed, bool scope_probe_pruning,
+                             Seconds reservation_hold) {
+  SingleSwitchParams params;
+  params.num_hosts = kDiffScopeHosts;
+  params.host_caps.nic_up = 1 * kGbps;
+  params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = 4 * kGbps;
+  params.host_caps.disk_write = 4 * kGbps;
+  ClusterOptions options;
+  options.seed = seed;
+  options.server.seed = seed;
+  options.server.eval_threads = 1;
+  options.server.reservation_hold = reservation_hold;
+  options.server.scope_probe_pruning = scope_probe_pruning;
+  Cluster cluster(MakeSingleSwitch(params), options);
+  cluster.StartStatusSweep();
+  return cluster;
+}
+
+// Seeds deterministic background traffic so probed status actually differs
+// across hosts (an all-idle fleet would make every oracle trivially pass).
+void AddDiffScopeLoad(Cluster* cluster, uint64_t seed) {
+  Rng rng(seed ^ 0x8ebc6af09c88c6e3ull);
+  const std::vector<NodeId>& hosts = cluster->topology().hosts();
+  const int pairs = static_cast<int>(rng.UniformInt(2, 5));
+  for (int i = 0; i < pairs; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(0, kDiffScopeHosts - 1));
+    const int b = static_cast<int>(rng.UniformInt(0, kDiffScopeHosts - 1));
+    if (a == b) {
+      continue;
+    }
+    cluster->AddBackgroundPair(hosts[a], hosts[b],
+                               static_cast<double>(rng.UniformInt(1, 8)) * 0.1 * kGbps);
+  }
+  cluster->MeasureNow();
+}
+
+// Everything an answer exposes, rendered bit-faithfully (%.17g doubles):
+// ok-ness and message, binding, per-variable scores, estimate makespan.
+// Probe stats and traces legitimately differ between the two sides.
+std::string DiffScopeReplyDigest(const Result<QueryReply>& reply) {
+  if (!reply.ok()) {
+    return "error: " + reply.error().message;
+  }
+  std::string out = "binding [" + RenderBinding(reply.value().binding) + "] scores [";
+  std::vector<std::string> scores;
+  for (const auto& [name, score] : reply.value().scores) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g", name.c_str(), score);
+    scores.push_back(buf);
+  }
+  std::sort(scores.begin(), scores.end());
+  for (const std::string& s : scores) {
+    out += s + " ";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", reply.value().estimate.makespan);
+  out += "] makespan " + std::string(buf);
+  return out;
+}
+
+std::string RunDiffScopeSeed(uint64_t seed, std::string* query_text) {
+  // Oracle 1: footprint identity against full-fleet probing.
+  *query_text = GenerateDiffScopeQuery(seed, 0, kDiffScopeHosts - 1);
+  {
+    Cluster pruned = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 0);
+    Cluster full = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/false, 0);
+    AddDiffScopeLoad(&pruned, seed);
+    AddDiffScopeLoad(&full, seed);
+    const Result<QueryReply> a = pruned.cloudtalk().Answer(*query_text);
+    const Result<QueryReply> b = full.cloudtalk().Answer(*query_text);
+    const std::string da = DiffScopeReplyDigest(a);
+    const std::string db = DiffScopeReplyDigest(b);
+    if (da != db) {
+      return "footprint probing diverges from full probing: [" + da + "] vs [" + db + "]";
+    }
+    if (a.ok() && a.value().probe_stats.requests_sent > b.value().probe_stats.requests_sent) {
+      return "footprint probing sent more probes (" +
+             std::to_string(a.value().probe_stats.requests_sent) + ") than full probing (" +
+             std::to_string(b.value().probe_stats.requests_sent) + ")";
+    }
+  }
+  // Oracle 2: disjoint queries commute under reservations.
+  const std::string left = GenerateDiffScopeQuery(seed * 2 + 1, 0, kDiffScopeHosts / 2 - 1);
+  const std::string right =
+      GenerateDiffScopeQuery(seed * 2 + 2, kDiffScopeHosts / 2, kDiffScopeHosts - 1);
+  Cluster lr = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 60.0);
+  Cluster rl = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 60.0);
+  AddDiffScopeLoad(&lr, seed);
+  AddDiffScopeLoad(&rl, seed);
+  const std::string left_first = DiffScopeReplyDigest(lr.cloudtalk().Answer(left));
+  const std::string right_second = DiffScopeReplyDigest(lr.cloudtalk().Answer(right));
+  const std::string right_first = DiffScopeReplyDigest(rl.cloudtalk().Answer(right));
+  const std::string left_second = DiffScopeReplyDigest(rl.cloudtalk().Answer(left));
+  if (left_first != left_second) {
+    *query_text = left + "# --- disjoint peer, answered on the same cluster ---\n" + right;
+    return "disjoint queries do not commute: first reply depends on order: [" + left_first +
+           "] vs [" + left_second + "]";
+  }
+  if (right_second != right_first) {
+    *query_text = left + "# --- disjoint peer, answered on the same cluster ---\n" + right;
+    return "disjoint queries do not commute: second reply depends on order: [" +
+           right_first + "] vs [" + right_second + "]";
+  }
+  return "";
+}
+
+int RunDiffScopeMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffScopeSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffscope_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-scope divergence, seed " << seed << " (D504)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D504 footprint violation: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-scope\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-scope: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
@@ -1079,6 +1299,7 @@ void PrintUsage(FILE* out) {
                "       ctcheck --diff-sim [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-scope [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
@@ -1098,6 +1319,10 @@ void PrintUsage(FILE* out) {
                "idempotent, equivalence-preserving mutations must not change the\n"
                "canonical bytes, and the canonical form must be answered exactly like\n"
                "the original; any divergence is a D503 violation and the query is saved.\n"
+               "With --diff-scope, fuzzes the static footprint analysis: probing only\n"
+               "the computed footprint must answer exactly like probing everything, and\n"
+               "queries with disjoint reservation footprints must commute; any\n"
+               "divergence is a D504 violation and the query is saved.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -1133,6 +1358,7 @@ int Main(int argc, char** argv) {
   bool diff_sim = false;
   bool diff_bound = false;
   bool diff_canon = false;
+  bool diff_scope = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -1162,6 +1388,8 @@ int Main(int argc, char** argv) {
       diff_bound = true;
     } else if (arg == "--diff-canon") {
       diff_canon = true;
+    } else if (arg == "--diff-scope") {
+      diff_scope = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -1186,6 +1414,9 @@ int Main(int argc, char** argv) {
   }
   if (diff_canon) {
     return RunDiffCanonMode(seeds, seed_base, out_dir, json);
+  }
+  if (diff_scope) {
+    return RunDiffScopeMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,
