@@ -1,0 +1,234 @@
+// Closed-loop throughput of the sharded CloudTalk service (ISSUE 10).
+//
+// Two phases:
+//  1. Identity: 64 generated queries are answered by the single
+//     CloudTalkServer and by a 4-shard ShardedServer on identically seeded
+//     twin clusters; every reply must be byte-identical (the D505 contract
+//     — the fuzzing version lives in `ctcheck --diff-shard`).
+//  2. Throughput: 8 closed-loop client threads issue queries against one
+//     4-shard ShardedServer (admission_slots = 8) over a 32-host fleet and
+//     the run reports qps plus p50/p99 answer latency read back from the
+//     M102 answer-seconds histogram.
+//
+// Output: one JSON object to argv[1] (default BENCH_throughput.json), CI
+// archives it. Exits nonzero when any reply diverges or the closed-loop
+// rate falls under the 1000 qps floor the acceptance gate sets.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/server.h"
+#include "src/core/shard.h"
+#include "src/harness/cluster.h"
+#include "src/obs/metrics.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace {
+
+constexpr int kHosts = 32;
+constexpr int kShards = 4;
+constexpr int kClientThreads = 8;
+constexpr int kQueriesPerThread = 2000;
+constexpr int kIdentityQueries = 64;
+constexpr double kQpsFloor = 1000.0;
+
+Cluster MakeBenchCluster(uint64_t seed) {
+  SingleSwitchParams params;
+  params.num_hosts = kHosts;
+  params.host_caps.nic_up = params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = params.host_caps.disk_write = 4 * kGbps;
+  ClusterOptions options;
+  options.seed = seed;
+  options.server.seed = seed;
+  options.server.eval_threads = 1;
+  options.server.reservation_hold = 60.0;
+  options.server.admission_slots = kClientThreads;
+  Cluster cluster(MakeSingleSwitch(params), options);
+  cluster.StartStatusSweep();
+  cluster.AddBackgroundPair(cluster.host(2), cluster.host(5), 600 * kMbps);
+  cluster.AddBackgroundPair(cluster.host(9), cluster.host(12), 800 * kMbps);
+  cluster.MeasureNow();
+  return cluster;
+}
+
+ShardedConfig BenchShardConfig(Cluster* cluster) {
+  ShardedConfig cfg;
+  cfg.server = cluster->cloudtalk().config();
+  cfg.shards = kShards;
+  return cfg;
+}
+
+// A small deterministic query generator: a 2-4 host pool from a host slice,
+// one or two flows, occasionally static/noreserve.
+std::string GenerateQuery(Cluster* cluster, uint64_t seed, int lo, int hi) {
+  Rng rng(seed ^ 0xa0761d6478bd642full);
+  std::ostringstream q;
+  if (rng.Bernoulli(0.3)) {
+    q << "option static\n";
+  }
+  if (rng.Bernoulli(0.2)) {
+    q << "option noreserve\n";
+  }
+  const int span = hi - lo + 1;
+  const int k = static_cast<int>(rng.UniformInt(2, std::min(4, span)));
+  q << "A = (";
+  bool first = true;
+  for (const int idx : rng.SampleWithoutReplacement(span, k)) {
+    q << (first ? "" : " ") << cluster->ip(lo + idx);
+    first = false;
+  }
+  q << ")\nf1 A -> " << cluster->ip(lo) << " size " << rng.UniformInt(1, 64) << "M\n";
+  if (rng.Bernoulli(0.4)) {
+    q << "f2 A -> disk size " << rng.UniformInt(1, 32) << "M\n";
+  }
+  return q.str();
+}
+
+std::string ReplyDigest(const Result<QueryReply>& reply) {
+  if (!reply.ok()) {
+    return "error: " + reply.error().message;
+  }
+  std::ostringstream out;
+  out << "binding [";
+  for (const auto& [var, endpoint] : reply.value().binding) {
+    out << var << "=" << endpoint.name << " ";
+  }
+  out << "] scores [";
+  for (const auto& [name, score] : reply.value().scores) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g ", name.c_str(), score);
+    out << buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", reply.value().estimate.makespan);
+  out << "] makespan " << buf;
+  return out.str();
+}
+
+int IdentityPhase() {
+  int mismatches = 0;
+  Cluster oracle_cluster = MakeBenchCluster(/*seed=*/42);
+  Cluster sharded_cluster = MakeBenchCluster(/*seed=*/42);
+  ShardedServer sharded(BenchShardConfig(&sharded_cluster), &sharded_cluster.directory(),
+                        &sharded_cluster.transport(),
+                        [&sharded_cluster] { return sharded_cluster.now(); });
+  for (int i = 0; i < kIdentityQueries; ++i) {
+    const int lo = (i % 4) * (kHosts / 4);
+    const std::string query = GenerateQuery(&oracle_cluster, static_cast<uint64_t>(i), lo,
+                                            lo + kHosts / 4 - 1);
+    const std::string want = ReplyDigest(oracle_cluster.cloudtalk().Answer(query));
+    const std::string got = ReplyDigest(sharded.Answer(query));
+    if (got != want) {
+      ++mismatches;
+      std::fprintf(stderr, "identity mismatch on query %d:\n  single:  %s\n  sharded: %s\n",
+                   i, want.c_str(), got.c_str());
+    }
+  }
+  return mismatches;
+}
+
+// Answer-latency percentile out of the M102 histogram: the upper bound of
+// the first bucket whose cumulative count covers quantile `q`.
+double HistogramQuantile(const obs::Histogram& hist, double q) {
+  const int64_t total = hist.count();
+  if (total == 0) {
+    return 0;
+  }
+  const int64_t want = static_cast<int64_t>(q * static_cast<double>(total - 1)) + 1;
+  for (int b = 0; b < hist.spec().buckets; ++b) {
+    if (hist.CumulativeCount(b) >= want) {
+      return hist.UpperBound(b);
+    }
+  }
+  return hist.UpperBound(hist.spec().buckets - 1);
+}
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+
+  std::printf("identity: %d queries, single server vs %d-shard ShardedServer...\n",
+              kIdentityQueries, kShards);
+  const int mismatches = IdentityPhase();
+  std::printf("identity: %d mismatch(es)\n", mismatches);
+
+  Cluster cluster = MakeBenchCluster(/*seed=*/7);
+  ShardedServer sharded(BenchShardConfig(&cluster), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  // Warm every thread's path once, then zero the registry so the measured
+  // window holds exactly the closed-loop queries.
+  (void)sharded.Answer(GenerateQuery(&cluster, 999, 0, kHosts / 4 - 1));
+  obs::Registry::Instance().Reset();
+
+  std::vector<std::thread> clients;
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> failed{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&cluster, &sharded, &answered, &failed, t] {
+      // Each client works a fixed host slice so admission mostly proceeds in
+      // parallel (disjoint footprints), with occasional cross-slice overlap
+      // from the shared slice boundaries exercising the conflict path.
+      const int lo = (t % 4) * (kHosts / 4);
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const uint64_t seed = static_cast<uint64_t>(t) * kQueriesPerThread +
+                              static_cast<uint64_t>(i);
+        const std::string query = GenerateQuery(&cluster, seed, lo, lo + kHosts / 4 - 1);
+        if (sharded.Answer(query).ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  const int64_t total = answered.load() + failed.load();
+  const double qps = static_cast<double>(total) / elapsed.count();
+  double p50 = 0;
+  double p99 = 0;
+  if (obs::kObsEnabled) {
+    const obs::Histogram& hist = *obs::Registry::Instance().histogram("M102");
+    p50 = HistogramQuantile(hist, 0.50);
+    p99 = HistogramQuantile(hist, 0.99);
+  }
+  std::printf("throughput: %lld queries (%lld failed) in %.3fs = %.0f qps, "
+              "p50 <= %.6fs, p99 <= %.6fs\n",
+              static_cast<long long>(total), static_cast<long long>(failed.load()),
+              elapsed.count(), qps, p50, p99);
+
+  const bool pass = mismatches == 0 && qps >= kQpsFloor;
+  std::ofstream out(out_path);
+  out << "{\"bench\":\"throughput\",\"shards\":" << kShards
+      << ",\"threads\":" << kClientThreads << ",\"hosts\":" << kHosts
+      << ",\"identity_queries\":" << kIdentityQueries
+      << ",\"identity_mismatches\":" << mismatches << ",\"queries\":" << total
+      << ",\"failed\":" << failed.load() << ",\"elapsed_seconds\":" << elapsed.count()
+      << ",\"qps\":" << qps << ",\"p50_seconds\":" << p50 << ",\"p99_seconds\":" << p99
+      << ",\"qps_floor\":" << kQpsFloor << ",\"pass\":" << (pass ? "true" : "false")
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!pass) {
+    std::fprintf(stderr, "bench_throughput: FAILED (%d mismatches, %.0f qps, floor %.0f)\n",
+                 mismatches, qps, kQpsFloor);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cloudtalk
+
+int main(int argc, char** argv) { return cloudtalk::main(argc, argv); }

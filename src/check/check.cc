@@ -93,6 +93,14 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
        "reservation footprints commute — either admission order yields "
        "byte-identical replies (checked differentially by ctcheck "
        "--diff-scope)"},
+      {"D505", "shard",
+       "sharded-deployment identity: a ShardedServer over 1, 2, or 4 shards — "
+       "hierarchical probe aggregation, per-shard search slices merged by "
+       "(makespan, odometer rank), two-phase cross-shard reservations — "
+       "answers byte-identically to the single CloudTalkServer, for "
+       "sequential queries and for disjoint queries admitted concurrently "
+       "through the N-slot gate (checked differentially by ctcheck "
+       "--diff-shard)"},
       {"I101", "fluidsim",
        "after max-min allocation every unfrozen flow group is bottlenecked at a "
        "saturated resource or pinned at its rate cap"},
@@ -138,6 +146,18 @@ const std::vector<InvariantInfo>& InvariantCatalog() {
       {"I409", "server",
        "an admission-gate release always matches a scope that is still in "
        "flight"},
+      {"I410", "shard",
+       "the shard map is a total partition: every probe target and every "
+       "reservation routes to exactly one owning shard, so no host is ever "
+       "probed twice or double-reserved across shards"},
+      {"I411", "shard",
+       "a two-phase commit or abort always matches a lease the shard's "
+       "reservation table still holds (never prepared, or already "
+       "committed/aborted, fires)"},
+      {"I412", "shard",
+       "hierarchical probe aggregation merges a partition: the rolled-up "
+       "status holds one report per answering target and never invents a "
+       "host no shard probed"},
       {"L401", "lock",
        "no two locks are ever acquired in opposite orders by different threads "
        "(lock-order inversion)"},

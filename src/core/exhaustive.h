@@ -70,6 +70,13 @@ struct ExhaustiveResult {
   Binding binding;
   Estimate estimate;  // Of the winning binding.
   SearchCounters counters;
+  // The winner's odometer rank over the full (plan-pruned) space — the
+  // mixed-radix position of its choice vector, first variable most
+  // significant. Rank weights depend only on the plan's kept-candidate
+  // counts, so ranks are comparable across slices of the same plan: a
+  // sharded front end merges per-slice winners with the exact tie-break the
+  // engine uses internally — lowest makespan, then lowest rank.
+  int64_t winner_rank = 0;
 };
 
 struct ExhaustiveParams {
@@ -89,6 +96,16 @@ struct ExhaustiveParams {
   // null the engine computes one itself.
   bool optimize = false;
   const lang::PrunedSpace* plan = nullptr;
+  // Shard fan-out (ISSUE 10): evaluate only the slice of the binding space
+  // whose first-variable candidate index ≡ slice_index (mod slice_count),
+  // counted over the plan's kept candidates. Slicing composes with the
+  // worker striping above (workers stripe within the slice). The default
+  // (1, 0) is the whole space; a sharded front end runs one call per slice
+  // and merges by (makespan, winner_rank), which is byte-identical to the
+  // unsliced walk because O200 orbit clamping never constrains the first
+  // variable and O500 incumbents only prune strictly worse bindings.
+  int slice_count = 1;
+  int slice_index = 0;
 };
 
 // Minimizes estimated makespan over all bindings. Fails when the space

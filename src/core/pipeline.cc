@@ -1,0 +1,350 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/lock_registry.h"
+#include "src/lang/bound.h"
+#include "src/obs/metrics.h"
+#include "src/status/sampling.h"
+
+namespace cloudtalk {
+
+#if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
+namespace {
+
+LockId PipelineRngLockId() {
+  static const LockId id = LockRegistry::Instance().Register("server.rng");
+  return id;
+}
+
+}  // namespace
+#endif
+
+StatusByAddress GatherStatusOver(const ServerConfig& config, const Directory& directory,
+                                 ProbeTransport& transport, Rng& rng, std::mutex& rng_mutex,
+                                 const lang::CompiledQuery& compiled,
+                                 const lang::ScopeAnalysis* scope,
+                                 std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats,
+                                 obs::TraceContext& trace) {
+  *sampled_vars = compiled.variables();
+
+  const int sample_span = trace.OpenFollowing("sample");
+  // Sampling (Section 4.3): shrink any pool larger than the threshold.
+  // Variables sharing one declaration share one pool; the sample must cover
+  // the d variables drawing from it, so size it with d = sharer count.
+  std::unordered_map<std::string, std::vector<int>> pool_groups;
+  for (size_t i = 0; i < sampled_vars->size(); ++i) {
+    std::string key;
+    for (const lang::Endpoint& e : (*sampled_vars)[i].pool) {
+      key += e.ToString();
+      key.push_back('|');
+    }
+    pool_groups[key].push_back(static_cast<int>(i));
+  }
+  int pools_sampled = 0;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mutex);
+    CT_LOCK_TRACE(PipelineRngLockId());
+    for (auto& [key, members] : pool_groups) {
+      (void)key;
+      const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
+      const int pool_size = static_cast<int>(pool.size());
+      if (pool_size <= config.sample_threshold) {
+        continue;
+      }
+      const int d = static_cast<int>(members.size());
+      int n = config.sample_override > 0
+                  ? config.sample_override
+                  : RequiredSamples(d, config.idle_fraction_hint, config.sample_confidence);
+      n = std::min(n, pool_size);
+      const std::vector<int> picks = rng.SampleWithoutReplacement(pool_size, n);
+      std::vector<lang::Endpoint> sampled;
+      sampled.reserve(picks.size());
+      for (int p : picks) {
+        sampled.push_back(pool[p]);
+      }
+      for (int member : members) {
+        (*sampled_vars)[member].pool = sampled;
+      }
+      ++pools_sampled;
+      CT_OBS_INC("M106");
+    }
+  }
+  trace.Attr(sample_span, "pools", static_cast<int64_t>(pool_groups.size()));
+  trace.Attr(sample_span, "sampled", static_cast<int64_t>(pools_sampled));
+  // The probe span opens as sampling closes (one shared clock reading) and
+  // covers address assembly, resolution, and the scatter-gather itself.
+  const int probe_span = trace.Transition(sample_span, "probe");
+
+  // Address set to probe: sampled pools plus literal flow endpoints, minus
+  // the hosts the footprint analysis proves no evaluation engine reads
+  // (ISSUE 9). Sampling above still ran over the full variable set so the
+  // RNG stream is identical with pruning on or off.
+  std::vector<std::string> addresses;
+  std::unordered_set<std::string> seen;
+  int64_t skipped = 0;
+  auto add = [&](const lang::Endpoint& e) {
+    if (e.kind != lang::Endpoint::Kind::kAddress || !seen.insert(e.name).second) {
+      return;
+    }
+    if (scope != nullptr && !scope->InFootprint(e.name)) {
+      ++skipped;
+      return;
+    }
+    addresses.push_back(e.name);
+  };
+  for (const lang::VarComm& var : *sampled_vars) {
+    for (const lang::Endpoint& e : var.pool) {
+      add(e);
+    }
+  }
+  for (const lang::CompiledFlow& flow : compiled.flows()) {
+    add(flow.src);
+    add(flow.dst);
+  }
+
+  // Resolve to hosts and probe.
+  std::vector<NodeId> targets;
+  std::unordered_map<NodeId, std::string> node_to_address;
+  for (const std::string& address : addresses) {
+    const NodeId node = directory.Resolve(address);
+    if (node != kInvalidNode) {
+      targets.push_back(node);
+      node_to_address[node] = address;
+    }
+  }
+  ProbeOutcome outcome = transport.Probe(targets, config.probe_timeout);
+  stats->Accumulate(outcome.stats);
+  CT_OBS_OBSERVE("M103", static_cast<double>(targets.size()));
+
+  StatusByAddress status;
+  int missing = 0;
+  for (const NodeId node : targets) {
+    const std::string& address = node_to_address[node];
+    const auto it = outcome.reports.find(node);
+    const bool replied = it != outcome.reports.end();
+    // One child event per contacted host, in deterministic target order. The
+    // scatter-gather itself is batched, so the children record fan-out and
+    // per-host outcome rather than individual wall times. A replied host
+    // carries just its address; a missing reply is flagged with replied=0.
+    if (replied) {
+      trace.Event("probe.host", {{"host", address}});
+    } else {
+      trace.Event("probe.host", {{"host", address}, {"replied", "0"}});
+    }
+    if (replied) {
+      status[address] = it->second;
+    } else if (config.assume_loaded_on_missing) {
+      ++missing;
+      // "If nothing is received from a status server, we assume that a
+      // particular address is under heavy I/O load" (Section 4).
+      status[address] = StatusReport::AssumeLoaded(node, directory.CapsOf(node));
+    } else {
+      ++missing;
+      status[address] = StatusReport::Idle(node, directory.CapsOf(node));
+    }
+  }
+  if (skipped > 0) {
+    CT_OBS_ADD("M113", skipped);
+  }
+  trace.Attr(probe_span, "fanout", static_cast<int64_t>(targets.size()));
+  trace.Attr(probe_span, "replies",
+             static_cast<int64_t>(static_cast<int>(targets.size()) - missing));
+  trace.Attr(probe_span, "missing", static_cast<int64_t>(missing));
+  trace.Attr(probe_span, "skipped", skipped);
+  trace.Close(probe_span);
+  return status;
+}
+
+StatusByAddress SynthesizeStaticStatus(const Directory& directory,
+                                       const std::vector<lang::VarComm>& variables,
+                                       const lang::ScopeAnalysis* probe_scope,
+                                       obs::TraceContext& trace) {
+  // Static evaluation: endpoints idle at their nominal capacities. The
+  // sample and probe spans still appear (every reply carries the full
+  // phase skeleton), recording that both phases were no-ops. The
+  // footprint filter applies here too: an inert variable's hosts get no
+  // synthetic idle status, matching what the engines can read.
+  StatusByAddress status;
+  {
+    obs::TraceContext::Scoped sample_span(&trace, "sample");
+    trace.Attr(sample_span.id(), "mode", "static");
+  }
+  obs::TraceContext::Scoped probe_span(&trace, "probe");
+  std::unordered_set<std::string> skipped_hosts;
+  for (const lang::VarComm& var : variables) {
+    for (const lang::Endpoint& e : var.pool) {
+      if (e.kind != lang::Endpoint::Kind::kAddress) {
+        continue;
+      }
+      if (probe_scope != nullptr && !probe_scope->InFootprint(e.name)) {
+        skipped_hosts.insert(e.name);
+        continue;
+      }
+      const NodeId node = directory.Resolve(e.name);
+      if (node != kInvalidNode) {
+        status[e.name] = StatusReport::Idle(node, directory.CapsOf(node));
+      }
+    }
+  }
+  const int64_t skipped = static_cast<int64_t>(skipped_hosts.size());
+  if (skipped > 0) {
+    CT_OBS_ADD("M113", skipped);
+  }
+  trace.Attr(probe_span.id(), "fanout", static_cast<int64_t>(0));
+  trace.Attr(probe_span.id(), "mode", "static");
+  trace.Attr(probe_span.id(), "skipped", skipped);
+  return status;
+}
+
+bool CheckAdmissionBound(const ServerConfig& config, const lang::CompiledQuery& compiled,
+                         const StatusByAddress& status, double bound_fraction,
+                         obs::TraceContext& trace, Error* error) {
+  const int bound_span = trace.OpenFollowing("bound");
+  lang::BoundOptions bound_options;
+  bound_options.min_available_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
+  bound_options.distinct = config.heuristic.distinct_bindings;
+  const lang::BoundAnalysis bounds = lang::BoundAnalysis::Build(compiled, status, bound_options);
+  CT_OBS_INC("M108");
+  trace.Attr(bound_span, "model", static_cast<int64_t>(bound_fraction >= 0 ? 1 : 0));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().lb);
+  trace.Attr(bound_span, "lb", buf);
+  if (std::isfinite(bounds.query_bounds().ub)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().ub);
+    trace.Attr(bound_span, "ub", buf);
+  }
+  if (bound_fraction >= 0) {
+    for (const lang::GroupBound& gb : bounds.group_bounds()) {
+      if (!gb.provably_infeasible) {
+        continue;
+      }
+      const lang::CompiledGroup& group = compiled.groups()[gb.group];
+      const std::string flow_name = group.flow_indices.empty()
+                                        ? std::string("?")
+                                        : compiled.flows()[group.flow_indices.front()].name;
+      char lb_text[32], deadline_text[32];
+      std::snprintf(lb_text, sizeof(lb_text), "%.6g", gb.interval.lb);
+      std::snprintf(deadline_text, sizeof(deadline_text), "%.6g", gb.deadline);
+      trace.Attr(bound_span, "infeasible_group", static_cast<int64_t>(gb.group));
+      trace.Close(bound_span);
+      CT_OBS_INC("M109");
+      *error = Error{"no binding can meet the deadline: chain group of flow '" + flow_name +
+                     "' needs at least " + lb_text + "s but must finish within " + deadline_text +
+                     "s"};
+      return false;
+    }
+  }
+  trace.Close(bound_span);
+  return true;
+}
+
+Result<ExhaustiveResult> RunExhaustiveSliced(const ServerConfig& config,
+                                             const lang::Query& query,
+                                             const lang::CompiledQuery& compiled,
+                                             const StatusByAddress& status,
+                                             CompletionEstimator& estimator,
+                                             double bound_fraction, int slice_count,
+                                             obs::TraceContext& trace) {
+  CT_OBS_INC("M105");
+  ExhaustiveParams params;
+  params.distinct_bindings = config.heuristic.distinct_bindings;
+  params.threads =
+      query.options.eval_threads > 0 ? query.options.eval_threads : config.eval_threads;
+  params.optimize = query.options.optimize != 0 ? query.options.optimize > 0 : config.optimize;
+  // Compute the static plan here (instead of inside the engine) so the
+  // bind span can report per-pass wall time and pruning attribution
+  // (PassStat) — and so every slice consumes the SAME plan: rank weights,
+  // orbit representatives, and domain pruning must agree across slices for
+  // the (makespan, winner_rank) merge to reproduce the unsliced walk.
+  lang::PrunedSpace plan;
+  if (params.optimize) {
+    lang::OptimizeParams opt_params;
+    opt_params.distinct = params.distinct_bindings && !query.options.allow_same_binding;
+    opt_params.bound_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
+    plan = lang::Optimize(compiled, status, opt_params);
+    params.plan = &plan;
+  }
+  const int bind_span = trace.OpenFollowing("bind");
+  trace.Attr(bind_span, "mode", "exhaustive");
+
+  slice_count = std::max(1, slice_count);
+  params.slice_count = slice_count;
+  std::optional<ExhaustiveResult> best;
+  std::optional<Error> first_error;
+  for (int slice = 0; slice < slice_count; ++slice) {
+    params.slice_index = slice;
+    Result<ExhaustiveResult> result = EvaluateExhaustive(compiled, status, estimator, params);
+    if (!result.ok()) {
+      // Lowest-slice error wins (mirrors the engine's own first-worker
+      // error merge); an empty slice's kNoLegalBinding is outvoted by any
+      // slice that found a binding.
+      if (!first_error.has_value()) {
+        first_error = result.error();
+      }
+      continue;
+    }
+    if (!best.has_value()) {
+      best = std::move(result.value());
+      continue;
+    }
+    ExhaustiveResult& merged = *best;
+    const ExhaustiveResult& r = result.value();
+    // Walk counters accumulate; plan-derived ones (bindings_pruned,
+    // components) describe the shared plan and are kept from the first
+    // slice. threads_used sums to the total worker count across slices.
+    merged.counters.evaluations += r.counters.evaluations;
+    merged.counters.memo_hits += r.counters.memo_hits;
+    merged.counters.enumerated += r.counters.enumerated;
+    merged.counters.orbit_skips += r.counters.orbit_skips;
+    merged.counters.bound_prunes += r.counters.bound_prunes;
+    merged.counters.threads_used += r.counters.threads_used;
+    merged.counters.delta_rebinds += r.counters.delta_rebinds;
+    merged.counters.cold_rebinds += r.counters.cold_rebinds;
+    merged.counters.solver_recomputes += r.counters.solver_recomputes;
+    merged.counters.delta_component_hits += r.counters.delta_component_hits;
+    merged.counters.cold_component_solves += r.counters.cold_component_solves;
+    if (r.estimate.makespan < merged.estimate.makespan ||
+        (r.estimate.makespan == merged.estimate.makespan &&
+         r.winner_rank < merged.winner_rank)) {
+      merged.binding = r.binding;
+      merged.estimate = r.estimate;
+      merged.winner_rank = r.winner_rank;
+    }
+  }
+  if (!best.has_value()) {
+    trace.Close(bind_span);
+    if (first_error.has_value()) {
+      return *first_error;
+    }
+    return Error{"no legal binding exists (distinctness or requirements unsatisfiable?)"};
+  }
+  const SearchCounters& c = best->counters;
+  trace.Attr(bind_span, "evaluations", c.evaluations);
+  trace.Attr(bind_span, "memo_hits", c.memo_hits);
+  trace.Attr(bind_span, "enumerated", c.enumerated);
+  trace.Attr(bind_span, "pruned", c.bindings_pruned);
+  trace.Attr(bind_span, "orbit_skips", c.orbit_skips);
+  trace.Attr(bind_span, "bound_prunes", c.bound_prunes);
+  trace.Attr(bind_span, "threads", static_cast<int64_t>(c.threads_used));
+  trace.Attr(bind_span, "delta_rebinds", c.delta_rebinds);
+  trace.Attr(bind_span, "cold_rebinds", c.cold_rebinds);
+  trace.Attr(bind_span, "solver_recomputes", c.solver_recomputes);
+  // Per-pass attribution (exhaustive-only attrs: wall times vary run to
+  // run, and the stable-trace snapshots only pin the heuristic path).
+  if (params.plan != nullptr) {
+    for (const lang::PassStat& ps : params.plan->pass_stats) {
+      trace.Attr(bind_span, std::string("opt.") + ps.code + ".seconds", ps.wall_seconds);
+      trace.Attr(bind_span, std::string("opt.") + ps.code + ".pruned", ps.pruned_bindings);
+    }
+  }
+  trace.Close(bind_span);
+  return *best;
+}
+
+}  // namespace cloudtalk

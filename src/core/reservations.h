@@ -7,13 +7,25 @@
 // These are best-effort, not real reservations: if applications ignore the
 // recommendation, behaviour degrades to random placement, exactly as the
 // paper notes.
+//
+// Two-phase reserve (ISSUE 10): a sharded deployment splits reservation
+// state across per-shard tables, so a binding that spans shards must either
+// hold on every shard or on none. The front end first `Prepare`s a
+// short-lived lease on each endpoint with its owning shard, and only once
+// every shard has answered does it `Commit` the leases into real holds (all
+// stamped with the same commit time, so the expiry matches a single-table
+// `Reserve`). A shard that never answers lets the lease deadline pass and
+// the endpoint frees itself — prepares can never wedge a host. `Abort`
+// releases a lease early when a sibling shard failed to prepare.
 #ifndef CLOUDTALK_SRC_CORE_RESERVATIONS_H_
 #define CLOUDTALK_SRC_CORE_RESERVATIONS_H_
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "src/check/check.h"
 #include "src/common/lock_registry.h"
 #include "src/common/units.h"
 
@@ -32,12 +44,22 @@ class ReservationTable {
 
   Seconds hold_time() const { return hold_time_; }
 
-  // True if `address` was recommended less than hold_time ago.
+  // True if `address` was recommended less than hold_time ago, or is held
+  // by an unexpired prepare lease awaiting commit.
   bool IsReserved(const std::string& address, Seconds now) const {
     std::lock_guard<std::mutex> lock(mutex_);
     CT_LOCK_TRACE(ReservationLockId());
     const auto it = expiry_.find(address);
-    return it != expiry_.end() && it->second > now;
+    if (it != expiry_.end() && it->second > now) {
+      return true;
+    }
+    for (const auto& [id, lease] : leases_) {
+      (void)id;
+      if (lease.deadline > now && lease.address == address) {
+        return true;
+      }
+    }
+    return false;
   }
 
   void Reserve(const std::string& address, Seconds now) {
@@ -63,7 +85,79 @@ class ReservationTable {
     return count;
   }
 
+  // Phase one of a two-phase reserve: hold `address` under a lease that
+  // expires on its own at `now + lease_time` unless committed or aborted
+  // first. Returns the lease id (never 0, so callers can use 0 as "the
+  // shard never answered").
+  uint64_t Prepare(const std::string& address, Seconds now, Seconds lease_time) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
+    const uint64_t id = ++next_lease_;
+    leases_[id] = Lease{address, now + lease_time};
+    return id;
+  }
+
+  // Phase two: converts the lease into a regular hold expiring at
+  // `now + hold_time`, exactly as if `Reserve` had been called at `now`.
+  // Returns false when the lease had already expired (the two-phase
+  // exchange took longer than the lease allowed — the host is NOT held).
+  // A commit for a lease this table never issued (or already completed)
+  // fires I411: the front end's bookkeeping and the shard's disagree.
+  bool Commit(uint64_t lease_id, Seconds now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
+    const auto it = leases_.find(lease_id);
+    CT_INVARIANT(it != leases_.end(), "I411",
+                 "two-phase commit does not match any outstanding lease")
+        .With("lease", std::to_string(lease_id));
+    if (it == leases_.end()) {
+      return false;
+    }
+    const bool live = it->second.deadline > now;
+    if (live && hold_time_ > 0) {
+      expiry_[it->second.address] = now + hold_time_;
+      MaybePruneLocked(now);
+    }
+    leases_.erase(it);
+    return live;
+  }
+
+  // Releases a lease without reserving (a sibling shard failed to prepare,
+  // so the whole binding aborts). Aborting an unknown lease fires I411.
+  bool Abort(uint64_t lease_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
+    const auto it = leases_.find(lease_id);
+    CT_INVARIANT(it != leases_.end(), "I411",
+                 "two-phase abort does not match any outstanding lease")
+        .With("lease", std::to_string(lease_id));
+    if (it == leases_.end()) {
+      return false;
+    }
+    leases_.erase(it);
+    return true;
+  }
+
+  // Prepared-but-uncommitted leases still within their deadline.
+  int PreparedCount(Seconds now) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CT_LOCK_TRACE(ReservationLockId());
+    int count = 0;
+    for (const auto& [id, lease] : leases_) {
+      (void)id;
+      if (lease.deadline > now) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
  private:
+  struct Lease {
+    std::string address;
+    Seconds deadline = 0;
+  };
+
   void MaybePruneLocked(Seconds now) {
     if (expiry_.size() < 1024) {
       return;
@@ -76,6 +170,12 @@ class ReservationTable {
   Seconds hold_time_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Seconds> expiry_;
+  // Outstanding prepares. Never pruned by expiry: a lease leaves the map
+  // only through Commit or Abort, so a commit arriving after the deadline
+  // still finds its lease (and reports the timeout) while a commit for a
+  // lease that never existed is distinguishable — that one fires I411.
+  std::unordered_map<uint64_t, Lease> leases_;
+  uint64_t next_lease_ = 0;
 };
 
 }  // namespace cloudtalk

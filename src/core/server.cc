@@ -7,6 +7,7 @@
 
 #include "src/common/lock_registry.h"
 #include "src/common/logging.h"
+#include "src/core/pipeline.h"
 #include "src/lang/bound.h"
 #include "src/lang/canon.h"
 #include "src/lang/lint.h"
@@ -55,18 +56,6 @@ std::unordered_map<std::string, std::string> ReverseMap(
   return map;
 }
 
-bool Intersects(const std::unordered_set<std::string>& a,
-                const std::unordered_set<std::string>& b) {
-  const std::unordered_set<std::string>& small = a.size() <= b.size() ? a : b;
-  const std::unordered_set<std::string>& large = a.size() <= b.size() ? b : a;
-  for (const std::string& s : small) {
-    if (large.count(s) > 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
 }  // namespace
 
 #if defined(CLOUDTALK_INVARIANTS) && CLOUDTALK_INVARIANTS
@@ -80,11 +69,6 @@ LockId RngLockId() {
   static const LockId id = LockRegistry::Instance().Register("server.rng");
   return id;
 }
-LockId AdmissionLockId() {
-  static const LockId id = LockRegistry::Instance().Register("server.admission");
-  return id;
-}
-
 }  // namespace
 #endif
 
@@ -97,7 +81,8 @@ CloudTalkServer::CloudTalkServer(ServerConfig config, const Directory* directory
       clock_(std::move(clock)),
       packet_estimator_(packet_estimator),
       reservations_(config.reservation_hold),
-      rng_(config.seed) {
+      rng_(config.seed),
+      admission_(config.admission_slots) {
   check::SetViolationPolicy(config.invariant_policy);
 }
 
@@ -289,175 +274,8 @@ StatusByAddress CloudTalkServer::GatherStatus(const lang::CompiledQuery& compile
                                               const lang::ScopeAnalysis* scope,
                                               std::vector<lang::VarComm>* sampled_vars,
                                               ProbeStats* stats, obs::TraceContext& trace) {
-  *sampled_vars = compiled.variables();
-
-  const int sample_span = trace.OpenFollowing("sample");
-  // Sampling (Section 4.3): shrink any pool larger than the threshold.
-  // Variables sharing one declaration share one pool; the sample must cover
-  // the d variables drawing from it, so size it with d = sharer count.
-  std::unordered_map<std::string, std::vector<int>> pool_groups;
-  for (size_t i = 0; i < sampled_vars->size(); ++i) {
-    std::string key;
-    for (const lang::Endpoint& e : (*sampled_vars)[i].pool) {
-      key += e.ToString();
-      key.push_back('|');
-    }
-    pool_groups[key].push_back(static_cast<int>(i));
-  }
-  int pools_sampled = 0;
-  {
-    std::lock_guard<std::mutex> rng_lock(rng_mutex_);
-    CT_LOCK_TRACE(RngLockId());
-    for (auto& [key, members] : pool_groups) {
-      (void)key;
-      const std::vector<lang::Endpoint>& pool = (*sampled_vars)[members.front()].pool;
-      const int pool_size = static_cast<int>(pool.size());
-      if (pool_size <= config_.sample_threshold) {
-        continue;
-      }
-      const int d = static_cast<int>(members.size());
-      int n = config_.sample_override > 0
-                  ? config_.sample_override
-                  : RequiredSamples(d, config_.idle_fraction_hint, config_.sample_confidence);
-      n = std::min(n, pool_size);
-      const std::vector<int> picks = rng_.SampleWithoutReplacement(pool_size, n);
-      std::vector<lang::Endpoint> sampled;
-      sampled.reserve(picks.size());
-      for (int p : picks) {
-        sampled.push_back(pool[p]);
-      }
-      for (int member : members) {
-        (*sampled_vars)[member].pool = sampled;
-      }
-      ++pools_sampled;
-      CT_OBS_INC("M106");
-    }
-  }
-  trace.Attr(sample_span, "pools", static_cast<int64_t>(pool_groups.size()));
-  trace.Attr(sample_span, "sampled", static_cast<int64_t>(pools_sampled));
-  // The probe span opens as sampling closes (one shared clock reading) and
-  // covers address assembly, resolution, and the scatter-gather itself.
-  const int probe_span = trace.Transition(sample_span, "probe");
-
-  // Address set to probe: sampled pools plus literal flow endpoints, minus
-  // the hosts the footprint analysis proves no evaluation engine reads
-  // (ISSUE 9). Sampling above still ran over the full variable set so the
-  // RNG stream is identical with pruning on or off.
-  std::vector<std::string> addresses;
-  std::unordered_set<std::string> seen;
-  int64_t skipped = 0;
-  auto add = [&](const lang::Endpoint& e) {
-    if (e.kind != lang::Endpoint::Kind::kAddress || !seen.insert(e.name).second) {
-      return;
-    }
-    if (scope != nullptr && !scope->InFootprint(e.name)) {
-      ++skipped;
-      return;
-    }
-    addresses.push_back(e.name);
-  };
-  for (const lang::VarComm& var : *sampled_vars) {
-    for (const lang::Endpoint& e : var.pool) {
-      add(e);
-    }
-  }
-  for (const lang::CompiledFlow& flow : compiled.flows()) {
-    add(flow.src);
-    add(flow.dst);
-  }
-
-  // Resolve to hosts and probe.
-  std::vector<NodeId> targets;
-  std::unordered_map<NodeId, std::string> node_to_address;
-  for (const std::string& address : addresses) {
-    const NodeId node = directory_->Resolve(address);
-    if (node != kInvalidNode) {
-      targets.push_back(node);
-      node_to_address[node] = address;
-    }
-  }
-  ProbeOutcome outcome = transport_->Probe(targets, config_.probe_timeout);
-  stats->Accumulate(outcome.stats);
-  CT_OBS_OBSERVE("M103", static_cast<double>(targets.size()));
-
-  StatusByAddress status;
-  int missing = 0;
-  for (const NodeId node : targets) {
-    const std::string& address = node_to_address[node];
-    const auto it = outcome.reports.find(node);
-    const bool replied = it != outcome.reports.end();
-    // One child event per contacted host, in deterministic target order. The
-    // scatter-gather itself is batched, so the children record fan-out and
-    // per-host outcome rather than individual wall times. A replied host
-    // carries just its address; a missing reply is flagged with replied=0.
-    if (replied) {
-      trace.Event("probe.host", {{"host", address}});
-    } else {
-      trace.Event("probe.host", {{"host", address}, {"replied", "0"}});
-    }
-    if (replied) {
-      status[address] = it->second;
-    } else if (config_.assume_loaded_on_missing) {
-      ++missing;
-      // "If nothing is received from a status server, we assume that a
-      // particular address is under heavy I/O load" (Section 4).
-      status[address] = StatusReport::AssumeLoaded(node, directory_->CapsOf(node));
-    } else {
-      ++missing;
-      status[address] = StatusReport::Idle(node, directory_->CapsOf(node));
-    }
-  }
-  if (skipped > 0) {
-    CT_OBS_ADD("M113", skipped);
-  }
-  trace.Attr(probe_span, "fanout", static_cast<int64_t>(targets.size()));
-  trace.Attr(probe_span, "replies",
-             static_cast<int64_t>(static_cast<int>(targets.size()) - missing));
-  trace.Attr(probe_span, "missing", static_cast<int64_t>(missing));
-  trace.Attr(probe_span, "skipped", skipped);
-  trace.Close(probe_span);
-  return status;
-}
-
-uint64_t CloudTalkServer::AdmitScope(const lang::ScopeAnalysis& scope) {
-  std::unique_lock<std::mutex> lock(admission_mutex_);
-  const int slots = std::max(1, config_.admission_slots);
-  admission_cv_.wait(lock, [&] {
-    if (static_cast<int>(admitted_.size()) >= slots) {
-      return false;
-    }
-    for (const AdmittedScope& in_flight : admitted_) {
-      if ((in_flight.reserves || scope.effects.reserves) &&
-          Intersects(*in_flight.candidates, scope.candidates)) {
-        return false;
-      }
-    }
-    return true;
-  });
-  CT_LOCK_TRACE(AdmissionLockId());
-  AdmittedScope entry;
-  entry.ticket = ++next_ticket_;
-  entry.reserves = scope.effects.reserves;
-  entry.candidates = &scope.candidates;
-  admitted_.push_back(entry);
-  return entry.ticket;
-}
-
-void CloudTalkServer::ReleaseScope(uint64_t ticket) {
-  {
-    std::lock_guard<std::mutex> lock(admission_mutex_);
-    CT_LOCK_TRACE(AdmissionLockId());
-    const auto it =
-        std::find_if(admitted_.begin(), admitted_.end(),
-                     [ticket](const AdmittedScope& a) { return a.ticket == ticket; });
-    CT_INVARIANT(it != admitted_.end(), "I409",
-                 "admission release does not match any in-flight scope")
-        .With("ticket", std::to_string(ticket));
-    if (it != admitted_.end()) {
-      admitted_.erase(it);
-    }
-  }
-  admission_cv_.notify_all();
+  return GatherStatusOver(config_, *directory_, *transport_, rng_, rng_mutex_, compiled, scope,
+                          sampled_vars, stats, trace);
 }
 
 Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
@@ -481,20 +299,21 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     trace.Close(scope_span);
   }
 
-  // Concurrent admission (ROADMAP item 1 pilot): hold a slot for the rest
+  // Concurrent admission (src/core/admission.h): hold a slot for the rest
   // of the evaluation. Queries with disjoint reservation footprints proceed
   // in parallel; conflicting ones queue here. With reservations disabled
   // every pair commutes, so the gate is bypassed entirely.
-  const uint64_t admission_ticket = config_.reservation_hold > 0 ? AdmitScope(scope) : 0;
+  const uint64_t admission_ticket =
+      config_.reservation_hold > 0 ? admission_.Admit(scope) : 0;
   struct AdmissionGuard {
-    CloudTalkServer* server;
+    AdmissionGate* gate;
     uint64_t ticket;
     ~AdmissionGuard() {
       if (ticket != 0) {
-        server->ReleaseScope(ticket);
+        gate->Release(ticket);
       }
     }
-  } admission_guard{this, admission_ticket};
+  } admission_guard{&admission_, admission_ticket};
 
   QueryReply reply;
   StatusByAddress status;
@@ -506,39 +325,7 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
     CT_LOCK_TRACE(StatsLockId());
     total_stats_.Accumulate(reply.probe_stats);
   } else {
-    // Static evaluation: endpoints idle at their nominal capacities. The
-    // sample and probe spans still appear (every reply carries the full
-    // phase skeleton), recording that both phases were no-ops. The
-    // footprint filter applies here too: an inert variable's hosts get no
-    // synthetic idle status, matching what the engines can read.
-    {
-      obs::TraceContext::Scoped sample_span(&trace, "sample");
-      trace.Attr(sample_span.id(), "mode", "static");
-    }
-    obs::TraceContext::Scoped probe_span(&trace, "probe");
-    std::unordered_set<std::string> skipped_hosts;
-    for (const lang::VarComm& var : variables) {
-      for (const lang::Endpoint& e : var.pool) {
-        if (e.kind != lang::Endpoint::Kind::kAddress) {
-          continue;
-        }
-        if (probe_scope != nullptr && !probe_scope->InFootprint(e.name)) {
-          skipped_hosts.insert(e.name);
-          continue;
-        }
-        const NodeId node = directory_->Resolve(e.name);
-        if (node != kInvalidNode) {
-          status[e.name] = StatusReport::Idle(node, directory_->CapsOf(node));
-        }
-      }
-    }
-    const int64_t skipped = static_cast<int64_t>(skipped_hosts.size());
-    if (skipped > 0) {
-      CT_OBS_ADD("M113", skipped);
-    }
-    trace.Attr(probe_span.id(), "fanout", static_cast<int64_t>(0));
-    trace.Attr(probe_span.id(), "mode", "static");
-    trace.Attr(probe_span.id(), "skipped", skipped);
+    status = SynthesizeStaticStatus(*directory_, variables, probe_scope, trace);
   }
 
   // Admission bound check (ISSUE 7): sound completion-time intervals over
@@ -554,96 +341,23 @@ Result<QueryReply> CloudTalkServer::AnswerTraced(const lang::Query& query,
   const double bound_fraction =
       bound_model != nullptr ? bound_model->BoundAvailabilityFraction() : -1;
   {
-    const int bound_span = trace.OpenFollowing("bound");
-    lang::BoundOptions bound_options;
-    bound_options.min_available_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
-    bound_options.distinct = config_.heuristic.distinct_bindings;
-    const lang::BoundAnalysis bounds =
-        lang::BoundAnalysis::Build(compiled.value(), status, bound_options);
-    CT_OBS_INC("M108");
-    trace.Attr(bound_span, "model", static_cast<int64_t>(bound_fraction >= 0 ? 1 : 0));
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().lb);
-    trace.Attr(bound_span, "lb", buf);
-    if (std::isfinite(bounds.query_bounds().ub)) {
-      std::snprintf(buf, sizeof(buf), "%.6g", bounds.query_bounds().ub);
-      trace.Attr(bound_span, "ub", buf);
+    Error bound_error;
+    if (!CheckAdmissionBound(config_, compiled.value(), status, bound_fraction, trace,
+                             &bound_error)) {
+      return bound_error;
     }
-    if (bound_fraction >= 0) {
-      for (const lang::GroupBound& gb : bounds.group_bounds()) {
-        if (!gb.provably_infeasible) {
-          continue;
-        }
-        const lang::CompiledGroup& group = compiled.value().groups()[gb.group];
-        const std::string flow_name =
-            group.flow_indices.empty()
-                ? std::string("?")
-                : compiled.value().flows()[group.flow_indices.front()].name;
-        char lb_text[32], deadline_text[32];
-        std::snprintf(lb_text, sizeof(lb_text), "%.6g", gb.interval.lb);
-        std::snprintf(deadline_text, sizeof(deadline_text), "%.6g", gb.deadline);
-        trace.Attr(bound_span, "infeasible_group",
-                   static_cast<int64_t>(gb.group));
-        trace.Close(bound_span);
-        CT_OBS_INC("M109");
-        return Error{"no binding can meet the deadline: chain group of flow '" + flow_name +
-                     "' needs at least " + lb_text + "s but must finish within " +
-                     deadline_text + "s"};
-      }
-    }
-    trace.Close(bound_span);
   }
 
   if (query.options.use_packet_simulator) {
     if (packet_estimator_ == nullptr) {
       return Error{"query requests packet-level evaluation, but no packet estimator is wired"};
     }
-    CT_OBS_INC("M105");
-    ExhaustiveParams params;
-    params.distinct_bindings = config_.heuristic.distinct_bindings;
-    params.threads =
-        query.options.eval_threads > 0 ? query.options.eval_threads : config_.eval_threads;
-    params.optimize =
-        query.options.optimize != 0 ? query.options.optimize > 0 : config_.optimize;
-    // Compute the static plan here (instead of inside the engine) so the
-    // bind span can report per-pass wall time and pruning attribution
-    // (PassStat); the engine consumes it unchanged.
-    lang::PrunedSpace plan;
-    if (params.optimize) {
-      lang::OptimizeParams opt_params;
-      opt_params.distinct = params.distinct_bindings && !query.options.allow_same_binding;
-      opt_params.bound_fraction = bound_fraction >= 0 ? bound_fraction : 0.1;
-      plan = lang::Optimize(compiled.value(), status, opt_params);
-      params.plan = &plan;
-    }
-    const int bind_span = trace.OpenFollowing("bind");
-    trace.Attr(bind_span, "mode", "exhaustive");
     Result<ExhaustiveResult> best =
-        EvaluateExhaustive(compiled.value(), status, *packet_estimator_, params);
+        RunExhaustiveSliced(config_, query, compiled.value(), status, *packet_estimator_,
+                            bound_fraction, /*slice_count=*/1, trace);
     if (!best.ok()) {
-      trace.Close(bind_span);
       return best.error();
     }
-    const SearchCounters& c = best.value().counters;
-    trace.Attr(bind_span, "evaluations", c.evaluations);
-    trace.Attr(bind_span, "memo_hits", c.memo_hits);
-    trace.Attr(bind_span, "enumerated", c.enumerated);
-    trace.Attr(bind_span, "pruned", c.bindings_pruned);
-    trace.Attr(bind_span, "orbit_skips", c.orbit_skips);
-    trace.Attr(bind_span, "bound_prunes", c.bound_prunes);
-    trace.Attr(bind_span, "threads", static_cast<int64_t>(c.threads_used));
-    trace.Attr(bind_span, "delta_rebinds", c.delta_rebinds);
-    trace.Attr(bind_span, "cold_rebinds", c.cold_rebinds);
-    trace.Attr(bind_span, "solver_recomputes", c.solver_recomputes);
-    // Per-pass attribution (exhaustive-only attrs: wall times vary run to
-    // run, and the stable-trace snapshots only pin the heuristic path).
-    if (params.plan != nullptr) {
-      for (const lang::PassStat& ps : params.plan->pass_stats) {
-        trace.Attr(bind_span, std::string("opt.") + ps.code + ".seconds", ps.wall_seconds);
-        trace.Attr(bind_span, std::string("opt.") + ps.code + ".pruned", ps.pruned_bindings);
-      }
-    }
-    trace.Close(bind_span);
     reply.binding = best.value().binding;
     reply.estimate = best.value().estimate;
     reply.used_exhaustive = true;

@@ -29,6 +29,7 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/obs/trace.h"
+#include "src/core/admission.h"
 #include "src/core/directory.h"
 #include "src/core/estimator.h"
 #include "src/core/exhaustive.h"
@@ -88,12 +89,13 @@ struct ServerConfig {
   // against full probing — and on by default; off reverts to probing every
   // sampled pool entry and literal endpoint.
   bool scope_probe_pruning = true;
-  // Concurrent admission gate (ISSUE 9, the two-slot pilot of the admission
-  // arbiter in ROADMAP item 1): up to this many queries evaluate
-  // concurrently when their reservation footprints are disjoint; queries
-  // whose candidate sets intersect (and at least one reserves) serialize.
-  // Only engaged when reservation_hold > 0 — with reservations disabled
-  // every pair of queries commutes and the gate would be pure overhead.
+  // Concurrent admission gate (src/core/admission.h; ISSUE 9 landed the
+  // two-slot pilot, ISSUE 10 generalized it to N slots): up to this many
+  // queries evaluate concurrently when their reservation footprints are
+  // disjoint; queries whose candidate sets intersect (and at least one
+  // reserves) serialize. Releasing ANY slot re-checks every waiter. Only
+  // engaged when reservation_hold > 0 — with reservations disabled every
+  // pair of queries commutes and the gate would be pure overhead.
   int admission_slots = 2;
 };
 
@@ -185,11 +187,13 @@ class CloudTalkServer {
   // gather status, bind, reserve — recording one span per phase in `trace`.
   Result<QueryReply> AnswerTraced(const lang::Query& query, obs::TraceContext& trace);
 
-  // Gathers status for the addresses the query can touch. Applies sampling,
-  // then drops addresses outside `scope`'s footprint (pass nullptr to probe
-  // everything — the pruning ablation and `ctcheck --diff-scope` baseline).
-  // Records the `sample` and `probe` spans (one `probe.host` child per
-  // contacted target, M113 counting the skipped ones) in `trace`.
+  // Gathers status for the addresses the query can touch (delegates to
+  // GatherStatusOver in src/core/pipeline.h, the stage shared with the
+  // sharded front end). Applies sampling, then drops addresses outside
+  // `scope`'s footprint (pass nullptr to probe everything — the pruning
+  // ablation and `ctcheck --diff-scope` baseline). Records the `sample` and
+  // `probe` spans (one `probe.host` child per contacted target, M113
+  // counting the skipped ones) in `trace`.
   StatusByAddress GatherStatus(const lang::CompiledQuery& compiled,
                                const lang::ScopeAnalysis* scope,
                                std::vector<lang::VarComm>* sampled_vars, ProbeStats* stats,
@@ -203,14 +207,6 @@ class CloudTalkServer {
   // pending reservations held by other queries — is re-read here on every
   // lookup.
   bool CacheableEffects(const lang::ScopeEffects& effects) const;
-
-  // Concurrent admission gate. AdmitScope blocks until no admitted query's
-  // reservation footprint conflicts with `scope` (lang::ReservationConflict
-  // semantics) and a slot is free, then returns a ticket; ReleaseScope
-  // (invariant I409: the ticket must be in flight) frees it. `scope` must
-  // outlive the admission.
-  uint64_t AdmitScope(const lang::ScopeAnalysis& scope);
-  void ReleaseScope(uint64_t ticket);
 
   ServerConfig config_;
   const Directory* directory_;
@@ -251,18 +247,9 @@ class CloudTalkServer {
   static constexpr size_t kFrontendMemoCap = 4096;
   std::unordered_map<std::string, FrontendMemo> frontend_memo_;
 
-  // Concurrent admission gate state: the scopes currently evaluating. Each
-  // entry borrows the candidate set from the admitting frame's
-  // ScopeAnalysis (alive until ReleaseScope by construction).
-  struct AdmittedScope {
-    uint64_t ticket = 0;
-    bool reserves = false;
-    const std::unordered_set<std::string>* candidates = nullptr;
-  };
-  std::mutex admission_mutex_;
-  std::condition_variable admission_cv_;
-  std::vector<AdmittedScope> admitted_;
-  uint64_t next_ticket_ = 0;
+  // Concurrent admission gate (src/core/admission.h): AnswerTraced holds a
+  // slot for the whole evaluation when reservations are enabled.
+  AdmissionGate admission_;
 };
 
 }  // namespace cloudtalk

@@ -111,6 +111,17 @@ const std::vector<MetricInfo>& MetricCatalog() {
       {"M113", MetricType::kCounter, "server", "cloudtalk_server_scope_probe_skips",
        "Hosts not probed because the static footprint analysis proved no evaluation "
        "engine reads their status", "", {}},
+      {"M114", MetricType::kCounter, "server", "cloudtalk_server_sharded_queries",
+       "Queries routed through the ShardedServer front end", "", {}},
+      {"M115", MetricType::kCounter, "server", "cloudtalk_server_shard_probe_batches",
+       "Per-shard probe batches issued by the hierarchical status aggregator", "", {}},
+      {"M116", MetricType::kHistogram, "server", "cloudtalk_server_shard_fanout",
+       "Hosts contacted by one shard's slice of a probe scatter-gather", "", kFanout},
+      {"M117", MetricType::kCounter, "server", "cloudtalk_server_reserve_prepares",
+       "Two-phase reserve leases requested from owning shards", "", {}},
+      {"M118", MetricType::kCounter, "server", "cloudtalk_server_reserve_aborts",
+       "Two-phase reserves aborted (a shard failed to prepare before the lease deadline)",
+       "", {}},
       // ---- M2xx: probing and status transports ----
       {"M200", MetricType::kHistogram, "probe", "cloudtalk_probe_rtt_seconds",
        "Ping RTT measured by probing::NetworkProber, per target host", "host", kRtt},

@@ -8,6 +8,7 @@ namespace cloudtalk {
 
 ProbeOutcome SimUdpTransport::Probe(const std::vector<NodeId>& targets, Seconds timeout) {
   (void)timeout;  // The simulated probe completes "within" the timeout.
+  std::lock_guard<std::mutex> lock(probe_mutex_);
   ProbeOutcome outcome;
   const int n = static_cast<int>(targets.size());
   outcome.stats.requests_sent = n;

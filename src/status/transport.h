@@ -8,6 +8,7 @@
 #ifndef CLOUDTALK_SRC_STATUS_TRANSPORT_H_
 #define CLOUDTALK_SRC_STATUS_TRANSPORT_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -84,6 +85,11 @@ class SimUdpTransport : public ProbeTransport {
   std::unordered_map<NodeId, StatusServer*> servers_;
   SimUdpParams params_;
   Rng rng_;
+  // Serializes concurrent probes (N-slot admission runs gathers in
+  // parallel, and the shard aggregators of src/core/shard.h scatter to this
+  // one simulated wire): the loss-model RNG and the status servers' lazy
+  // first Measure() are not otherwise synchronized.
+  std::mutex probe_mutex_;
 };
 
 }  // namespace cloudtalk

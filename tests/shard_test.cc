@@ -1,0 +1,456 @@
+// Tests for the sharded CloudTalk deployment (src/core/shard.h): the
+// ShardMap partition, two-phase cross-shard reservations (prepare / commit
+// / abort leases, I411), the I410 no-double-reserve property, unresponsive-
+// shard abort, the N-slot admission gate's any-slot wakeup, merge
+// determinism against the single server over every good fixture, and a
+// concurrent admission stress run (the TSan CI job builds this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/core/admission.h"
+#include "src/core/reservations.h"
+#include "src/core/shard.h"
+#include "src/harness/cluster.h"
+#include "src/lang/parser.h"
+#include "src/lang/scope.h"
+#include "src/topology/topology.h"
+
+namespace cloudtalk {
+namespace {
+
+// ---- Two-phase reservation leases (src/core/reservations.h) ----
+
+TEST(TwoPhaseReserveTest, PrepareCommitReservesLikeFlatReserve) {
+  ReservationTable table(/*hold_time=*/1.0);
+  const uint64_t lease = table.Prepare("10.0.0.1", /*now=*/0, /*lease_time=*/0.5);
+  ASSERT_NE(lease, 0u);
+  EXPECT_EQ(table.PreparedCount(0.1), 1);
+  // A live lease already holds the endpoint against other queries.
+  EXPECT_TRUE(table.IsReserved("10.0.0.1", 0.1));
+  EXPECT_TRUE(table.Commit(lease, /*now=*/0.2));
+  EXPECT_EQ(table.PreparedCount(0.2), 0);
+  // Committed at 0.2 with hold 1.0: reserved until 1.2, exactly like a
+  // single-table Reserve("10.0.0.1", 0.2).
+  EXPECT_TRUE(table.IsReserved("10.0.0.1", 1.1));
+  EXPECT_FALSE(table.IsReserved("10.0.0.1", 1.3));
+}
+
+TEST(TwoPhaseReserveTest, ExpiredLeaseFreesTheHostAndRefusesCommit) {
+  ReservationTable table(/*hold_time=*/1.0);
+  const uint64_t lease = table.Prepare("10.0.0.2", /*now=*/0, /*lease_time=*/0.1);
+  ASSERT_NE(lease, 0u);
+  EXPECT_TRUE(table.IsReserved("10.0.0.2", 0.05));
+  // Past the lease deadline the host is free again — a crashed front end
+  // that prepared but never committed cannot hold it forever.
+  EXPECT_FALSE(table.IsReserved("10.0.0.2", 0.2));
+  EXPECT_EQ(table.PreparedCount(0.2), 0);
+  // A late commit is refused (returns false, reserves nothing) but does NOT
+  // fire I411: the lease was real, it just timed out.
+  EXPECT_FALSE(table.Commit(lease, /*now=*/0.2));
+  EXPECT_FALSE(table.IsReserved("10.0.0.2", 0.3));
+}
+
+TEST(TwoPhaseReserveTest, AbortFreesImmediately) {
+  ReservationTable table(/*hold_time=*/1.0);
+  const uint64_t lease = table.Prepare("10.0.0.3", /*now=*/0, /*lease_time=*/10.0);
+  ASSERT_NE(lease, 0u);
+  EXPECT_TRUE(table.Abort(lease));
+  EXPECT_FALSE(table.IsReserved("10.0.0.3", 0.01));
+  EXPECT_EQ(table.PreparedCount(0.01), 0);
+  EXPECT_EQ(table.ActiveCount(0.01), 0);
+}
+
+TEST(TwoPhaseReserveTest, CommitWithoutPrepareFiresI411) {
+  if (!check::kInvariantsEnabled) {
+    GTEST_SKIP() << "built without CLOUDTALK_INVARIANTS";
+  }
+  const check::OnViolation saved = check::GetViolationPolicy();
+  check::SetViolationPolicy(check::OnViolation::kThrow);
+  ReservationTable table(/*hold_time=*/1.0);
+  EXPECT_THROW(table.Commit(/*lease_id=*/12345, /*now=*/0), check::InvariantViolation);
+  // Double-commit: the first consumes the lease, the second is unmatched.
+  const uint64_t lease = table.Prepare("10.0.0.4", 0, 1.0);
+  EXPECT_TRUE(table.Commit(lease, 0.1));
+  EXPECT_THROW(table.Commit(lease, 0.2), check::InvariantViolation);
+  EXPECT_THROW(table.Abort(lease), check::InvariantViolation);
+  check::SetViolationPolicy(saved);
+}
+
+// ---- ShardMap: a total partition ----
+
+TEST(ShardMapTest, EveryNodeOwnedByExactlyOneShard) {
+  for (const int shards : {1, 2, 4, 7}) {
+    const ShardMap map(shards);
+    std::vector<int> owned(shards, 0);
+    for (NodeId node = 0; node < 64; ++node) {
+      const int owner = map.ShardOf(node);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, shards);
+      owned[owner] += 1;
+      // Deterministic: asking twice gives the same owner.
+      EXPECT_EQ(map.ShardOf(node), owner);
+    }
+    // With 64 nodes and <= 7 shards, every shard owns someone.
+    for (const int count : owned) {
+      EXPECT_GT(count, 0);
+    }
+  }
+  // Degenerate shard counts clamp to one shard rather than dividing by zero.
+  EXPECT_EQ(ShardMap(0).shards(), 1);
+  EXPECT_EQ(ShardMap(-3).shards(), 1);
+}
+
+// ---- Sharded server on a live cluster ----
+
+Cluster MakeShardCluster(int hosts, uint64_t seed, Seconds hold, int slots = 2) {
+  SingleSwitchParams params;
+  params.num_hosts = hosts;
+  params.host_caps.nic_up = params.host_caps.nic_down = 1 * kGbps;
+  params.host_caps.disk_read = params.host_caps.disk_write = 4 * kGbps;
+  ClusterOptions options;
+  options.seed = seed;
+  options.server.seed = seed;
+  options.server.eval_threads = 1;
+  options.server.reservation_hold = hold;
+  options.server.admission_slots = slots;
+  Cluster cluster(MakeSingleSwitch(params), options);
+  cluster.StartStatusSweep();
+  return cluster;
+}
+
+ShardedConfig ShardConfigFor(Cluster* cluster, int shards) {
+  ShardedConfig cfg;
+  cfg.server = cluster->cloudtalk().config();
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(ShardedServerTest, ReservationLandsOnExactlyTheOwningShard) {
+  Cluster cluster = MakeShardCluster(16, /*seed=*/5, /*hold=*/60.0);
+  cluster.MeasureNow();
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  const std::string query = "option static\nA = (" + cluster.ip(1) + " " + cluster.ip(2) +
+                            " " + cluster.ip(3) + ")\nf1 A -> " + cluster.ip(0) +
+                            " size 8M\n";
+  const Result<QueryReply> reply = sharded.Answer(query);
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  const std::string picked = reply.value().binding.at("A").name;
+  ASSERT_FALSE(picked.empty());
+  // I410: the pick is reserved on its owner shard and nowhere else.
+  const int owner = sharded.shard_map().ShardOf(cluster.directory().Resolve(picked));
+  const Seconds now = cluster.now();
+  int holders = 0;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    if (sharded.shard(s).reservations().IsReserved(picked, now)) {
+      EXPECT_EQ(s, owner);
+      holders += 1;
+    }
+  }
+  EXPECT_EQ(holders, 1);
+  EXPECT_TRUE(sharded.IsReservedAnywhere(picked, now));
+  // Nothing is left in the prepared state after a committed reserve.
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard(s).reservations().PreparedCount(now), 0);
+  }
+}
+
+TEST(ShardedServerTest, UnresponsiveShardAbortsTheWholeTwoPhaseReserve) {
+  Cluster cluster = MakeShardCluster(16, /*seed=*/5, /*hold=*/60.0);
+  cluster.MeasureNow();
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  // Single-host pools pin the binding, so we know exactly which shards the
+  // two-phase reserve must talk to.
+  const std::string host_a = cluster.ip(1);
+  const std::string host_b = cluster.ip(2);
+  const int owner_b = sharded.shard_map().ShardOf(cluster.directory().Resolve(host_b));
+  const int owner_a = sharded.shard_map().ShardOf(cluster.directory().Resolve(host_a));
+  ASSERT_NE(owner_a, owner_b);  // Distinct shards, or the abort proves nothing.
+  sharded.shard(owner_b).set_unresponsive(true);
+  const std::string query = "option static\nA = (" + host_a + ")\nB = (" + host_b +
+                            ")\nf1 A -> " + cluster.ip(0) + " size 8M\nf2 B -> " +
+                            cluster.ip(0) + " size 8M\n";
+  const Result<QueryReply> reply = sharded.Answer(query);
+  // The binding is still returned — reservations are best-effort — but the
+  // failed prepare aborted every lease of the set: neither host stays held.
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("A").name, host_a);
+  EXPECT_EQ(reply.value().binding.at("B").name, host_b);
+  const Seconds now = cluster.now();
+  EXPECT_FALSE(sharded.IsReservedAnywhere(host_a, now));
+  EXPECT_FALSE(sharded.IsReservedAnywhere(host_b, now));
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard(s).reservations().PreparedCount(now), 0);
+    EXPECT_EQ(sharded.shard(s).reservations().ActiveCount(now), 0);
+  }
+}
+
+TEST(ShardedServerTest, UnresponsiveShardStatusFallsBackToAssumeLoaded) {
+  // A shard that never answers probes makes its hosts look fully loaded
+  // (assume_loaded_on_missing), steering the binding to a responsive shard
+  // instead of failing the query.
+  Cluster cluster = MakeShardCluster(16, /*seed=*/9, /*hold=*/0);
+  cluster.MeasureNow();
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  const std::string host_dead = cluster.ip(1);
+  const std::string host_live = cluster.ip(2);
+  const int owner_dead = sharded.shard_map().ShardOf(cluster.directory().Resolve(host_dead));
+  const int owner_live = sharded.shard_map().ShardOf(cluster.directory().Resolve(host_live));
+  ASSERT_NE(owner_dead, owner_live);
+  sharded.shard(owner_dead).set_unresponsive(true);
+  const std::string query = "A = (" + host_dead + " " + host_live + ")\nf1 A -> " +
+                            cluster.ip(0) + " size 8M\n";
+  const Result<QueryReply> reply = sharded.Answer(query);
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(reply.value().binding.at("A").name, host_live);
+  // The dead shard's probes count as timeouts in the merged stats.
+  EXPECT_GT(reply.value().probe_stats.timeouts, 0);
+}
+
+// ---- Merge determinism: byte-identical to the single server ----
+
+// Everything an answer exposes, rendered bit-faithfully. Probe stats,
+// counters, and traces legitimately differ between deployments.
+std::string ReplyDigest(const Result<QueryReply>& reply) {
+  if (!reply.ok()) {
+    return "error: " + reply.error().message;
+  }
+  std::ostringstream out;
+  out << "binding [";
+  for (const auto& [var, endpoint] : reply.value().binding) {
+    out << var << "=" << endpoint.name << " ";
+  }
+  out << "] scores [";
+  for (const auto& [name, score] : reply.value().scores) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g ", name.c_str(), score);
+    out << buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", reply.value().estimate.makespan);
+  out << "] makespan " << buf;
+  return out.str();
+}
+
+std::vector<std::filesystem::path> GoodFixtures() {
+  std::vector<std::filesystem::path> fixtures;
+  const std::filesystem::path root = std::filesystem::path(CLOUDTALK_QUERY_DIR) / "good";
+  for (const auto& entry : std::filesystem::directory_iterator(root)) {
+    if (entry.path().extension() == ".ct") {
+      fixtures.push_back(entry.path());
+    }
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  return fixtures;
+}
+
+void AddShardLoad(Cluster* cluster) {
+  cluster->AddBackgroundPair(cluster->host(2), cluster->host(5), 600 * kMbps);
+  cluster->AddBackgroundPair(cluster->host(9), cluster->host(12), 800 * kMbps);
+  cluster->MeasureNow();
+}
+
+TEST(ShardedServerTest, GoodFixturesAnswerByteIdenticalAcrossShardCounts) {
+  const std::vector<std::filesystem::path> fixtures = GoodFixtures();
+  ASSERT_FALSE(fixtures.empty()) << "no fixtures under " << CLOUDTALK_QUERY_DIR;
+  for (const auto& path : fixtures) {
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    const std::string query = text.str();
+    // Oracle: the single server on its own identically seeded cluster.
+    Cluster oracle_cluster = MakeShardCluster(16, /*seed=*/21, /*hold=*/0.3);
+    AddShardLoad(&oracle_cluster);
+    const std::string want = ReplyDigest(oracle_cluster.cloudtalk().Answer(query));
+    for (const int shards : {1, 2, 4}) {
+      Cluster cluster = MakeShardCluster(16, /*seed=*/21, /*hold=*/0.3);
+      AddShardLoad(&cluster);
+      ShardedServer sharded(ShardConfigFor(&cluster, shards), &cluster.directory(),
+                            &cluster.transport(), [&cluster] { return cluster.now(); });
+      EXPECT_EQ(ReplyDigest(sharded.Answer(query)), want)
+          << path.filename() << " over " << shards << " shard(s)";
+    }
+  }
+}
+
+TEST(ShardedServerTest, ProbeStatsMatchSingleServerTotals) {
+  // Hierarchical aggregation re-partitions the probes but must not change
+  // the totals: same requests, same replies, same bytes on the wire.
+  const std::string query = "A = (10.0.0.1 10.0.0.2 10.0.0.3 10.0.0.4)\n"
+                            "f1 A -> 10.0.0.9 size 32M\n";
+  Cluster oracle_cluster = MakeShardCluster(16, /*seed=*/13, /*hold=*/0);
+  AddShardLoad(&oracle_cluster);
+  const Result<QueryReply> want = oracle_cluster.cloudtalk().Answer(query);
+  ASSERT_TRUE(want.ok()) << want.error().ToString();
+  Cluster cluster = MakeShardCluster(16, /*seed=*/13, /*hold=*/0);
+  AddShardLoad(&cluster);
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  const Result<QueryReply> got = sharded.Answer(query);
+  ASSERT_TRUE(got.ok()) << got.error().ToString();
+  EXPECT_EQ(got.value().probe_stats.requests_sent, want.value().probe_stats.requests_sent);
+  EXPECT_EQ(got.value().probe_stats.replies_received,
+            want.value().probe_stats.replies_received);
+  EXPECT_EQ(got.value().probe_stats.bytes_sent, want.value().probe_stats.bytes_sent);
+  EXPECT_EQ(got.value().probe_stats.bytes_received,
+            want.value().probe_stats.bytes_received);
+  EXPECT_EQ(sharded.total_probe_stats().requests_sent,
+            want.value().probe_stats.requests_sent);
+}
+
+TEST(ShardedServerTest, RouteAndAggregateSpansAppearInTraces) {
+  Cluster cluster = MakeShardCluster(16, /*seed=*/13, /*hold=*/0.3);
+  AddShardLoad(&cluster);
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  const std::string query = "A = (10.0.0.1 10.0.0.2 10.0.0.5 10.0.0.6)\n"
+                            "f1 A -> 10.0.0.9 size 32M\n";
+  const Result<QueryReply> reply = sharded.Answer(query);
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  if (reply.value().trace.empty()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  bool saw_route = false;
+  bool saw_aggregate = false;
+  for (const auto& span : reply.value().trace.spans) {
+    if (span.name() == "route") {
+      saw_route = true;
+    }
+    if (span.name() == "aggregate") {
+      saw_aggregate = true;
+    }
+  }
+  EXPECT_TRUE(saw_route);
+  EXPECT_TRUE(saw_aggregate);
+}
+
+// ---- N-slot admission gate (src/core/admission.h) ----
+
+lang::ScopeAnalysis ScopeOf(const std::string& text) {
+  const Result<lang::Query> query = lang::Parse(text);
+  EXPECT_TRUE(query.ok()) << (query.ok() ? "" : query.error().ToString());
+  const Result<lang::CompiledQuery> compiled = lang::CompiledQuery::Compile(query.value());
+  EXPECT_TRUE(compiled.ok()) << (compiled.ok() ? "" : compiled.error().ToString());
+  return lang::AnalyzeScope(compiled.value());
+}
+
+// Regression for the release path: a waiter blocked purely on the slot
+// count must be re-checked when ANY slot frees — not just the one its
+// notify happened to target. With notify_one, releasing a slot while two
+// waiters queue could wake the wrong one and deadlock.
+TEST(AdmissionGateTest, WaiterBlockedOnCountWakesWhenAnySlotFrees) {
+  AdmissionGate gate(/*slots=*/2);
+  const lang::ScopeAnalysis a = ScopeOf("A = (10.0.0.1)\nf1 A -> 10.0.0.9 size 1M\n");
+  const lang::ScopeAnalysis b = ScopeOf("B = (10.0.0.2)\nf1 B -> 10.0.0.9 size 1M\n");
+  const lang::ScopeAnalysis c = ScopeOf("C = (10.0.0.3)\nf1 C -> 10.0.0.9 size 1M\n");
+  const uint64_t ta = gate.Admit(a);
+  const uint64_t tb = gate.Admit(b);
+  EXPECT_EQ(gate.InFlight(), 2);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    const uint64_t tc = gate.Admit(c);  // Disjoint from both: blocked on count only.
+    admitted.store(true);
+    gate.Release(tc);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());  // Both slots held: still waiting.
+  gate.Release(ta);               // Free ANY one slot...
+  waiter.join();                  // ...and the count-blocked waiter proceeds.
+  EXPECT_TRUE(admitted.load());
+  gate.Release(tb);
+  EXPECT_EQ(gate.InFlight(), 0);
+}
+
+TEST(AdmissionGateTest, ConflictingWaiterWaitsForTheConflictNotJustASlot) {
+  AdmissionGate gate(/*slots=*/2);
+  const lang::ScopeAnalysis a = ScopeOf("A = (10.0.0.1)\nf1 A -> 10.0.0.9 size 1M\n");
+  const lang::ScopeAnalysis b = ScopeOf("B = (10.0.0.2)\nf1 B -> 10.0.0.9 size 1M\n");
+  // Conflicts with `a` (same candidate host, both reserve).
+  const lang::ScopeAnalysis c = ScopeOf("C = (10.0.0.1)\nf1 C -> 10.0.0.9 size 1M\n");
+  const uint64_t ta = gate.Admit(a);
+  const uint64_t tb = gate.Admit(b);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    const uint64_t tc = gate.Admit(c);
+    admitted.store(true);
+    gate.Release(tc);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  // Releasing the non-conflicting scope frees a slot, but the footprint
+  // conflict with `a` still blocks the waiter.
+  gate.Release(tb);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  gate.Release(ta);  // The conflicting scope leaves: now it proceeds.
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(AdmissionGateTest, ReleaseUnknownTicketFiresI409) {
+  if (!check::kInvariantsEnabled) {
+    GTEST_SKIP() << "built without CLOUDTALK_INVARIANTS";
+  }
+  const check::OnViolation saved = check::GetViolationPolicy();
+  check::SetViolationPolicy(check::OnViolation::kThrow);
+  AdmissionGate gate(/*slots=*/2);
+  EXPECT_THROW(gate.Release(777), check::InvariantViolation);
+  check::SetViolationPolicy(saved);
+}
+
+// ---- Concurrent admission stress (runs under TSan in CI) ----
+
+TEST(ShardedServerTest, SixteenConcurrentDisjointQueriesAllComplete) {
+  Cluster cluster = MakeShardCluster(32, /*seed=*/17, /*hold=*/60.0, /*slots=*/8);
+  cluster.MeasureNow();
+  ShardedServer sharded(ShardConfigFor(&cluster, 4), &cluster.directory(),
+                        &cluster.transport(), [&cluster] { return cluster.now(); });
+  std::vector<std::thread> threads;
+  std::vector<std::string> picks(16);
+  // Not vector<bool>: per-thread writes must land on distinct bytes.
+  std::vector<char> ok(16, 0);
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&cluster, &sharded, &picks, &ok, t] {
+      // Each query draws from its own two-host slice: all disjoint, so up
+      // to 8 evaluate concurrently through the N-slot gate.
+      const std::string query = "option static\nA = (" + cluster.ip(2 * t) + " " +
+                                cluster.ip(2 * t + 1) + ")\nf1 A -> disk size 1M\n";
+      const Result<QueryReply> reply = sharded.Answer(query);
+      ok[t] = reply.ok();
+      if (reply.ok()) {
+        picks[t] = reply.value().binding.at("A").name;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const Seconds now = cluster.now();
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_TRUE(ok[t]) << "query " << t;
+    ASSERT_FALSE(picks[t].empty());
+    // Every pick committed its reservation on exactly one shard (I410).
+    int holders = 0;
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      holders += sharded.shard(s).reservations().IsReserved(picks[t], now) ? 1 : 0;
+    }
+    EXPECT_EQ(holders, 1) << picks[t];
+  }
+  // Disjoint slices: sixteen distinct hosts were reserved.
+  EXPECT_EQ(std::set<std::string>(picks.begin(), picks.end()).size(), 16u);
+}
+
+}  // namespace
+}  // namespace cloudtalk

@@ -27,6 +27,7 @@
 //   ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --diff-scope [--seeds N] [--seed-base B] [--out DIR] [--json]
+//   ctcheck --diff-shard [--seeds N] [--seed-base B] [--out DIR] [--json]
 //   ctcheck --replay scenario.ctsc [--json]
 //   ctcheck --catalog [--json]
 #include <algorithm>
@@ -38,11 +39,14 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/check/check.h"
 #include "src/common/rng.h"
 #include "src/core/exhaustive.h"
+#include "src/core/packet_estimator.h"
+#include "src/core/shard.h"
 #include "src/lang/bound.h"
 #include "src/lang/canon.h"
 #include "src/lang/parser.h"
@@ -1292,6 +1296,159 @@ int RunDiffScopeMode(int seeds, uint64_t seed_base, const std::string& out_dir, 
   return violating > 0 ? 1 : 0;
 }
 
+// ---- --diff-shard: differential fuzz of the sharded deployment ----
+//
+// Three oracles per seed (D505), each comparing a ShardedServer against the
+// single CloudTalkServer on identically seeded twin clusters (same topology,
+// same background load, same server seed — so the sampling RNG streams and
+// the simulated status plane line up exactly):
+//  1. sequential identity: three generated queries are answered in sequence
+//     over 1, 2, and 4 shards with reservations armed; every reply must be
+//     byte-identical, which also proves the partitioned reservation tables
+//     (two-phase prepare/commit) behave like the flat one.
+//  2. slice merge: a packet-level query must pick the same winner when the
+//     exhaustive candidate walk is split into per-shard slices and merged
+//     by (makespan, odometer rank).
+//  3. concurrent admission: two queries over disjoint host slices answered
+//     concurrently through the 4-shard front end's N-slot gate must match
+//     the single server answering them in sequence.
+
+ShardedConfig DiffShardConfig(Cluster* cluster, int shards) {
+  ShardedConfig cfg;
+  cfg.server = cluster->cloudtalk().config();
+  cfg.shards = shards;
+  return cfg;
+}
+
+std::string RunDiffShardSeed(uint64_t seed, std::string* query_text) {
+  constexpr int kShardCounts[] = {1, 2, 4};
+  // Oracle 1: sequential identity, reservations armed (0.3 s hold, so the
+  // second and third queries see the first's reservations).
+  std::vector<std::string> queries;
+  for (uint64_t k = 0; k < 3; ++k) {
+    queries.push_back(GenerateDiffScopeQuery(seed * 3 + k, 0, kDiffScopeHosts - 1));
+  }
+  *query_text = queries[0] + "# --- answered in sequence ---\n" + queries[1] +
+                "# --- answered in sequence ---\n" + queries[2];
+  std::vector<std::string> oracle;
+  {
+    Cluster cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 0.3);
+    AddDiffScopeLoad(&cluster, seed);
+    for (const std::string& q : queries) {
+      oracle.push_back(DiffScopeReplyDigest(cluster.cloudtalk().Answer(q)));
+    }
+  }
+  for (const int shards : kShardCounts) {
+    Cluster cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 0.3);
+    AddDiffScopeLoad(&cluster, seed);
+    ShardedServer sharded(DiffShardConfig(&cluster, shards), &cluster.directory(),
+                          &cluster.transport(), [&cluster] { return cluster.now(); });
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const std::string got = DiffScopeReplyDigest(sharded.Answer(queries[i]));
+      if (got != oracle[i]) {
+        return "sharded reply diverges from single server (" + std::to_string(shards) +
+               " shard(s), query " + std::to_string(i + 1) + " of 3): [" + got + "] vs [" +
+               oracle[i] + "]";
+      }
+    }
+  }
+  // Oracle 2: per-shard search slices. A packet-level query over a small
+  // host slice keeps the exhaustive walk cheap while still exercising the
+  // (makespan, odometer rank) merge.
+  {
+    const std::string packet_query =
+        "option packet\n" + GenerateDiffScopeQuery(seed ^ 0x9e3779b97f4a7c15ull, 0, 5);
+    Cluster oracle_cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 0);
+    AddDiffScopeLoad(&oracle_cluster, seed);
+    PacketLevelEstimator oracle_estimator(&oracle_cluster.topology(),
+                                          &oracle_cluster.directory());
+    CloudTalkServer single(oracle_cluster.cloudtalk().config(), &oracle_cluster.directory(),
+                           &oracle_cluster.transport(),
+                           [&oracle_cluster] { return oracle_cluster.now(); },
+                           &oracle_estimator);
+    const std::string want = DiffScopeReplyDigest(single.Answer(packet_query));
+    for (const int shards : kShardCounts) {
+      Cluster cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 0);
+      AddDiffScopeLoad(&cluster, seed);
+      PacketLevelEstimator estimator(&cluster.topology(), &cluster.directory());
+      ShardedServer sharded(DiffShardConfig(&cluster, shards), &cluster.directory(),
+                            &cluster.transport(), [&cluster] { return cluster.now(); },
+                            &estimator);
+      const std::string got = DiffScopeReplyDigest(sharded.Answer(packet_query));
+      if (got != want) {
+        *query_text = packet_query;
+        return "per-shard search slices merge to a different winner (" +
+               std::to_string(shards) + " shard(s)): [" + got + "] vs [" + want + "]";
+      }
+    }
+  }
+  // Oracle 3: concurrent admission through the N-slot gate. The two queries
+  // draw from disjoint host slices, so the sharded server may evaluate them
+  // in parallel — the replies must still match the sequential single-server
+  // answers.
+  const std::string left = GenerateDiffScopeQuery(seed * 2 + 1, 0, kDiffScopeHosts / 2 - 1);
+  const std::string right =
+      GenerateDiffScopeQuery(seed * 2 + 2, kDiffScopeHosts / 2, kDiffScopeHosts - 1);
+  Cluster oracle_cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 60.0);
+  Cluster sharded_cluster = MakeDiffScopeCluster(seed, /*scope_probe_pruning=*/true, 60.0);
+  AddDiffScopeLoad(&oracle_cluster, seed);
+  AddDiffScopeLoad(&sharded_cluster, seed);
+  const std::string left_want = DiffScopeReplyDigest(oracle_cluster.cloudtalk().Answer(left));
+  const std::string right_want = DiffScopeReplyDigest(oracle_cluster.cloudtalk().Answer(right));
+  ShardedServer sharded(DiffShardConfig(&sharded_cluster, 4), &sharded_cluster.directory(),
+                        &sharded_cluster.transport(),
+                        [&sharded_cluster] { return sharded_cluster.now(); });
+  std::string left_got;
+  std::string right_got;
+  std::thread left_thread([&] { left_got = DiffScopeReplyDigest(sharded.Answer(left)); });
+  std::thread right_thread([&] { right_got = DiffScopeReplyDigest(sharded.Answer(right)); });
+  left_thread.join();
+  right_thread.join();
+  if (left_got != left_want || right_got != right_want) {
+    *query_text = left + "# --- disjoint peer, admitted concurrently ---\n" + right;
+    return "concurrently admitted replies diverge from sequential single server: [" +
+           left_got + "] vs [" + left_want + "], [" + right_got + "] vs [" + right_want + "]";
+  }
+  return "";
+}
+
+int RunDiffShardMode(int seeds, uint64_t seed_base, const std::string& out_dir, bool json) {
+  if (seeds <= 0) {
+    std::fprintf(stderr, "ctcheck: --seeds must be positive\n");
+    return 2;
+  }
+  int violating = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    std::string query_text;
+    const std::string detail = RunDiffShardSeed(seed, &query_text);
+    if (detail.empty()) {
+      continue;
+    }
+    ++violating;
+    std::string saved_to = out_dir + "/diffshard_" + std::to_string(seed) + ".ct";
+    std::ofstream out(saved_to);
+    if (out) {
+      out << "# ctcheck --diff-shard divergence, seed " << seed << " (D505)\n"
+          << "# " << detail << "\n"
+          << query_text;
+    } else {
+      std::fprintf(stderr, "ctcheck: cannot write '%s'\n", saved_to.c_str());
+      saved_to.clear();
+    }
+    std::fprintf(stderr, "seed %llu: D505 sharding violation: %s%s%s\n",
+                 static_cast<unsigned long long>(seed), detail.c_str(),
+                 saved_to.empty() ? "" : ", query saved to ", saved_to.c_str());
+  }
+  if (json) {
+    std::printf("{\"mode\":\"diff-shard\",\"scenarios\":%d,\"violating\":%d}\n", seeds,
+                violating);
+  } else {
+    std::printf("ctcheck --diff-shard: %d seed(s), %d divergent\n", seeds, violating);
+  }
+  return violating > 0 ? 1 : 0;
+}
+
 void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: ctcheck [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
@@ -1300,6 +1457,7 @@ void PrintUsage(FILE* out) {
                "       ctcheck --diff-bound [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-canon [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --diff-scope [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
+               "       ctcheck --diff-shard [--seeds N] [--seed-base B] [--out DIR] [--json]\n"
                "       ctcheck --replay scenario.ctsc [--json]\n"
                "       ctcheck --catalog [--json]\n"
                "\n"
@@ -1323,6 +1481,11 @@ void PrintUsage(FILE* out) {
                "the computed footprint must answer exactly like probing everything, and\n"
                "queries with disjoint reservation footprints must commute; any\n"
                "divergence is a D504 violation and the query is saved.\n"
+               "With --diff-shard, fuzzes the sharded deployment: a ShardedServer over\n"
+               "1, 2, and 4 shards — hierarchical probe aggregation, per-shard search\n"
+               "slices, two-phase cross-shard reservations, concurrent N-slot admission\n"
+               "— must answer byte-identically to the single server; any divergence is\n"
+               "a D505 violation and the query is saved.\n"
                "Exits 0 when every scenario is clean, 1 on violations, 2 on usage errors.\n");
 }
 
@@ -1359,6 +1522,7 @@ int Main(int argc, char** argv) {
   bool diff_bound = false;
   bool diff_canon = false;
   bool diff_scope = false;
+  bool diff_shard = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -1390,6 +1554,8 @@ int Main(int argc, char** argv) {
       diff_canon = true;
     } else if (arg == "--diff-scope") {
       diff_scope = true;
+    } else if (arg == "--diff-shard") {
+      diff_shard = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -1417,6 +1583,9 @@ int Main(int argc, char** argv) {
   }
   if (diff_scope) {
     return RunDiffScopeMode(seeds, seed_base, out_dir, json);
+  }
+  if (diff_shard) {
+    return RunDiffShardMode(seeds, seed_base, out_dir, json);
   }
   if (!check::kInvariantsEnabled) {
     std::fprintf(stderr,
